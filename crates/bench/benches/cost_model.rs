@@ -1,0 +1,47 @@
+//! Criterion bench: analytic cost-model throughput (the "Simulation time"
+//! column of the appendix table — predicting every synthesized program).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use p2_cost::{CostModel, NcclAlgo};
+use p2_placement::enumerate_matrices;
+use p2_synthesis::{HierarchyKind, LoweredProgram, Synthesizer};
+use p2_topology::presets;
+
+fn lowered_programs(arities: &[usize], axes: &[usize], reduction: &[usize]) -> Vec<LoweredProgram> {
+    enumerate_matrices(arities, axes)
+        .expect("valid config")
+        .into_iter()
+        .flat_map(|m| {
+            let synth = Synthesizer::new(m, reduction.to_vec(), HierarchyKind::ReductionAxes)
+                .expect("valid synthesizer");
+            synth
+                .synthesize(5)
+                .programs
+                .iter()
+                .map(|p| synth.lower(p).expect("lowers"))
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+fn bench_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_model");
+    let system = presets::a100_system(4);
+    let bytes = (1u64 << 29) as f64 * 4.0 * 4.0;
+    let programs = lowered_programs(&[4, 16], &[8, 8], &[0]);
+    for algo in NcclAlgo::ALL {
+        let model = CostModel::new(&system, algo, bytes).expect("valid model");
+        group.bench_with_input(
+            BenchmarkId::new("predict_all_programs", algo.to_string()),
+            &programs,
+            |b, ps| {
+                b.iter(|| ps.iter().map(|p| model.program_time(p)).sum::<f64>());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench: execution-substrate throughput (replacing the paper's
+//! real cluster runs; every synthesized program is "measured" here).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use p2_cost::NcclAlgo;
+use p2_exec::{ExecConfig, Executor};
+use p2_placement::enumerate_matrices;
+use p2_synthesis::{baseline_allreduce, HierarchyKind, Synthesizer};
+use p2_topology::presets;
+
+fn bench_exec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec_sim");
+    let system = presets::v100_system(4);
+    let bytes = (1u64 << 29) as f64 * 4.0 * 4.0;
+
+    // Single-step AllReduce over the whole machine (the most transfer-heavy case).
+    let matrix = enumerate_matrices(&[4, 8], &[32]).expect("valid").remove(0);
+    let baseline = baseline_allreduce(&matrix, &[0]).expect("valid baseline");
+    for algo in NcclAlgo::ALL {
+        let exec =
+            Executor::new(&system, ExecConfig::new(algo, bytes).with_repeats(1)).expect("valid exec");
+        group.bench_with_input(
+            BenchmarkId::new("allreduce_32_gpus", algo.to_string()),
+            &baseline,
+            |b, p| b.iter(|| exec.measure_once(p, 0)),
+        );
+    }
+
+    // A three-step hierarchical program.
+    let synth = Synthesizer::new(matrix, vec![0], HierarchyKind::ReductionAxes).expect("valid");
+    let program = synth
+        .synthesize(5)
+        .programs
+        .iter()
+        .find(|p| p.signature() == "ReduceScatter-AllReduce-AllGather")
+        .map(|p| synth.lower(p).expect("lowers"))
+        .expect("hierarchical program synthesized");
+    let exec = Executor::new(&system, ExecConfig::new(NcclAlgo::Ring, bytes).with_repeats(1))
+        .expect("valid exec");
+    group.bench_with_input(BenchmarkId::new("hierarchical_program", "Ring"), &program, |b, p| {
+        b.iter(|| exec.measure_once(p, 0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exec);
+criterion_main!(benches);

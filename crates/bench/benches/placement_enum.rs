@@ -1,0 +1,26 @@
+//! Criterion bench: parallelism-matrix enumeration (paper §3.1) — the step
+//! that replaces the naive `(#devices)!` placement search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use p2_placement::enumerate_matrices;
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement_enum");
+    let configs: Vec<(&str, Vec<usize>, Vec<usize>)> = vec![
+        ("a100x4_two_axes", vec![4, 16], vec![8, 8]),
+        ("a100x4_three_axes", vec![4, 16], vec![8, 2, 4]),
+        ("v100x4_three_axes", vec![4, 8], vec![8, 2, 2]),
+        ("figure2a_two_axes", vec![1, 2, 2, 4], vec![4, 4]),
+        ("deep_hierarchy_three_axes", vec![2, 2, 2, 2, 4], vec![8, 4, 2]),
+    ];
+    for (label, arities, axes) in configs {
+        group.bench_with_input(BenchmarkId::new("enumerate", label), &(arities, axes), |b, (h, p)| {
+            b.iter(|| enumerate_matrices(h, p).expect("valid").len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench: reduction-program synthesis time (the "Synthesis time"
+//! column of Table 4 / the appendix table, and RQ2 of the paper).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use p2_placement::enumerate_matrices;
+use p2_synthesis::{HierarchyKind, Synthesizer};
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis");
+    // (label, system arities, parallelism axes, reduction axes) — the Table 4
+    // configurations with the largest search spaces.
+    let configs: Vec<(&str, Vec<usize>, Vec<usize>, Vec<usize>)> = vec![
+        ("F_a100x2_[8,4]_r0", vec![2, 16], vec![8, 4], vec![0]),
+        ("G_a100x4_[4,16]_r0", vec![4, 16], vec![4, 16], vec![0]),
+        ("H_a100x4_[16,2,2]_r02", vec![4, 16], vec![16, 2, 2], vec![0, 2]),
+        ("J_a100x4_[64]_r0", vec![4, 16], vec![64], vec![0]),
+        ("K_v100x4_[8,2,2]_r02", vec![4, 8], vec![8, 2, 2], vec![0, 2]),
+    ];
+    for (label, arities, axes, reduction) in configs {
+        let matrices = enumerate_matrices(&arities, &axes).expect("valid config");
+        group.bench_with_input(BenchmarkId::new("all_matrices", label), &matrices, |b, ms| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for m in ms {
+                    let synth =
+                        Synthesizer::new(m.clone(), reduction.clone(), HierarchyKind::ReductionAxes)
+                            .expect("valid synthesizer");
+                    total += synth.synthesize(5).programs.len();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_synthesis
+}
+criterion_main!(benches);

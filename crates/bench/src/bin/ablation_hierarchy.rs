@@ -1,0 +1,131 @@
+//! Reproduces the search-space results of the paper: **RQ2 / Result 2**
+//! (synthesis is fast because the search space is tamed) and the
+//! **§2.5 / §3.4** synthesis-hierarchy comparison behind Theorem 3.2.
+//!
+//! Two ablations are reported:
+//!
+//! 1. program counts and synthesis time under synthesis hierarchies (a)–(d)
+//!    on the running example;
+//! 2. a program-size-limit sweep showing that raising the limit beyond the
+//!    paper's value of 5 makes synthesis slower without finding new programs.
+//!
+//! Run with `cargo run --release -p p2-bench --bin ablation_hierarchy`.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use p2_bench::table4_specs;
+use p2_placement::{enumerate_matrices, ParallelismMatrix};
+use p2_synthesis::{HierarchyKind, LoweredProgram, Synthesizer};
+
+fn canonical(program: &LoweredProgram) -> String {
+    program
+        .steps
+        .iter()
+        .map(|s| {
+            let mut gs: Vec<Vec<usize>> = s
+                .groups
+                .iter()
+                .map(|g| {
+                    let mut d = g.devices.clone();
+                    d.sort_unstable();
+                    d
+                })
+                .collect();
+            gs.sort();
+            format!("{}{:?}", s.collective, gs)
+        })
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+fn hierarchy_ablation() {
+    println!("-- Synthesis hierarchies (a)-(d) on the running example (Figure 2d, reduce axis 1) --\n");
+    let matrix = ParallelismMatrix::new(
+        vec![vec![1, 1, 2, 2], vec![1, 2, 1, 2]],
+        vec![1, 2, 2, 4],
+        vec![4, 4],
+    )
+    .expect("figure 2d matrix");
+    println!(
+        "{:<20} {:>10} {:>10} {:>14} {:>12} {:>24}",
+        "hierarchy", "space", "programs", "instr. tried", "time (ms)", "covered by (d)"
+    );
+    let mut sets: Vec<(HierarchyKind, HashSet<String>)> = Vec::new();
+    for kind in HierarchyKind::ALL {
+        let synth = Synthesizer::new(matrix.clone(), vec![1], kind).expect("valid synthesizer");
+        let start = Instant::now();
+        let result = synth.synthesize(4);
+        let elapsed = start.elapsed();
+        let lowered: HashSet<String> =
+            result.programs.iter().map(|p| canonical(&synth.lower(p).unwrap())).collect();
+        sets.push((kind, lowered));
+        println!(
+            "({}) {:<16} {:>10} {:>10} {:>14} {:>12.2} {:>24}",
+            kind.letter(),
+            format!("{kind:?}"),
+            synth.context().space_size(),
+            result.programs.len(),
+            result.stats.instructions_tried,
+            elapsed.as_secs_f64() * 1e3,
+            "",
+        );
+    }
+    let d_set = sets
+        .iter()
+        .find(|(k, _)| *k == HierarchyKind::ReductionAxes)
+        .map(|(_, s)| s.clone())
+        .unwrap();
+    for (kind, set) in &sets {
+        if *kind == HierarchyKind::ReductionAxes {
+            continue;
+        }
+        let covered = set.iter().filter(|p| d_set.contains(*p)).count();
+        println!(
+            "    Theorem 3.2 check: (d) finds {covered}/{} of the lowered programs of ({})",
+            set.len(),
+            kind.letter()
+        );
+    }
+    println!();
+}
+
+fn size_limit_sweep() {
+    println!("-- Program-size-limit sweep (Result 2: limit 5 is sufficient) --\n");
+    println!("{:<6} {:<16} {:>8} {:>10} {:>12}", "id", "axes", "limit", "programs", "time (ms)");
+    for spec in table4_specs().into_iter().take(3) {
+        let system = spec.system.system(spec.nodes);
+        let matrices = enumerate_matrices(&system.hierarchy().arities(), &spec.axes)
+            .expect("spec axes valid");
+        for limit in [3usize, 4, 5, 6] {
+            let start = Instant::now();
+            let mut total = 0usize;
+            for matrix in &matrices {
+                let synth = Synthesizer::new(
+                    matrix.clone(),
+                    spec.reduction.clone(),
+                    HierarchyKind::ReductionAxes,
+                )
+                .expect("valid synthesizer");
+                total += synth.synthesize(limit).programs.len();
+            }
+            let elapsed = start.elapsed();
+            println!(
+                "{:<6} {:<16} {:>8} {:>10} {:>12.2}",
+                spec.id,
+                format!("{:?}", spec.axes),
+                limit,
+                total,
+                elapsed.as_secs_f64() * 1e3
+            );
+        }
+    }
+    println!();
+    println!("(the paper sets the limit to 5: increasing it further mostly adds synthesis time, not programs)");
+}
+
+fn main() {
+    println!("RQ2 / synthesis-hierarchy ablations\n");
+    hierarchy_ablation();
+    size_limit_sweep();
+}

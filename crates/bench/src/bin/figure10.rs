@@ -1,0 +1,101 @@
+//! Reproduces **Figures 3 and 10** of the paper: the common optimal reduction
+//! programs — Reduce-AllReduce-Broadcast (program i) and
+//! ReduceScatter-AllReduce-AllGather (program ii) — shown as synthesized
+//! instruction sequences and as lowered device groups on the running example,
+//! plus the Result 5 comparison of when each one wins.
+//!
+//! Run with `cargo run --release -p p2-bench --bin figure10`.
+
+use p2_bench::{fmt_s, table4_specs};
+use p2_placement::ParallelismMatrix;
+use p2_synthesis::{HierarchyKind, Synthesizer};
+
+fn main() {
+    // The Figure 2d placement of the running example, reduction along the
+    // parameter-sharding axis.
+    let matrix = ParallelismMatrix::new(
+        vec![vec![1, 1, 2, 2], vec![1, 2, 1, 2]],
+        vec![1, 2, 2, 4],
+        vec![4, 4],
+    )
+    .expect("figure 2d matrix is valid");
+    let synthesizer = Synthesizer::new(matrix.clone(), vec![1], HierarchyKind::ReductionAxes)
+        .expect("running example synthesizer");
+    let result = synthesizer.synthesize(5);
+
+    println!("Figures 3 & 10: common reduction programs on placement {matrix} (reduce axis 1)\n");
+    for target in [
+        "AllReduce",
+        "AllReduce-AllReduce",
+        "Reduce-AllReduce-Broadcast",
+        "ReduceScatter-AllReduce-AllGather",
+    ] {
+        let Some(program) = result.programs.iter().find(|p| p.signature() == target) else {
+            println!("{target}: not synthesized (unexpected)");
+            continue;
+        };
+        let lowered = synthesizer.lower(program).expect("synthesized program lowers");
+        println!("{target}");
+        println!("  DSL       : {program}");
+        for (i, step) in lowered.steps.iter().enumerate() {
+            let groups: Vec<String> =
+                step.groups.iter().map(|g| format!("{:?}", g.devices)).collect();
+            println!(
+                "  step {i}: {:<14} data fraction {:.2}  groups {}",
+                step.collective.to_string(),
+                step.groups.first().map(|g| g.input_fraction).unwrap_or(0.0),
+                groups.join(" ")
+            );
+        }
+        println!();
+    }
+
+    // Result 5's comparison of programs (i) and (ii) across the Table 4
+    // configurations: which one is optimal more often, and by how much.
+    println!("Program (i) Reduce-AllReduce-Broadcast vs (ii) ReduceScatter-AllReduce-AllGather");
+    println!("across the Table 4 configurations (measured on the simulated substrate):\n");
+    println!(
+        "{:<4} {:<22} {:>12} {:>12} {:>10}",
+        "id", "parallelism matrix", "(i) RAB", "(ii) RS-AR-AG", "winner"
+    );
+    let mut wins_i = 0usize;
+    let mut wins_ii = 0usize;
+    for spec in table4_specs() {
+        let result = spec.run();
+        for placement in &result.placements {
+            let find = |sig: &str| {
+                placement
+                    .programs
+                    .iter()
+                    .filter(|p| p.signature() == sig)
+                    .map(|p| p.measured_seconds)
+                    .fold(f64::INFINITY, f64::min)
+            };
+            let i_time = find("Reduce-AllReduce-Broadcast");
+            let ii_time = find("ReduceScatter-AllReduce-AllGather");
+            if !i_time.is_finite() || !ii_time.is_finite() {
+                continue;
+            }
+            let winner = if ii_time < i_time {
+                wins_ii += 1;
+                "(ii)"
+            } else {
+                wins_i += 1;
+                "(i)"
+            };
+            println!(
+                "{:<4} {:<22} {:>12} {:>12} {:>10}",
+                spec.id,
+                placement.matrix.to_string(),
+                fmt_s(i_time),
+                fmt_s(ii_time),
+                winner
+            );
+        }
+    }
+    println!();
+    println!(
+        "program (ii) wins {wins_ii} times, program (i) wins {wins_i} times — the paper finds (ii) \
+         to be optimal more often (§4.2, Result 5)"
+    );
+}

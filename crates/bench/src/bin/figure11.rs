@@ -1,0 +1,59 @@
+//! Reproduces **Figure 11** of the paper: predicted vs. measured time for
+//! every synthesized (placement, program) pair, in increasing order of
+//! measured time, for the two captioned configurations.
+//!
+//! Run with `cargo run --release -p p2-bench --bin figure11`.
+
+use std::time::Instant;
+
+use p2_bench::{ExperimentSpec, SystemKind};
+use p2_cost::NcclAlgo;
+
+fn panel(title: &str, spec: ExperimentSpec) {
+    println!("{title}");
+    println!("  ({})", spec.describe());
+    let start = Instant::now();
+    let result = spec.run();
+    let wall = start.elapsed();
+    println!(
+        "  synthesis {:.2}s, synthesis+simulation wall-clock {:.2}s, {} programs across {} matrices",
+        result.synthesis_time.as_secs_f64(),
+        wall.as_secs_f64(),
+        result.total_programs(),
+        result.placements.len()
+    );
+    println!(
+        "  {:<5} {:<22} {:<42} {:>12} {:>12} {:>9}",
+        "#", "parallelism matrix", "program", "measured", "predicted", "error"
+    );
+    for (i, (matrix, signature, measured, predicted)) in result.series().iter().enumerate() {
+        let error = if *measured > 0.0 { (predicted - measured) / measured * 100.0 } else { 0.0 };
+        println!(
+            "  {:<5} {:<22} {:<42} {:>12.3} {:>12.3} {:>8.1}%",
+            i + 1,
+            matrix,
+            signature,
+            measured,
+            predicted,
+            error
+        );
+    }
+    let top10 = result.predicted_best_in_measured_top_k(10);
+    let top1 = result.predicted_best_in_measured_top_k(1);
+    println!(
+        "  simulator's top choice is the measured best: {top1}; within the measured top-10: {top10}"
+    );
+    println!();
+}
+
+fn main() {
+    println!("Figure 11: simulation vs. measurement, in increasing order of measured time\n");
+    panel(
+        "(a) 4 nodes of V100, NCCL Ring, parallelism axes [2 16], reduction on the 1st axis",
+        ExperimentSpec::new("11a", SystemKind::V100, 4, vec![2, 16], vec![1], NcclAlgo::Ring),
+    );
+    panel(
+        "(b) 4 nodes of A100, NCCL Tree, parallelism axes [4 2 8], reduction on the 0th and 2nd axes",
+        ExperimentSpec::new("11b", SystemKind::A100, 4, vec![4, 2, 8], vec![0, 2], NcclAlgo::Tree),
+    );
+}

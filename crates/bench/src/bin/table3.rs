@@ -1,0 +1,74 @@
+//! Reproduces **Table 3** of the paper: AllReduce time across parallelism
+//! matrices, for reduction on the 0th and 1st axis, with NCCL ring and tree.
+//!
+//! Run with `cargo run --release -p p2-bench --bin table3`.
+
+use p2_bench::{fmt_s, table3_specs};
+use p2_cost::NcclAlgo;
+use p2_exec::{ExecConfig, Executor};
+use p2_placement::enumerate_matrices;
+use p2_synthesis::baseline_allreduce;
+
+fn main() {
+    println!("Table 3: reduction time in seconds of running AllReduce");
+    println!("(measured on the simulated substrate; the paper's absolute numbers differ,");
+    println!(" the placement-induced spread is the result being reproduced)\n");
+
+    let mut global_max_ratio: f64 = 1.0;
+    for (id, system_kind, nodes, axes) in table3_specs() {
+        let system = system_kind.system(nodes);
+        let bytes = (1u64 << 29) as f64 * nodes as f64 * 4.0;
+        println!(
+            "{} nodes, each with {} {:?} — parallelism axes {:?}",
+            nodes,
+            system_kind.gpus_per_node(),
+            system_kind,
+            axes
+        );
+        println!(
+            "  {:<6} {:<22} {:>12} {:>12} {:>12} {:>12}",
+            "id", "parallelism matrix", "ax0 Ring", "ax0 Tree", "ax1 Ring", "ax1 Tree"
+        );
+        let matrices = enumerate_matrices(&system.hierarchy().arities(), &axes)
+            .expect("table 3 axes match their systems");
+        let mut per_axis_times: Vec<Vec<f64>> = vec![Vec::new(), Vec::new()];
+        for (idx, matrix) in matrices.iter().enumerate() {
+            let mut row = Vec::new();
+            for reduction_axis in 0..2usize {
+                for algo in NcclAlgo::ALL {
+                    let exec =
+                        Executor::new(&system, ExecConfig::new(algo, bytes).with_repeats(3))
+                            .expect("valid exec config");
+                    let baseline = baseline_allreduce(matrix, &[reduction_axis])
+                        .expect("valid reduction axis");
+                    let seconds = exec.measure(&baseline);
+                    row.push(seconds);
+                    per_axis_times[reduction_axis].push(seconds);
+                }
+            }
+            println!(
+                "  {:<6} {:<22} {:>12} {:>12} {:>12} {:>12}",
+                format!("{id}{}", idx + 1),
+                matrix.to_string(),
+                fmt_s(row[0]),
+                fmt_s(row[1]),
+                fmt_s(row[2]),
+                fmt_s(row[3]),
+            );
+        }
+        for (axis, times) in per_axis_times.iter().enumerate() {
+            let max = times.iter().copied().fold(f64::MIN, f64::max);
+            let min = times.iter().copied().fold(f64::MAX, f64::min);
+            if min > 0.0 {
+                let ratio = max / min;
+                global_max_ratio = global_max_ratio.max(ratio);
+                println!("  axis {axis}: max/min AllReduce ratio across matrices = {ratio:.1}x");
+            }
+        }
+        println!();
+    }
+    println!(
+        "Result 1 headline: the performance of AllReduce differs across parallelism matrices by up to {global_max_ratio:.1}x"
+    );
+    println!("(the paper reports up to 448.5x on its hardware)");
+}

@@ -1,0 +1,68 @@
+//! Reproduces **Table 4** of the paper: synthesis time, number of programs
+//! outperforming AllReduce, and AllReduce vs. optimal synthesized program for
+//! the selected configurations F–L.
+//!
+//! Run with `cargo run --release -p p2-bench --bin table4`.
+
+use p2_bench::{fmt_s, fmt_speedup, table4_specs, SpeedupSummary};
+
+fn main() {
+    println!("Table 4: reduction time in seconds for AllReduce and the synthesized optimal strategy");
+    println!("(reduction on the 0th axis for 1- and 2-axis configurations, on the 0th and 2nd for 3-axis ones)\n");
+    println!(
+        "{:<4} {:<6} {:<14} {:>12} {:>22} {:<22} {:>10} {:>10} {:>9}",
+        "id",
+        "algo",
+        "axes",
+        "synth (s)",
+        "beat-AllReduce/total",
+        "parallelism matrix",
+        "AllReduce",
+        "Optimal",
+        "Speedup"
+    );
+
+    let mut summary = SpeedupSummary::default();
+    for spec in table4_specs() {
+        let result = spec.run();
+        summary.add(&result);
+        let beating = result.total_programs_beating_allreduce();
+        let total = result.total_programs();
+        let synth_s = result.synthesis_time.as_secs_f64();
+        let best_allreduce = result
+            .best_allreduce_placement()
+            .map(|p| p.allreduce_measured)
+            .unwrap_or(f64::INFINITY);
+        let best_overall = result
+            .best_overall()
+            .map(|p| p.measured_seconds)
+            .unwrap_or(f64::INFINITY);
+        for (i, placement) in result.placements.iter().enumerate() {
+            let first = i == 0;
+            let allreduce_marker =
+                if (placement.allreduce_measured - best_allreduce).abs() < 1e-12 { "*" } else { " " };
+            let optimal = placement.optimal_measured();
+            let optimal_marker = if (optimal - best_overall).abs() < 1e-12 { "*" } else { " " };
+            println!(
+                "{:<4} {:<6} {:<14} {:>12} {:>22} {:<22} {:>9}{} {:>9}{} {:>9}",
+                if first { spec.id } else { "" },
+                if first { spec.algo.to_string() } else { String::new() },
+                if first { format!("{:?}", spec.axes) } else { String::new() },
+                if first { fmt_s(synth_s) } else { String::new() },
+                if first { format!("{beating}/{total}") } else { String::new() },
+                placement.matrix.to_string(),
+                fmt_s(placement.allreduce_measured),
+                allreduce_marker,
+                fmt_s(optimal),
+                optimal_marker,
+                fmt_speedup(placement.speedup()),
+            );
+        }
+    }
+    println!();
+    println!("('*' marks the best AllReduce placement and the overall optimum, the paper's bold entries)");
+    println!();
+    println!("Result 5 aggregate over the Table 4 configurations: {summary}");
+    println!("(the paper reports 69% of mappings improved, average 1.27x, max 2.04x over all configurations;");
+    println!(" run the appendix_table binary for the full sweep)");
+}

@@ -1,0 +1,53 @@
+//! Reproduces **Table 5** of the paper: top-k accuracy of the analytic
+//! simulator (the cost model) against measurement (the execution substrate),
+//! per GPU system and overall.
+//!
+//! Run with `cargo run --release -p p2-bench --bin table5`.
+
+use p2_bench::{appendix_axes, ExperimentSpec, SystemKind};
+use p2_core::{top_k_accuracy, ExperimentResult};
+use p2_cost::NcclAlgo;
+
+fn run_system(system: SystemKind, nodes_list: &[usize]) -> Vec<ExperimentResult> {
+    let mut results = Vec::new();
+    for &nodes in nodes_list {
+        for (axes, reductions) in appendix_axes(system, nodes) {
+            for reduction in reductions {
+                for algo in NcclAlgo::ALL {
+                    let spec =
+                        ExperimentSpec::new("t5", system, nodes, axes.clone(), reduction.clone(), algo);
+                    let result = spec.run();
+                    // Experiments with fewer programs than the largest k are
+                    // still counted, exactly as in the paper.
+                    results.push(result);
+                }
+            }
+        }
+    }
+    results
+}
+
+fn main() {
+    let ks = [1usize, 2, 3, 5, 6, 10];
+    println!("Table 5: prediction accuracy of the analytic simulator vs. measurement\n");
+    println!(
+        "{:<8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>14}",
+        "system", "Top-1", "Top-2", "Top-3", "Top-5", "Top-6", "Top-10", "experiments"
+    );
+
+    let a100 = run_system(SystemKind::A100, &[2, 4]);
+    let v100 = run_system(SystemKind::V100, &[2, 4]);
+    let mut all = a100.clone();
+    all.extend(v100.clone());
+
+    for (name, results) in [("A100", &a100), ("V100", &v100), ("Total", &all)] {
+        let report = top_k_accuracy(results, &ks);
+        print!("{name:<8}");
+        for k in ks {
+            print!(" {:>7.1}%", report.accuracy_for(k).unwrap() * 100.0);
+        }
+        println!(" {:>14}", report.experiments);
+    }
+    println!();
+    println!("(the paper reports 52% / 69.5% / 72% / 75% / 85% / 92% for Top-1/2/3/5/6/10 overall)");
+}

@@ -1,0 +1,290 @@
+//! Shared plumbing for the benchmark harness: experiment definitions matching
+//! the paper's evaluation (§4, §5, appendix) and small formatting helpers.
+//!
+//! Every table and figure of the paper has a corresponding binary in
+//! `src/bin/` (see DESIGN.md §5 for the index); the criterion benches in
+//! `benches/` measure the synthesis and simulation throughput reported in the
+//! paper's "Synthesis time" / "Simulation time" columns.
+
+#![deny(missing_docs)]
+
+use p2_core::{ExperimentResult, P2Config, P2};
+use p2_cost::NcclAlgo;
+use p2_topology::{presets, SystemTopology};
+
+/// Which GPU system a configuration runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    /// Nodes of 16 A100 GPUs behind one NVSwitch and one NIC (Figure 9a).
+    A100,
+    /// Nodes of 8 V100 GPUs on an NVLink ring (Figure 9b, flattened as in §4).
+    V100,
+}
+
+impl SystemKind {
+    /// Builds the system topology for a node count.
+    pub fn system(self, nodes: usize) -> SystemTopology {
+        match self {
+            SystemKind::A100 => presets::a100_system(nodes),
+            SystemKind::V100 => presets::v100_system(nodes),
+        }
+    }
+
+    /// GPUs per node for this system kind.
+    pub fn gpus_per_node(self) -> usize {
+        match self {
+            SystemKind::A100 => 16,
+            SystemKind::V100 => 8,
+        }
+    }
+}
+
+/// One experiment of the paper's evaluation: a system, a node count,
+/// parallelism axes, reduction axes and the NCCL algorithm.
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// Short identifier used in the paper's tables (e.g. `"B"`, `"F"`, `"K1"`).
+    pub id: &'static str,
+    /// Which GPU system.
+    pub system: SystemKind,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Parallelism axis sizes.
+    pub axes: Vec<usize>,
+    /// Reduction axis indices.
+    pub reduction: Vec<usize>,
+    /// NCCL algorithm.
+    pub algo: NcclAlgo,
+}
+
+impl ExperimentSpec {
+    /// Creates a specification.
+    pub fn new(
+        id: &'static str,
+        system: SystemKind,
+        nodes: usize,
+        axes: Vec<usize>,
+        reduction: Vec<usize>,
+        algo: NcclAlgo,
+    ) -> Self {
+        ExperimentSpec { id, system, nodes, axes, reduction, algo }
+    }
+
+    /// The per-device buffer the paper uses: `2^29 × nodes` float32 elements.
+    pub fn bytes_per_device(&self) -> f64 {
+        (1u64 << 29) as f64 * self.nodes as f64 * 4.0
+    }
+
+    /// Builds the [`P2Config`] for this experiment.
+    pub fn config(&self) -> P2Config {
+        P2Config::new(self.system.system(self.nodes), self.axes.clone(), self.reduction.clone())
+            .with_algo(self.algo)
+            .with_bytes_per_device(self.bytes_per_device())
+            .with_repeats(3)
+            .with_seed(0xb2b2)
+    }
+
+    /// Runs the full pipeline for this experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the specification is internally inconsistent (axis product
+    /// not matching the device count) — specifications in this crate are
+    /// static and known-good.
+    pub fn run(&self) -> ExperimentResult {
+        P2::new(self.config()).expect("static experiment spec is valid").run().expect("pipeline runs")
+    }
+
+    /// A human-readable description, e.g. `"4 nodes each with 16 A100, axes [16, 2, 2]"`.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} nodes each with {} {:?}, axes {:?}, reduce {:?}, {}",
+            self.nodes,
+            self.system.gpus_per_node(),
+            self.system,
+            self.axes,
+            self.reduction,
+            self.algo
+        )
+    }
+}
+
+/// The Table 4 experiment specifications (rows F–L of the paper).
+pub fn table4_specs() -> Vec<ExperimentSpec> {
+    vec![
+        ExperimentSpec::new("F", SystemKind::A100, 2, vec![8, 4], vec![0], NcclAlgo::Ring),
+        ExperimentSpec::new("G", SystemKind::A100, 4, vec![4, 16], vec![0], NcclAlgo::Tree),
+        ExperimentSpec::new("H", SystemKind::A100, 4, vec![16, 2, 2], vec![0, 2], NcclAlgo::Ring),
+        ExperimentSpec::new("I", SystemKind::A100, 4, vec![2, 2, 16], vec![0, 2], NcclAlgo::Ring),
+        ExperimentSpec::new("J", SystemKind::A100, 4, vec![64], vec![0], NcclAlgo::Tree),
+        ExperimentSpec::new("K", SystemKind::V100, 4, vec![8, 2, 2], vec![0, 2], NcclAlgo::Ring),
+        ExperimentSpec::new("L", SystemKind::V100, 4, vec![32], vec![0], NcclAlgo::Ring),
+    ]
+}
+
+/// The Table 3 parallelism-axes groups (A–C on A100, E on V100), evaluated for
+/// both reduction axes and both NCCL algorithms.
+pub fn table3_specs() -> Vec<(&'static str, SystemKind, usize, Vec<usize>)> {
+    vec![
+        ("A", SystemKind::A100, 4, vec![2, 32]),
+        ("B", SystemKind::A100, 4, vec![4, 16]),
+        ("C", SystemKind::A100, 4, vec![8, 8]),
+        ("E", SystemKind::V100, 4, vec![8, 4]),
+    ]
+}
+
+/// The full appendix-table sweep: every parallelism-axes / reduction-axes
+/// combination the paper reports, for a given system and node count.
+pub fn appendix_axes(system: SystemKind, nodes: usize) -> Vec<(Vec<usize>, Vec<Vec<usize>>)> {
+    let devices = nodes * system.gpus_per_node();
+    let mut out: Vec<(Vec<usize>, Vec<Vec<usize>>)> = Vec::new();
+    // Single axis covering the whole machine.
+    out.push((vec![devices], vec![vec![0]]));
+    // Two axes [k, devices / k] for every power-of-two split, reducing on each axis.
+    let mut k = 2usize;
+    while k < devices {
+        out.push((vec![k, devices / k], vec![vec![0], vec![1]]));
+        k *= 2;
+    }
+    // Three-axis combinations reducing on the 0th and 2nd axes, as in the paper.
+    let three_axis: &[Vec<usize>] = match (system, nodes) {
+        (SystemKind::A100, 4) => &[vec![16, 2, 2], vec![8, 2, 4], vec![4, 2, 8], vec![2, 2, 16]],
+        (SystemKind::V100, 4) => &[vec![2, 2, 8], vec![8, 2, 2]],
+        _ => &[],
+    };
+    for axes in three_axis {
+        out.push((axes.clone(), vec![vec![0, 2]]));
+    }
+    out
+}
+
+/// Formats seconds with three decimals, using a dash for non-finite values.
+pub fn fmt_s(seconds: f64) -> String {
+    if seconds.is_finite() {
+        format!("{seconds:.3}")
+    } else {
+        "-".to_string()
+    }
+}
+
+/// Formats a speedup as `1.23x`.
+pub fn fmt_speedup(speedup: f64) -> String {
+    format!("{speedup:.2}x")
+}
+
+/// Aggregate statistics across experiments for the paper's Result 5 headline:
+/// the fraction of mappings whose best synthesized program beats AllReduce,
+/// plus the average and maximum speedup.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SpeedupSummary {
+    /// Number of (mapping, reduction) combinations considered.
+    pub mappings: usize,
+    /// Mappings where some synthesized program strictly beats AllReduce.
+    pub improved: usize,
+    /// Average speedup over all mappings (1.0 counted when nothing improved).
+    pub average_speedup: f64,
+    /// Maximum speedup observed.
+    pub max_speedup: f64,
+}
+
+impl SpeedupSummary {
+    /// Accumulates the placements of an experiment result.
+    pub fn add(&mut self, result: &ExperimentResult) {
+        for placement in &result.placements {
+            self.mappings += 1;
+            if placement.programs_beating_allreduce() > 0 {
+                self.improved += 1;
+            }
+            let speedup = placement.speedup();
+            self.max_speedup = self.max_speedup.max(speedup);
+            // Incremental mean.
+            self.average_speedup += (speedup - self.average_speedup) / self.mappings as f64;
+        }
+    }
+
+    /// The fraction of mappings improved by synthesis.
+    pub fn improved_fraction(&self) -> f64 {
+        if self.mappings == 0 {
+            0.0
+        } else {
+            self.improved as f64 / self.mappings as f64
+        }
+    }
+}
+
+impl std::fmt::Display for SpeedupSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{} mappings improved ({:.0}%), average speedup {:.2}x, max {:.2}x",
+            self.improved,
+            self.mappings,
+            self.improved_fraction() * 100.0,
+            self.average_speedup,
+            self.max_speedup
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_are_consistent_with_their_systems() {
+        for spec in table4_specs() {
+            let devices = spec.system.system(spec.nodes).num_devices();
+            let product: usize = spec.axes.iter().product();
+            assert_eq!(devices, product, "spec {} axes do not cover the system", spec.id);
+            assert!(spec.config().validate().is_ok());
+            assert!(spec.describe().contains("nodes"));
+        }
+    }
+
+    #[test]
+    fn appendix_sweep_axes_cover_their_machines() {
+        for (system, nodes) in [
+            (SystemKind::A100, 2),
+            (SystemKind::A100, 4),
+            (SystemKind::V100, 2),
+            (SystemKind::V100, 4),
+        ] {
+            let devices = nodes * system.gpus_per_node();
+            for (axes, reductions) in appendix_axes(system, nodes) {
+                assert_eq!(axes.iter().product::<usize>(), devices);
+                assert!(!reductions.is_empty());
+                for r in reductions {
+                    assert!(r.iter().all(|&a| a < axes.len()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn speedup_summary_aggregates() {
+        let spec = ExperimentSpec::new(
+            "tiny",
+            SystemKind::A100,
+            2,
+            vec![8, 4],
+            vec![0],
+            NcclAlgo::Ring,
+        );
+        // Use a small buffer to keep the test fast.
+        let config = spec.config().with_bytes_per_device(1.0e8).with_repeats(1);
+        let result = P2::new(config).unwrap().run().unwrap();
+        let mut summary = SpeedupSummary::default();
+        summary.add(&result);
+        assert_eq!(summary.mappings, result.placements.len());
+        assert!(summary.max_speedup >= 1.0);
+        assert!(summary.average_speedup >= 1.0);
+        assert!(!summary.to_string().is_empty());
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_s(1.23456), "1.235");
+        assert_eq!(fmt_s(f64::INFINITY), "-");
+        assert_eq!(fmt_speedup(1.5), "1.50x");
+    }
+}

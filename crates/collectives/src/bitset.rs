@@ -1,0 +1,180 @@
+/// A fixed-length bitset backed by 64-bit words.
+///
+/// Used for the rows of a device [`crate::State`] matrix and for sets of row
+/// indices. The length is fixed at construction; operations on bitsets of
+/// different lengths panic, which keeps the state-matrix invariants local.
+///
+/// # Examples
+///
+/// ```
+/// use p2_collectives::Bitset;
+/// let mut a = Bitset::new(8);
+/// a.set(3, true);
+/// let mut b = Bitset::new(8);
+/// b.set(5, true);
+/// assert!(a.is_disjoint(&b));
+/// a.union_with(&b);
+/// assert_eq!(a.count_ones(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bitset {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl Bitset {
+    /// Creates an empty bitset of the given length.
+    pub fn new(len: usize) -> Self {
+        Bitset { len, words: vec![0; len.div_ceil(64)] }
+    }
+
+    /// Creates a bitset of the given length with every bit set.
+    pub fn full(len: usize) -> Self {
+        let mut b = Bitset::new(len);
+        for i in 0..len {
+            b.set(i, true);
+        }
+        b
+    }
+
+    /// Creates a bitset with exactly one bit set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn singleton(len: usize, index: usize) -> Self {
+        let mut b = Bitset::new(len);
+        b.set(index, true);
+        b
+    }
+
+    /// The number of bits in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitset has length zero.
+    pub fn is_len_zero(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn get(&self, index: usize) -> bool {
+        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        (self.words[index / 64] >> (index % 64)) & 1 == 1
+    }
+
+    /// Writes one bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn set(&mut self, index: usize, value: bool) {
+        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        if value {
+            self.words[index / 64] |= 1 << (index % 64);
+        } else {
+            self.words[index / 64] &= !(1 << (index % 64));
+        }
+    }
+
+    /// The number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// In-place union with another bitset of the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn union_with(&mut self, other: &Bitset) {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Whether the two bitsets share no set bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn is_disjoint(&self, other: &Bitset) -> bool {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// Whether every set bit of `self` is also set in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn is_subset(&self, other: &Bitset) -> bool {
+        assert_eq!(self.len, other.len, "bitset length mismatch");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over the indices of set bits, in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| self.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_set_get() {
+        let mut b = Bitset::new(70);
+        assert!(b.is_empty());
+        b.set(0, true);
+        b.set(69, true);
+        assert!(b.get(0) && b.get(69) && !b.get(35));
+        assert_eq!(b.count_ones(), 2);
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![0, 69]);
+        b.set(0, false);
+        assert_eq!(b.count_ones(), 1);
+    }
+
+    #[test]
+    fn union_subset_disjoint() {
+        let a = Bitset::singleton(8, 1);
+        let b = Bitset::singleton(8, 2);
+        assert!(a.is_disjoint(&b));
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert!(a.is_subset(&u) && b.is_subset(&u));
+        assert!(!u.is_subset(&a));
+        assert!(!u.is_disjoint(&a));
+    }
+
+    #[test]
+    fn full_has_all_bits() {
+        let f = Bitset::full(5);
+        assert_eq!(f.count_ones(), 5);
+        assert!(Bitset::new(5).is_subset(&f));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        Bitset::new(4).get(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        Bitset::new(4).is_disjoint(&Bitset::new(5));
+    }
+}

@@ -1,0 +1,68 @@
+use std::fmt;
+
+/// The collective operations whose semantics the paper formalizes (§3.2).
+///
+/// `Reduce` and `Broadcast` always use the first device of the group as the
+/// root, as in the paper ("we always use the first device in a reduction
+/// group as the root without loss of generality").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Collective {
+    /// Every device ends up with the reduction of all contributions.
+    AllReduce,
+    /// The reduction result is split evenly over the participating devices.
+    ReduceScatter,
+    /// Every device ends up with the concatenation of all (disjoint) inputs.
+    AllGather,
+    /// The reduction result is placed on the first device; other devices are cleared.
+    Reduce,
+    /// The first device's data overwrites every other device's data.
+    Broadcast,
+}
+
+impl Collective {
+    /// All five collectives, in a fixed order (used by the synthesizer's
+    /// enumeration).
+    pub const ALL: [Collective; 5] = [
+        Collective::AllReduce,
+        Collective::ReduceScatter,
+        Collective::AllGather,
+        Collective::Reduce,
+        Collective::Broadcast,
+    ];
+
+    /// A short lowercase name (`"all-reduce"`, `"reduce-scatter"`, …).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Collective::AllReduce => "all-reduce",
+            Collective::ReduceScatter => "reduce-scatter",
+            Collective::AllGather => "all-gather",
+            Collective::Reduce => "reduce",
+            Collective::Broadcast => "broadcast",
+        }
+    }
+}
+
+impl fmt::Display for Collective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Collective::AllReduce => "AllReduce",
+            Collective::ReduceScatter => "ReduceScatter",
+            Collective::AllGather => "AllGather",
+            Collective::Reduce => "Reduce",
+            Collective::Broadcast => "Broadcast",
+        };
+        write!(f, "{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(Collective::AllReduce.to_string(), "AllReduce");
+        assert_eq!(Collective::ReduceScatter.short_name(), "reduce-scatter");
+        assert_eq!(Collective::ALL.len(), 5);
+    }
+}

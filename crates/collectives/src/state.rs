@@ -1,0 +1,223 @@
+use std::fmt;
+
+use crate::bitset::Bitset;
+
+/// The state of one device: a `k × k` boolean matrix (paper Figure 7).
+///
+/// The data each device holds is treated as `k` chunks. Row `r` describes
+/// chunk `r`: bit `(r, j)` is set when device `j`'s original chunk `r` has
+/// been folded into the data this device currently holds. A row with no set
+/// bit means the device currently holds no data for that chunk (e.g. after a
+/// `ReduceScatter` gave the chunk to a different device).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct State {
+    k: usize,
+    rows: Vec<Bitset>,
+}
+
+impl State {
+    /// The empty state (no data at all) for a scope of `k` devices.
+    pub fn empty(k: usize) -> Self {
+        State { k, rows: vec![Bitset::new(k); k] }
+    }
+
+    /// The initial state of device `device`: it holds its own copy of every
+    /// chunk and nothing else (column `device` is all ones).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device >= k`.
+    pub fn initial(k: usize, device: usize) -> Self {
+        assert!(device < k, "device {device} out of range {k}");
+        let mut s = State::empty(k);
+        for r in 0..k {
+            s.rows[r].set(device, true);
+        }
+        s
+    }
+
+    /// The goal state of a full reduction over all `k` devices: every chunk
+    /// has been reduced over every device (the all-ones matrix).
+    pub fn goal(k: usize) -> Self {
+        State { k, rows: vec![Bitset::full(k); k] }
+    }
+
+    /// Number of devices in the reduction scope (the matrix dimension).
+    pub fn dim(&self) -> usize {
+        self.k
+    }
+
+    /// A read-only view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= k`.
+    pub fn row(&self, r: usize) -> &Bitset {
+        &self.rows[r]
+    }
+
+    /// Sets a single bit of the matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn set(&mut self, row: usize, col: usize, value: bool) {
+        self.rows[row].set(col, value);
+    }
+
+    /// Reads a single bit of the matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        self.rows[row].get(col)
+    }
+
+    /// The indices of the non-empty rows — the chunks this device currently
+    /// holds data for ("`rows`" in the paper's semantics).
+    pub fn nonempty_rows(&self) -> Vec<usize> {
+        (0..self.k).filter(|&r| !self.rows[r].is_empty()).collect()
+    }
+
+    /// The set of non-empty row indices as a bitset.
+    pub fn rows_mask(&self) -> Bitset {
+        let mut mask = Bitset::new(self.k);
+        for r in 0..self.k {
+            if !self.rows[r].is_empty() {
+                mask.set(r, true);
+            }
+        }
+        mask
+    }
+
+    /// The number of chunks this device currently holds data for.
+    pub fn num_nonempty_rows(&self) -> usize {
+        self.nonempty_rows().len()
+    }
+
+    /// The fraction of the full per-device buffer this device currently
+    /// holds: non-empty rows divided by `k`. Used by the cost models to size
+    /// transfers.
+    pub fn data_fraction(&self) -> f64 {
+        if self.k == 0 {
+            0.0
+        } else {
+            self.num_nonempty_rows() as f64 / self.k as f64
+        }
+    }
+
+    /// Whether the device holds no data at all.
+    pub fn is_empty(&self) -> bool {
+        self.rows.iter().all(Bitset::is_empty)
+    }
+
+    /// Element-wise union with another state of the same dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn union_with(&mut self, other: &State) {
+        assert_eq!(self.k, other.k, "state dimension mismatch");
+        for (a, b) in self.rows.iter_mut().zip(&other.rows) {
+            a.union_with(b);
+        }
+    }
+
+    /// Whether `self` is element-wise less than or equal to `other`
+    /// (every bit of `self` is also set in `other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn le(&self, other: &State) -> bool {
+        assert_eq!(self.k, other.k, "state dimension mismatch");
+        self.rows.iter().zip(&other.rows).all(|(a, b)| a.is_subset(b))
+    }
+
+    /// Whether `self` is element-wise strictly below `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn lt(&self, other: &State) -> bool {
+        self.le(other) && self != other
+    }
+
+    /// Clears every row whose index is **not** in `keep`, returning the state a
+    /// `ReduceScatter` leaves on one device.
+    pub(crate) fn retain_rows(&self, keep: &[usize]) -> State {
+        let mut out = State::empty(self.k);
+        for &r in keep {
+            out.rows[r] = self.rows[r].clone();
+        }
+        out
+    }
+}
+
+impl fmt::Display for State {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.k {
+            for c in 0..self.k {
+                write!(f, "{}", if self.get(r, c) { '1' } else { '.' })?;
+            }
+            if r + 1 < self.k {
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_and_goal_shapes() {
+        let s = State::initial(4, 2);
+        assert_eq!(s.num_nonempty_rows(), 4);
+        assert!(s.get(0, 2) && s.get(3, 2) && !s.get(0, 0));
+        let g = State::goal(4);
+        assert_eq!(g.num_nonempty_rows(), 4);
+        assert!(s.le(&g) && s.lt(&g) && !g.lt(&g));
+        assert!((s.data_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn union_and_rows() {
+        let mut a = State::initial(3, 0);
+        let b = State::initial(3, 1);
+        a.union_with(&b);
+        assert!(a.get(0, 0) && a.get(0, 1) && !a.get(0, 2));
+        assert_eq!(a.rows_mask().count_ones(), 3);
+    }
+
+    #[test]
+    fn retain_rows_keeps_only_requested_rows() {
+        let s = State::goal(4);
+        let kept = s.retain_rows(&[1, 3]);
+        assert_eq!(kept.nonempty_rows(), vec![1, 3]);
+        assert!((kept.data_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_state_properties() {
+        let e = State::empty(3);
+        assert!(e.is_empty());
+        assert_eq!(e.data_fraction(), 0.0);
+        assert!(e.le(&State::initial(3, 0)));
+    }
+
+    #[test]
+    fn display_is_compact_grid() {
+        let s = State::initial(2, 0);
+        assert_eq!(s.to_string(), "1.\n1.");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn initial_device_out_of_range_panics() {
+        State::initial(2, 2);
+    }
+}

@@ -1,0 +1,184 @@
+use p2_cost::NcclAlgo;
+use p2_synthesis::HierarchyKind;
+use p2_topology::SystemTopology;
+
+use crate::error::P2Error;
+
+/// Configuration of one P² experiment: a system, the parallelism axes, the
+/// reduction axes, and how programs are costed and measured.
+///
+/// The defaults follow the paper's setup (§4): NCCL ring, a program-size limit
+/// of 5, the reduction-axis synthesis hierarchy, and a per-device buffer of
+/// `2^29 × nodes` float32 elements where "nodes" is the cardinality of the
+/// system's outermost level.
+#[derive(Debug, Clone)]
+pub struct P2Config {
+    /// The hierarchical system to place and reduce on.
+    pub system: SystemTopology,
+    /// The parallelism axis sizes (e.g. `[8, 4]` for data parallelism 8 and 4
+    /// parameter shards). Their product must equal the device count.
+    pub parallelism_axes: Vec<usize>,
+    /// The axes to reduce over (indices into `parallelism_axes`).
+    pub reduction_axes: Vec<usize>,
+    /// NCCL algorithm used for every collective call.
+    pub algo: NcclAlgo,
+    /// Per-device buffer size in bytes.
+    pub bytes_per_device: f64,
+    /// Maximum number of instructions per synthesized program.
+    pub max_program_size: usize,
+    /// Which synthesis hierarchy to use (the paper uses
+    /// [`HierarchyKind::ReductionAxes`]).
+    pub hierarchy_kind: HierarchyKind,
+    /// Measurement noise fraction of the execution substrate.
+    pub noise_fraction: f64,
+    /// Seed of the execution substrate's noise generator.
+    pub seed: u64,
+    /// Simulated runs averaged per measurement.
+    pub repeats: usize,
+}
+
+impl P2Config {
+    /// Creates a configuration with the paper's default settings.
+    pub fn new(
+        system: SystemTopology,
+        parallelism_axes: Vec<usize>,
+        reduction_axes: Vec<usize>,
+    ) -> Self {
+        let nodes = system.hierarchy().arities().first().copied().unwrap_or(1);
+        let bytes_per_device = (1u64 << 29) as f64 * nodes as f64 * 4.0;
+        P2Config {
+            system,
+            parallelism_axes,
+            reduction_axes,
+            algo: NcclAlgo::Ring,
+            bytes_per_device,
+            max_program_size: 5,
+            hierarchy_kind: HierarchyKind::ReductionAxes,
+            noise_fraction: 0.03,
+            seed: 0x5eed,
+            repeats: 5,
+        }
+    }
+
+    /// Sets the NCCL algorithm.
+    pub fn with_algo(mut self, algo: NcclAlgo) -> Self {
+        self.algo = algo;
+        self
+    }
+
+    /// Sets the per-device buffer size in bytes.
+    pub fn with_bytes_per_device(mut self, bytes: f64) -> Self {
+        self.bytes_per_device = bytes;
+        self
+    }
+
+    /// Sets the program-size limit.
+    pub fn with_max_program_size(mut self, size: usize) -> Self {
+        self.max_program_size = size;
+        self
+    }
+
+    /// Sets the synthesis hierarchy kind.
+    pub fn with_hierarchy_kind(mut self, kind: HierarchyKind) -> Self {
+        self.hierarchy_kind = kind;
+        self
+    }
+
+    /// Sets the measurement noise fraction.
+    pub fn with_noise(mut self, noise_fraction: f64) -> Self {
+        self.noise_fraction = noise_fraction;
+        self
+    }
+
+    /// Sets the noise seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of simulated runs per measurement.
+    pub fn with_repeats(mut self, repeats: usize) -> Self {
+        self.repeats = repeats;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2Error::InvalidConfig`] with a description of the problem.
+    pub fn validate(&self) -> Result<(), P2Error> {
+        if self.parallelism_axes.is_empty() {
+            return Err(P2Error::InvalidConfig { reason: "no parallelism axes".into() });
+        }
+        if self.reduction_axes.is_empty() {
+            return Err(P2Error::InvalidConfig { reason: "no reduction axes".into() });
+        }
+        if self.reduction_axes.iter().any(|&a| a >= self.parallelism_axes.len()) {
+            return Err(P2Error::InvalidConfig { reason: "reduction axis out of range".into() });
+        }
+        let devices = self.system.num_devices();
+        let parallelism: usize = self.parallelism_axes.iter().product();
+        if devices != parallelism {
+            return Err(P2Error::InvalidConfig {
+                reason: format!(
+                    "parallelism axes multiply to {parallelism} but the system has {devices} devices"
+                ),
+            });
+        }
+        if !(self.bytes_per_device.is_finite() && self.bytes_per_device > 0.0) {
+            return Err(P2Error::InvalidConfig { reason: "bytes_per_device must be positive".into() });
+        }
+        if self.max_program_size == 0 {
+            return Err(P2Error::InvalidConfig { reason: "max_program_size must be positive".into() });
+        }
+        if self.repeats == 0 {
+            return Err(P2Error::InvalidConfig { reason: "repeats must be positive".into() });
+        }
+        Ok(())
+    }
+
+    /// A short human-readable label for the experiment, e.g.
+    /// `"a100-4node axes=[16, 2, 2] reduce=[0, 2] Ring"`.
+    pub fn label(&self) -> String {
+        format!(
+            "{} axes={:?} reduce={:?} {}",
+            self.system.name(),
+            self.parallelism_axes,
+            self.reduction_axes,
+            self.algo
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2_topology::presets;
+
+    #[test]
+    fn default_bytes_follow_the_paper() {
+        let c = P2Config::new(presets::a100_system(4), vec![64], vec![0]);
+        assert_eq!(c.bytes_per_device, (1u64 << 29) as f64 * 4.0 * 4.0);
+        assert!(c.validate().is_ok());
+        assert!(c.label().contains("a100-4node"));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let sys = presets::a100_system(2);
+        assert!(P2Config::new(sys.clone(), vec![], vec![0]).validate().is_err());
+        assert!(P2Config::new(sys.clone(), vec![32], vec![]).validate().is_err());
+        assert!(P2Config::new(sys.clone(), vec![32], vec![1]).validate().is_err());
+        assert!(P2Config::new(sys.clone(), vec![30], vec![0]).validate().is_err());
+        assert!(P2Config::new(sys.clone(), vec![32], vec![0])
+            .with_bytes_per_device(-1.0)
+            .validate()
+            .is_err());
+        assert!(P2Config::new(sys.clone(), vec![32], vec![0])
+            .with_max_program_size(0)
+            .validate()
+            .is_err());
+        assert!(P2Config::new(sys, vec![32], vec![0]).with_repeats(0).validate().is_err());
+    }
+}

@@ -1,0 +1,73 @@
+use std::fmt;
+
+use p2_cost::CostError;
+use p2_exec::ExecError;
+use p2_placement::PlacementError;
+use p2_synthesis::SynthesisError;
+use p2_topology::TopologyError;
+
+/// Errors produced by the end-to-end P² pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum P2Error {
+    /// The configuration was inconsistent (e.g. zero axes, bad byte count).
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// An underlying topology error.
+    Topology(TopologyError),
+    /// An underlying placement error.
+    Placement(PlacementError),
+    /// An underlying synthesis error.
+    Synthesis(SynthesisError),
+    /// An underlying cost-model error.
+    Cost(CostError),
+    /// An underlying execution-simulator error.
+    Exec(ExecError),
+}
+
+impl fmt::Display for P2Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            P2Error::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            P2Error::Topology(e) => write!(f, "topology error: {e}"),
+            P2Error::Placement(e) => write!(f, "placement error: {e}"),
+            P2Error::Synthesis(e) => write!(f, "synthesis error: {e}"),
+            P2Error::Cost(e) => write!(f, "cost model error: {e}"),
+            P2Error::Exec(e) => write!(f, "execution simulator error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for P2Error {}
+
+impl From<TopologyError> for P2Error {
+    fn from(e: TopologyError) -> Self {
+        P2Error::Topology(e)
+    }
+}
+
+impl From<PlacementError> for P2Error {
+    fn from(e: PlacementError) -> Self {
+        P2Error::Placement(e)
+    }
+}
+
+impl From<SynthesisError> for P2Error {
+    fn from(e: SynthesisError) -> Self {
+        P2Error::Synthesis(e)
+    }
+}
+
+impl From<CostError> for P2Error {
+    fn from(e: CostError) -> Self {
+        P2Error::Cost(e)
+    }
+}
+
+impl From<ExecError> for P2Error {
+    fn from(e: ExecError) -> Self {
+        P2Error::Exec(e)
+    }
+}

@@ -1,0 +1,39 @@
+//! End-to-end pipeline and public facade for the P² reproduction.
+//!
+//! [`P2`] ties the substrates together: it enumerates parallelism placements
+//! ([`p2_placement`]), synthesizes reduction programs for each placement
+//! ([`p2_synthesis`]), predicts their cost with the analytic simulator
+//! ([`p2_cost`]) and "measures" them on the execution substrate
+//! ([`p2_exec`]), returning an [`ExperimentResult`] with everything the
+//! paper's tables and figures are derived from.
+//!
+//! # Example
+//!
+//! ```
+//! use p2_core::{P2, P2Config};
+//! use p2_cost::NcclAlgo;
+//! use p2_topology::presets;
+//!
+//! let config = P2Config::new(presets::a100_system(2), vec![8, 4], vec![0])
+//!     .with_algo(NcclAlgo::Ring)
+//!     .with_bytes_per_device(1.0e9);
+//! let result = P2::new(config).unwrap().run().unwrap();
+//! // Every placement has an AllReduce baseline and at least one synthesized program.
+//! assert!(!result.placements.is_empty());
+//! let best = result.best_overall().unwrap();
+//! assert!(best.measured_seconds > 0.0);
+//! ```
+
+#![deny(missing_docs)]
+
+mod accuracy;
+mod config;
+mod error;
+mod pipeline;
+mod result;
+
+pub use accuracy::{top_k_accuracy, TopKReport};
+pub use config::P2Config;
+pub use error::P2Error;
+pub use pipeline::P2;
+pub use result::{ExperimentResult, PlacementEvaluation, ProgramEvaluation};

@@ -1,0 +1,261 @@
+use std::time::Instant;
+
+use p2_cost::CostModel;
+use p2_exec::{ExecConfig, Executor};
+use p2_placement::enumerate_matrices;
+use p2_synthesis::{baseline_allreduce, Synthesizer};
+
+use crate::config::P2Config;
+use crate::error::P2Error;
+use crate::result::{ExperimentResult, PlacementEvaluation, ProgramEvaluation};
+
+/// The P² tool: parallelism placement synthesis, placement-aware reduction
+/// strategy synthesis, prediction, and evaluation.
+#[derive(Debug, Clone)]
+pub struct P2 {
+    config: P2Config,
+}
+
+impl P2 {
+    /// Creates the tool from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2Error::InvalidConfig`] for inconsistent configurations.
+    pub fn new(config: P2Config) -> Result<Self, P2Error> {
+        config.validate()?;
+        Ok(P2 { config })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &P2Config {
+        &self.config
+    }
+
+    /// Enumerates every parallelism matrix for the configured system and axes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement errors.
+    pub fn placements(&self) -> Result<Vec<p2_placement::ParallelismMatrix>, P2Error> {
+        Ok(enumerate_matrices(
+            &self.config.system.hierarchy().arities(),
+            &self.config.parallelism_axes,
+        )?)
+    }
+
+    /// Runs the pipeline in the paper's intended deployment mode (§5): every
+    /// synthesized program is *predicted* with the analytic simulator, but
+    /// only the `shortlist` programs with the best predictions — across all
+    /// placements — are actually measured on the execution substrate. The
+    /// measured time of unmeasured programs is reported as their prediction.
+    ///
+    /// This is how P² avoids "massive evaluations of synthesis results": with
+    /// the simulator's top-10 accuracy, a shortlist of 10 almost always
+    /// contains the true optimum at a fraction of the evaluation cost.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`P2::run`].
+    pub fn run_with_shortlist(&self, shortlist: usize) -> Result<ExperimentResult, P2Error> {
+        let mut result = self.run_internal(false)?;
+        // Rank all programs by predicted time and measure only the shortlist.
+        let mut order: Vec<(usize, usize, f64)> = result
+            .placements
+            .iter()
+            .enumerate()
+            .flat_map(|(pi, pl)| {
+                pl.programs
+                    .iter()
+                    .enumerate()
+                    .map(move |(qi, p)| (pi, qi, p.predicted_seconds))
+            })
+            .collect();
+        order.sort_by(|a, b| a.2.total_cmp(&b.2));
+        let exec_config = ExecConfig::new(self.config.algo, self.config.bytes_per_device)
+            .with_noise(self.config.noise_fraction)
+            .with_seed(self.config.seed)
+            .with_repeats(self.config.repeats);
+        let executor = Executor::new(&self.config.system, exec_config)?;
+        for &(pi, qi, _) in order.iter().take(shortlist) {
+            let program = &mut result.placements[pi].programs[qi];
+            program.measured_seconds = executor.measure(&program.lowered);
+        }
+        for placement in &mut result.placements {
+            placement
+                .programs
+                .sort_by(|a, b| a.measured_seconds.total_cmp(&b.measured_seconds));
+        }
+        Ok(result)
+    }
+
+    /// Runs the full pipeline: enumerate placements, synthesize reduction
+    /// programs for each, predict every program with the analytic cost model
+    /// and measure it on the execution substrate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from any stage; synthesis itself cannot fail, so an
+    /// error indicates an inconsistent configuration.
+    pub fn run(&self) -> Result<ExperimentResult, P2Error> {
+        self.run_internal(true)
+    }
+
+    fn run_internal(&self, measure_programs: bool) -> Result<ExperimentResult, P2Error> {
+        let cost = CostModel::new(&self.config.system, self.config.algo, self.config.bytes_per_device)?;
+        let exec_config = ExecConfig::new(self.config.algo, self.config.bytes_per_device)
+            .with_noise(self.config.noise_fraction)
+            .with_seed(self.config.seed)
+            .with_repeats(self.config.repeats);
+        let executor = Executor::new(&self.config.system, exec_config)?;
+
+        let mut placements = Vec::new();
+        let mut total_synthesis = std::time::Duration::ZERO;
+        for matrix in self.placements()? {
+            let synthesizer = Synthesizer::new(
+                matrix.clone(),
+                self.config.reduction_axes.clone(),
+                self.config.hierarchy_kind,
+            )?;
+            let start = Instant::now();
+            let synthesis = synthesizer.synthesize(self.config.max_program_size);
+            let synthesis_time = start.elapsed();
+            total_synthesis += synthesis_time;
+
+            let baseline = baseline_allreduce(&matrix, &self.config.reduction_axes)?;
+            let allreduce_predicted = cost.program_time(&baseline);
+            let allreduce_measured = executor.measure(&baseline);
+
+            let mut programs = Vec::with_capacity(synthesis.programs.len());
+            for program in &synthesis.programs {
+                let lowered = synthesizer.lower(program)?;
+                let predicted_seconds = cost.program_time(&lowered);
+                let measured_seconds = if measure_programs {
+                    executor.measure(&lowered)
+                } else {
+                    predicted_seconds
+                };
+                programs.push(ProgramEvaluation {
+                    program: program.clone(),
+                    lowered,
+                    predicted_seconds,
+                    measured_seconds,
+                });
+            }
+            programs.sort_by(|a, b| a.measured_seconds.total_cmp(&b.measured_seconds));
+
+            placements.push(PlacementEvaluation {
+                matrix,
+                synthesis_time,
+                num_programs: synthesis.programs.len(),
+                allreduce_predicted,
+                allreduce_measured,
+                programs,
+            });
+        }
+
+        Ok(ExperimentResult {
+            label: self.config.label(),
+            parallelism_axes: self.config.parallelism_axes.clone(),
+            reduction_axes: self.config.reduction_axes.clone(),
+            placements,
+            synthesis_time: total_synthesis,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2_cost::NcclAlgo;
+    use p2_topology::presets;
+
+    /// A small configuration that exercises the whole pipeline quickly.
+    fn small_config() -> P2Config {
+        P2Config::new(presets::a100_system(2), vec![8, 4], vec![0])
+            .with_bytes_per_device(1.0e9)
+            .with_repeats(2)
+    }
+
+    #[test]
+    fn pipeline_produces_consistent_results() {
+        let result = P2::new(small_config()).unwrap().run().unwrap();
+        assert!(!result.placements.is_empty());
+        for pl in &result.placements {
+            assert!(pl.num_programs >= 1);
+            assert_eq!(pl.num_programs, pl.programs.len());
+            assert!(pl.allreduce_measured > 0.0 && pl.allreduce_predicted > 0.0);
+            // Programs are sorted by measured time.
+            assert!(pl
+                .programs
+                .windows(2)
+                .all(|w| w[0].measured_seconds <= w[1].measured_seconds));
+            // Every synthesized set contains the plain AllReduce.
+            assert!(pl.programs.iter().any(|p| p.signature() == "AllReduce"));
+            for p in &pl.programs {
+                assert!(p.predicted_seconds > 0.0 && p.measured_seconds > 0.0);
+                assert!(p.lowered.groups_are_disjoint());
+            }
+        }
+        assert!(result.total_programs() > 0);
+        assert!(result.best_overall().is_some());
+    }
+
+    #[test]
+    fn cross_node_placements_benefit_from_synthesis() {
+        // Result 5 of the paper, end to end: for the placement that forces
+        // cross-node reduction, some synthesized program beats AllReduce.
+        let result = P2::new(small_config()).unwrap().run().unwrap();
+        let cross_node = result
+            .placements
+            .iter()
+            .max_by(|a, b| a.allreduce_measured.total_cmp(&b.allreduce_measured))
+            .unwrap();
+        assert!(
+            cross_node.programs_beating_allreduce() > 0,
+            "expected a synthesized program to beat AllReduce for {}",
+            cross_node.matrix
+        );
+        assert!(cross_node.speedup() > 1.05);
+    }
+
+    #[test]
+    fn shortlist_run_measures_only_the_best_predictions() {
+        let p2 = P2::new(small_config()).unwrap();
+        let full = p2.run().unwrap();
+        let shortlisted = p2.run_with_shortlist(10).unwrap();
+        assert_eq!(full.total_programs(), shortlisted.total_programs());
+        // Exactly `shortlist` programs carry a real measurement (measured !=
+        // predicted is not guaranteed under zero noise, so count programs whose
+        // measurement differs from the prediction plus those that happen to
+        // coincide is fragile; instead check the chosen optimum agrees with the
+        // full run within the noise envelope).
+        let full_best = full.best_overall().unwrap().measured_seconds;
+        let short_best = shortlisted.best_overall().unwrap().measured_seconds;
+        assert!((full_best - short_best).abs() / full_best < 0.2,
+            "shortlist optimum {short_best} too far from full optimum {full_best}");
+        // Unmeasured programs report their prediction.
+        let some_unmeasured = shortlisted
+            .placements
+            .iter()
+            .flat_map(|p| &p.programs)
+            .filter(|p| (p.measured_seconds - p.predicted_seconds).abs() < f64::EPSILON)
+            .count();
+        assert!(some_unmeasured >= shortlisted.total_programs().saturating_sub(10));
+    }
+
+    #[test]
+    fn invalid_config_rejected_at_construction() {
+        let bad = P2Config::new(presets::a100_system(2), vec![7], vec![0]);
+        assert!(P2::new(bad).is_err());
+    }
+
+    #[test]
+    fn tree_and_ring_runs_both_work() {
+        for algo in NcclAlgo::ALL {
+            let config = small_config().with_algo(algo);
+            let result = P2::new(config).unwrap().run().unwrap();
+            assert!(result.total_programs() > 0);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+use std::fmt;
+
+/// The NCCL algorithm used for each collective call (`NCCL_ALGO` in the
+/// paper's experiments, §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NcclAlgo {
+    /// Ring algorithms: bandwidth-optimal, latency linear in the group size.
+    Ring,
+    /// Tree algorithms: latency logarithmic in the group size, slightly more
+    /// traffic per link.
+    Tree,
+}
+
+impl NcclAlgo {
+    /// Both algorithms, in the order the paper tabulates them.
+    pub const ALL: [NcclAlgo; 2] = [NcclAlgo::Ring, NcclAlgo::Tree];
+}
+
+impl fmt::Display for NcclAlgo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NcclAlgo::Ring => write!(f, "Ring"),
+            NcclAlgo::Tree => write!(f, "Tree"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(NcclAlgo::Ring.to_string(), "Ring");
+        assert_eq!(NcclAlgo::Tree.to_string(), "Tree");
+        assert_eq!(NcclAlgo::ALL.len(), 2);
+    }
+}

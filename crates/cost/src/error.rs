@@ -1,0 +1,34 @@
+use std::fmt;
+
+/// Errors produced when constructing a cost model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CostError {
+    /// The per-device buffer size must be positive and finite.
+    InvalidBytes {
+        /// The offending value.
+        bytes: f64,
+    },
+    /// A lowered program referenced a device rank outside the system.
+    DeviceOutOfRange {
+        /// The offending rank.
+        rank: usize,
+        /// Devices in the system.
+        num_devices: usize,
+    },
+}
+
+impl fmt::Display for CostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CostError::InvalidBytes { bytes } => {
+                write!(f, "per-device byte count {bytes} is not a positive finite number")
+            }
+            CostError::DeviceOutOfRange { rank, num_devices } => {
+                write!(f, "device rank {rank} out of range for {num_devices} devices")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CostError {}

@@ -1,0 +1,39 @@
+//! The analytic, interconnect-aware cost model — the paper's simulator (§5).
+//!
+//! Given a [`p2_topology::SystemTopology`] and a lowered reduction program,
+//! the model predicts the program's end-to-end communication time. It is
+//! aware of the different bandwidths of the interconnects a device group
+//! spans (NVLink/NVSwitch vs. NIC and data-centre network) and of the
+//! *contention* between device groups that communicate concurrently through
+//! the same uplink, which is what makes parallelism placement matter so much
+//! (paper Result 1: up to 448× between placements).
+//!
+//! # Example
+//!
+//! ```
+//! use p2_cost::{CostModel, NcclAlgo};
+//! use p2_placement::ParallelismMatrix;
+//! use p2_synthesis::baseline_allreduce;
+//! use p2_topology::presets;
+//!
+//! let system = presets::a100_system(4);
+//! // B1 and B3 of Table 3: same axes, very different placements.
+//! let b1 = ParallelismMatrix::new(vec![vec![1, 4], vec![4, 4]], vec![4, 16], vec![4, 16]).unwrap();
+//! let b3 = ParallelismMatrix::new(vec![vec![4, 1], vec![1, 16]], vec![4, 16], vec![4, 16]).unwrap();
+//! let bytes = 4.0 * f64::powi(2.0, 29) * 4.0; // 2^29 * nodes float32 elements
+//! let model = CostModel::new(&system, NcclAlgo::Ring, bytes).unwrap();
+//! let t1 = model.program_time(&baseline_allreduce(&b1, &[0]).unwrap());
+//! let t3 = model.program_time(&baseline_allreduce(&b3, &[0]).unwrap());
+//! // Reducing inside a node is orders of magnitude faster than across the DCN.
+//! assert!(t3 / t1 > 50.0);
+//! ```
+
+#![deny(missing_docs)]
+
+mod algo;
+mod error;
+mod model;
+
+pub use algo::NcclAlgo;
+pub use error::CostError;
+pub use model::{CostBreakdown, CostModel, StepCost};

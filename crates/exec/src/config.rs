@@ -1,0 +1,113 @@
+use p2_cost::NcclAlgo;
+
+use crate::error::ExecError;
+
+/// Configuration of the execution simulator.
+///
+/// The defaults model a well-behaved cluster: 3 % measurement noise, a 50 µs
+/// launch overhead per collective step, and 5 repetitions per measurement
+/// (the paper runs every program 10 times; 5 keeps the full sweeps fast while
+/// still averaging the noise down).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecConfig {
+    /// The NCCL algorithm every collective call is executed with.
+    pub algo: NcclAlgo,
+    /// Per-device buffer size in bytes.
+    pub bytes_per_device: f64,
+    /// Relative standard deviation of the per-step multiplicative noise.
+    pub noise_fraction: f64,
+    /// Fixed overhead added to every collective step (kernel launches, NCCL
+    /// setup), in seconds.
+    pub launch_overhead: f64,
+    /// Seed of the deterministic noise generator.
+    pub seed: u64,
+    /// Number of simulated runs averaged per measurement.
+    pub repeats: usize,
+}
+
+impl ExecConfig {
+    /// Creates a configuration with the default noise, overhead and repeat
+    /// settings.
+    pub fn new(algo: NcclAlgo, bytes_per_device: f64) -> Self {
+        ExecConfig {
+            algo,
+            bytes_per_device,
+            noise_fraction: 0.03,
+            launch_overhead: 50.0e-6,
+            seed: 0x9e37_79b9,
+            repeats: 5,
+        }
+    }
+
+    /// Sets the noise fraction.
+    pub fn with_noise(mut self, noise_fraction: f64) -> Self {
+        self.noise_fraction = noise_fraction;
+        self
+    }
+
+    /// Sets the noise seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of repetitions per measurement.
+    pub fn with_repeats(mut self, repeats: usize) -> Self {
+        self.repeats = repeats;
+        self
+    }
+
+    /// Sets the per-step launch overhead in seconds.
+    pub fn with_launch_overhead(mut self, seconds: f64) -> Self {
+        self.launch_overhead = seconds;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] describing the first invalid field.
+    pub fn validate(&self) -> Result<(), ExecError> {
+        if !(self.bytes_per_device.is_finite() && self.bytes_per_device > 0.0) {
+            return Err(ExecError::InvalidBytes { bytes: self.bytes_per_device });
+        }
+        if !(self.noise_fraction.is_finite() && (0.0..1.0).contains(&self.noise_fraction)) {
+            return Err(ExecError::InvalidNoise { noise: self.noise_fraction });
+        }
+        if self.repeats == 0 {
+            return Err(ExecError::ZeroRepeats);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        assert!(ExecConfig::new(NcclAlgo::Ring, 1.0e9).validate().is_ok());
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let c = ExecConfig::new(NcclAlgo::Tree, 1.0)
+            .with_noise(0.1)
+            .with_seed(7)
+            .with_repeats(3)
+            .with_launch_overhead(1e-3);
+        assert_eq!(c.noise_fraction, 0.1);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.repeats, 3);
+        assert_eq!(c.launch_overhead, 1e-3);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(ExecConfig::new(NcclAlgo::Ring, 0.0).validate().is_err());
+        assert!(ExecConfig::new(NcclAlgo::Ring, 1.0).with_noise(1.5).validate().is_err());
+        assert!(ExecConfig::new(NcclAlgo::Ring, 1.0).with_repeats(0).validate().is_err());
+    }
+}

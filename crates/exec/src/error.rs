@@ -1,0 +1,45 @@
+use std::fmt;
+
+/// Errors produced when configuring or running the execution simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// The per-device buffer size must be positive and finite.
+    InvalidBytes {
+        /// The offending value.
+        bytes: f64,
+    },
+    /// The noise fraction must be a finite value in `[0, 1)`.
+    InvalidNoise {
+        /// The offending value.
+        noise: f64,
+    },
+    /// The number of measurement repetitions must be at least one.
+    ZeroRepeats,
+    /// A lowered program referenced a device rank outside the system.
+    DeviceOutOfRange {
+        /// The offending rank.
+        rank: usize,
+        /// Devices in the system.
+        num_devices: usize,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::InvalidBytes { bytes } => {
+                write!(f, "per-device byte count {bytes} is not a positive finite number")
+            }
+            ExecError::InvalidNoise { noise } => {
+                write!(f, "noise fraction {noise} is not a finite value in [0, 1)")
+            }
+            ExecError::ZeroRepeats => write!(f, "at least one measurement repetition is required"),
+            ExecError::DeviceOutOfRange { rank, num_devices } => {
+                write!(f, "device rank {rank} out of range for {num_devices} devices")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}

@@ -1,0 +1,277 @@
+//! The round-based execution engine.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use p2_synthesis::{LoweredProgram, LoweredStep};
+use p2_topology::{SystemTopology, Uplink};
+
+use crate::config::ExecConfig;
+use crate::error::ExecError;
+use crate::schedule::collective_rounds;
+
+/// The execution simulator: "runs" lowered reduction programs on a modelled
+/// system and reports wall-clock seconds, playing the role of the paper's GCP
+/// measurements.
+#[derive(Debug, Clone)]
+pub struct Executor<'a> {
+    system: &'a SystemTopology,
+    config: ExecConfig,
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor for a system and a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ExecError`] if the configuration is invalid.
+    pub fn new(system: &'a SystemTopology, config: ExecConfig) -> Result<Self, ExecError> {
+        config.validate()?;
+        Ok(Executor { system, config })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ExecConfig {
+        &self.config
+    }
+
+    /// The system programs are executed on.
+    pub fn system(&self) -> &SystemTopology {
+        self.system
+    }
+
+    /// Measures a program: simulates `repeats` runs and returns their mean, in
+    /// seconds (the paper averages 10 real runs per program).
+    pub fn measure(&self, program: &LoweredProgram) -> f64 {
+        let runs = self.measure_runs(program);
+        runs.iter().sum::<f64>() / runs.len() as f64
+    }
+
+    /// Measures a program and returns every simulated run.
+    pub fn measure_runs(&self, program: &LoweredProgram) -> Vec<f64> {
+        (0..self.config.repeats).map(|run| self.measure_once(program, run as u64)).collect()
+    }
+
+    /// Simulates a single run of a program.
+    pub fn measure_once(&self, program: &LoweredProgram, run: u64) -> f64 {
+        let mut rng = self.rng_for(program, run);
+        program.steps.iter().map(|step| self.step_time(step, &mut rng)).sum()
+    }
+
+    /// Checks that a program only references devices of this system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::DeviceOutOfRange`] for the first offending rank.
+    pub fn validate_program(&self, program: &LoweredProgram) -> Result<(), ExecError> {
+        let num_devices = self.system.num_devices();
+        for step in &program.steps {
+            for group in &step.groups {
+                for &d in &group.devices {
+                    if d >= num_devices {
+                        return Err(ExecError::DeviceOutOfRange { rank: d, num_devices });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn rng_for(&self, program: &LoweredProgram, run: u64) -> StdRng {
+        let mut hasher = DefaultHasher::new();
+        self.config.seed.hash(&mut hasher);
+        run.hash(&mut hasher);
+        for step in &program.steps {
+            step.collective.hash(&mut hasher);
+            for group in &step.groups {
+                group.devices.hash(&mut hasher);
+            }
+        }
+        StdRng::seed_from_u64(hasher.finish())
+    }
+
+    /// Simulated time of one step: the groups' round schedules are advanced in
+    /// lockstep, and within each global round every uplink's bandwidth is
+    /// shared by the bytes crossing it.
+    fn step_time(&self, step: &LoweredStep, rng: &mut StdRng) -> f64 {
+        // Expand every group into its rounds.
+        let group_rounds: Vec<Vec<crate::schedule::Round>> = step
+            .groups
+            .iter()
+            .map(|g| {
+                let bytes = self.config.bytes_per_device * g.input_fraction;
+                collective_rounds(step.collective, self.config.algo, g, bytes)
+            })
+            .collect();
+        let max_rounds = group_rounds.iter().map(Vec::len).max().unwrap_or(0);
+        let mut total = 0.0;
+        for round_idx in 0..max_rounds {
+            // Aggregate the directional load on every uplink across all groups
+            // (uplinks are full-duplex: inbound and outbound bytes do not
+            // compete with each other).
+            let mut load: HashMap<(Uplink, bool), f64> = HashMap::new();
+            let mut latency = 0.0_f64;
+            for rounds in &group_rounds {
+                let Some(round) = rounds.get(round_idx) else { continue };
+                for transfer in round {
+                    if transfer.src == transfer.dst {
+                        continue;
+                    }
+                    for uplink in self.system.used_uplinks(&[transfer.src, transfer.dst]) {
+                        let outbound = self
+                            .system
+                            .ancestor_instance(transfer.src, uplink.level)
+                            .map(|inst| inst == uplink.instance)
+                            .unwrap_or(false);
+                        *load.entry((uplink, outbound)).or_insert(0.0) += transfer.bytes;
+                        latency = latency.max(self.system.link(uplink.level).latency());
+                    }
+                }
+            }
+            let round_time = load
+                .iter()
+                .map(|((uplink, _), bytes)| bytes / self.system.link(uplink.level).bandwidth())
+                .fold(0.0, f64::max);
+            total += round_time + latency;
+        }
+        if max_rounds == 0 {
+            return 0.0;
+        }
+        // Launch overhead plus multiplicative measurement noise.
+        let noise: f64 = if self.config.noise_fraction > 0.0 {
+            let z: f64 = rng.sample(rand::distributions::Standard);
+            // `Standard` yields a uniform in [0, 1); centre it and scale.
+            1.0 + self.config.noise_fraction * (2.0 * z - 1.0)
+        } else {
+            1.0
+        };
+        (total + self.config.launch_overhead) * noise.max(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2_cost::{CostModel, NcclAlgo};
+    use p2_placement::ParallelismMatrix;
+    use p2_synthesis::{baseline_allreduce, GroupExec, HierarchyKind, Synthesizer};
+    use p2_topology::presets;
+
+    const GB: f64 = 1.0e9;
+
+    #[test]
+    fn measurement_is_deterministic_for_a_seed() {
+        let sys = presets::a100_system(2);
+        let matrix = ParallelismMatrix::new(vec![vec![2, 16]], vec![2, 16], vec![32]).unwrap();
+        let program = baseline_allreduce(&matrix, &[0]).unwrap();
+        let exec =
+            Executor::new(&sys, ExecConfig::new(NcclAlgo::Ring, GB).with_seed(42)).unwrap();
+        assert_eq!(exec.measure(&program), exec.measure(&program));
+        let other =
+            Executor::new(&sys, ExecConfig::new(NcclAlgo::Ring, GB).with_seed(43)).unwrap();
+        assert_ne!(exec.measure(&program), other.measure(&program));
+    }
+
+    #[test]
+    fn measured_times_correlate_with_the_cost_model() {
+        // The execution substrate and the analytic model must agree on the
+        // broad ordering (that is what gives Table 5 its high top-10 accuracy).
+        let sys = presets::a100_system(2);
+        let bytes = 4.0 * GB;
+        let matrix =
+            ParallelismMatrix::new(vec![vec![2, 4], vec![1, 4]], vec![2, 16], vec![8, 4]).unwrap();
+        let synth = Synthesizer::new(matrix, vec![0], HierarchyKind::ReductionAxes).unwrap();
+        let programs = synth.synthesize(4).programs;
+        let model = CostModel::new(&sys, NcclAlgo::Ring, bytes).unwrap();
+        let exec = Executor::new(&sys, ExecConfig::new(NcclAlgo::Ring, bytes)).unwrap();
+        let mut pairs: Vec<(f64, f64)> = programs
+            .iter()
+            .map(|p| {
+                let lowered = synth.lower(p).unwrap();
+                (model.program_time(&lowered), exec.measure(&lowered))
+            })
+            .collect();
+        assert!(pairs.len() >= 5);
+        // Spearman-style check: sort by prediction, require measured values to
+        // be broadly increasing (average of the second half larger than the
+        // first half).
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let half = pairs.len() / 2;
+        let first: f64 = pairs[..half].iter().map(|p| p.1).sum::<f64>() / half as f64;
+        let second: f64 = pairs[half..].iter().map(|p| p.1).sum::<f64>() / (pairs.len() - half) as f64;
+        assert!(second > first, "measured times do not follow predicted ordering");
+    }
+
+    #[test]
+    fn cross_node_contention_shows_up_in_measurements() {
+        let sys = presets::a100_system(4);
+        let bytes = 4.0 * GB;
+        let exec = Executor::new(&sys, ExecConfig::new(NcclAlgo::Ring, bytes)).unwrap();
+        let local = ParallelismMatrix::new(vec![vec![1, 4], vec![4, 4]], vec![4, 16], vec![4, 16])
+            .unwrap();
+        let spread = ParallelismMatrix::new(vec![vec![4, 1], vec![1, 16]], vec![4, 16], vec![4, 16])
+            .unwrap();
+        let t_local = exec.measure(&baseline_allreduce(&local, &[0]).unwrap());
+        let t_spread = exec.measure(&baseline_allreduce(&spread, &[0]).unwrap());
+        assert!(
+            t_spread / t_local > 50.0,
+            "placement impact should be large: {t_local} vs {t_spread}"
+        );
+    }
+
+    #[test]
+    fn empty_programs_take_no_time() {
+        let sys = presets::v100_system(2);
+        let exec = Executor::new(&sys, ExecConfig::new(NcclAlgo::Tree, GB)).unwrap();
+        let empty = LoweredProgram { steps: vec![], num_devices: 16 };
+        assert_eq!(exec.measure(&empty), 0.0);
+    }
+
+    #[test]
+    fn validate_program_catches_bad_ranks() {
+        let sys = presets::v100_system(2);
+        let exec = Executor::new(&sys, ExecConfig::new(NcclAlgo::Ring, GB)).unwrap();
+        let bad = LoweredProgram {
+            steps: vec![LoweredStep {
+                collective: p2_collectives::Collective::AllReduce,
+                groups: vec![GroupExec { devices: vec![0, 31], input_fraction: 1.0 }],
+            }],
+            num_devices: 16,
+        };
+        assert!(matches!(
+            exec.validate_program(&bad),
+            Err(ExecError::DeviceOutOfRange { rank: 31, .. })
+        ));
+    }
+
+    #[test]
+    fn noise_free_measurements_have_zero_variance() {
+        let sys = presets::v100_system(2);
+        let matrix = ParallelismMatrix::new(vec![vec![2, 8]], vec![2, 8], vec![16]).unwrap();
+        let program = baseline_allreduce(&matrix, &[0]).unwrap();
+        let exec = Executor::new(
+            &sys,
+            ExecConfig::new(NcclAlgo::Ring, GB).with_noise(0.0).with_repeats(3),
+        )
+        .unwrap();
+        let runs = exec.measure_runs(&program);
+        assert!(runs.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-15));
+    }
+
+    #[test]
+    fn tree_and_ring_differ() {
+        let sys = presets::a100_system(4);
+        let matrix =
+            ParallelismMatrix::new(vec![vec![4, 16]], vec![4, 16], vec![64]).unwrap();
+        let program = baseline_allreduce(&matrix, &[0]).unwrap();
+        let ring = Executor::new(&sys, ExecConfig::new(NcclAlgo::Ring, GB)).unwrap();
+        let tree = Executor::new(&sys, ExecConfig::new(NcclAlgo::Tree, GB)).unwrap();
+        let (t_ring, t_tree) = (ring.measure(&program), tree.measure(&program));
+        assert!(t_ring > 0.0 && t_tree > 0.0);
+        assert!((t_ring - t_tree).abs() / t_ring > 0.01, "algorithms should not be identical");
+    }
+}

@@ -1,0 +1,47 @@
+//! Discrete-event execution simulator — the measurement substrate of this
+//! reproduction.
+//!
+//! The paper evaluates synthesized reduction programs by compiling them to
+//! NCCL calls and running them on GCP A100/V100 clusters. This crate replaces
+//! that testbed with a chunk-level network simulator: every collective call is
+//! expanded into the rounds of point-to-point transfers its NCCL algorithm
+//! (ring or tree) would perform, rounds of concurrently-communicating groups
+//! share uplink bandwidth fairly, and a small seeded noise plus per-step launch
+//! overhead model the measurement variation of a real cluster. Because the
+//! mechanism that drives the paper's results — which interconnects a device
+//! group spans and how many groups contend for the same NIC — is modelled
+//! explicitly, the *relative* behaviour of placements and programs matches the
+//! paper even though absolute seconds differ (see DESIGN.md, substitution
+//! table).
+//!
+//! The analytic model in [`p2_cost`] plays the role of the paper's simulator;
+//! this crate plays the role of the paper's measurements.
+//!
+//! # Example
+//!
+//! ```
+//! use p2_exec::{ExecConfig, Executor};
+//! use p2_cost::NcclAlgo;
+//! use p2_placement::ParallelismMatrix;
+//! use p2_synthesis::baseline_allreduce;
+//! use p2_topology::presets;
+//!
+//! let system = presets::a100_system(2);
+//! let matrix = ParallelismMatrix::new(vec![vec![2, 16]], vec![2, 16], vec![32]).unwrap();
+//! let program = baseline_allreduce(&matrix, &[0]).unwrap();
+//! let exec = Executor::new(&system, ExecConfig::new(NcclAlgo::Ring, 1.0e9)).unwrap();
+//! let seconds = exec.measure(&program);
+//! assert!(seconds > 0.0);
+//! ```
+
+#![deny(missing_docs)]
+
+mod config;
+mod error;
+mod executor;
+mod schedule;
+
+pub use config::ExecConfig;
+pub use error::ExecError;
+pub use executor::Executor;
+pub use schedule::{Round, Transfer};

@@ -1,0 +1,212 @@
+//! Exhaustive, pruned enumeration of parallelism matrices (paper §3.1).
+
+use crate::error::PlacementError;
+use crate::matrix::ParallelismMatrix;
+
+/// All ordered factorizations of `n` into exactly `parts` positive factors.
+///
+/// The result is ordered lexicographically. `ordered_factorizations(4, 2)`
+/// yields `[1,4] [2,2] [4,1]`.
+///
+/// # Examples
+///
+/// ```
+/// use p2_placement::ordered_factorizations;
+/// assert_eq!(ordered_factorizations(4, 2), vec![vec![1, 4], vec![2, 2], vec![4, 1]]);
+/// assert_eq!(ordered_factorizations(1, 3), vec![vec![1, 1, 1]]);
+/// ```
+pub fn ordered_factorizations(n: usize, parts: usize) -> Vec<Vec<usize>> {
+    if parts == 0 {
+        return if n == 1 { vec![vec![]] } else { vec![] };
+    }
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(parts);
+    fn rec(remaining: usize, parts_left: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if parts_left == 1 {
+            current.push(remaining);
+            out.push(current.clone());
+            current.pop();
+            return;
+        }
+        for d in 1..=remaining {
+            if remaining % d == 0 {
+                current.push(d);
+                rec(remaining / d, parts_left - 1, current, out);
+                current.pop();
+            }
+        }
+    }
+    rec(n, parts, &mut current, &mut out);
+    out
+}
+
+/// Enumerates every parallelism matrix for the given hierarchy cardinalities
+/// and parallelism axis sizes, i.e. every matrix satisfying Equations (1) and
+/// (2) of the paper.
+///
+/// The search walks the hierarchy level by level, choosing an ordered
+/// factorization of each cardinality into one factor per axis and pruning
+/// branches whose factors do not divide the axis budget that remains, so the
+/// enumeration is exhaustive but never materializes an invalid prefix.
+///
+/// # Errors
+///
+/// Returns [`PlacementError::ProductMismatch`] when the axis sizes do not
+/// multiply to the device count, and propagates shape errors for empty
+/// inputs or zero sizes.
+///
+/// # Examples
+///
+/// ```
+/// use p2_placement::enumerate_matrices;
+/// // Paper Figure 2: 3 of the placements for [1 2 2 4] with axes [4, 4].
+/// let matrices = enumerate_matrices(&[1, 2, 2, 4], &[4, 4]).unwrap();
+/// assert!(matrices.len() >= 3);
+/// ```
+pub fn enumerate_matrices(
+    arities: &[usize],
+    axes: &[usize],
+) -> Result<Vec<ParallelismMatrix>, PlacementError> {
+    if axes.is_empty() {
+        return Err(PlacementError::EmptyAxes);
+    }
+    if arities.is_empty() {
+        return Err(PlacementError::EmptyHierarchy);
+    }
+    if axes.iter().any(|&p| p == 0) || arities.iter().any(|&h| h == 0) {
+        return Err(PlacementError::ZeroSize);
+    }
+    let devices: usize = arities.iter().product();
+    let parallelism: usize = axes.iter().product();
+    if devices != parallelism {
+        return Err(PlacementError::ProductMismatch { devices, parallelism });
+    }
+
+    let mut out = Vec::new();
+    // columns[j] will hold the chosen factorization of arities[j].
+    let mut columns: Vec<Vec<usize>> = Vec::with_capacity(arities.len());
+    // remaining[i] = axis budget still to be assigned to axis i.
+    let mut remaining: Vec<usize> = axes.to_vec();
+
+    fn rec(
+        level: usize,
+        arities: &[usize],
+        axes: &[usize],
+        columns: &mut Vec<Vec<usize>>,
+        remaining: &mut Vec<usize>,
+        out: &mut Vec<ParallelismMatrix>,
+    ) {
+        if level == arities.len() {
+            if remaining.iter().all(|&r| r == 1) {
+                let rows: Vec<Vec<usize>> = (0..axes.len())
+                    .map(|i| columns.iter().map(|col| col[i]).collect())
+                    .collect();
+                let matrix = ParallelismMatrix::new(rows, arities.to_vec(), axes.to_vec())
+                    .expect("enumeration only constructs valid matrices");
+                out.push(matrix);
+            }
+            return;
+        }
+        for factorization in ordered_factorizations(arities[level], axes.len()) {
+            // Prune: each factor must divide the axis budget that remains.
+            if factorization.iter().zip(remaining.iter()).any(|(f, r)| r % f != 0) {
+                continue;
+            }
+            for (i, f) in factorization.iter().enumerate() {
+                remaining[i] /= f;
+            }
+            columns.push(factorization.clone());
+            rec(level + 1, arities, axes, columns, remaining, out);
+            columns.pop();
+            for (i, f) in factorization.iter().enumerate() {
+                remaining[i] *= f;
+            }
+        }
+    }
+
+    rec(0, arities, axes, &mut columns, &mut remaining, &mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorizations_of_one() {
+        assert_eq!(ordered_factorizations(1, 2), vec![vec![1, 1]]);
+    }
+
+    #[test]
+    fn factorizations_count_matches_divisor_structure() {
+        // 12 = 2^2 * 3: the number of ordered 2-part factorizations is
+        // d(12) = 6.
+        assert_eq!(ordered_factorizations(12, 2).len(), 6);
+        // Ordered 3-part factorizations of 8 = 2^3: C(3+2,2) = 10.
+        assert_eq!(ordered_factorizations(8, 3).len(), 10);
+    }
+
+    #[test]
+    fn zero_parts() {
+        assert_eq!(ordered_factorizations(1, 0), vec![Vec::<usize>::new()]);
+        assert!(ordered_factorizations(2, 0).is_empty());
+    }
+
+    #[test]
+    fn figure2_enumeration_contains_all_three_examples() {
+        let matrices = enumerate_matrices(&[1, 2, 2, 4], &[4, 4]).unwrap();
+        let strings: Vec<String> = matrices.iter().map(|m| m.to_string()).collect();
+        assert!(strings.contains(&"[[1 2 2 1][1 1 1 4]]".to_string()));
+        assert!(strings.contains(&"[[1 2 1 2][1 1 2 2]]".to_string()));
+        assert!(strings.contains(&"[[1 1 2 2][1 2 1 2]]".to_string()));
+    }
+
+    #[test]
+    fn a100_single_axis_counts() {
+        // A single parallelism axis has exactly one valid matrix: the
+        // hierarchy itself.
+        let matrices = enumerate_matrices(&[2, 16], &[32]).unwrap();
+        assert_eq!(matrices.len(), 1);
+        assert_eq!(matrices[0].row(0), &[2, 16]);
+    }
+
+    #[test]
+    fn a100_two_axis_counts_match_paper_table() {
+        // Paper Table 3/4 uses [2 32], [4 16], [8 8], [16 2] style axes on the
+        // [4 16] system; the number of matrices equals the number of ways to
+        // split each axis across the two levels consistently.
+        let m_2_32 = enumerate_matrices(&[4, 16], &[2, 32]).unwrap();
+        assert_eq!(m_2_32.len(), 2, "{:?}", m_2_32.iter().map(|m| m.to_string()).collect::<Vec<_>>());
+        let m_4_16 = enumerate_matrices(&[4, 16], &[4, 16]).unwrap();
+        assert_eq!(m_4_16.len(), 3);
+        let m_8_8 = enumerate_matrices(&[4, 16], &[8, 8]).unwrap();
+        assert_eq!(m_8_8.len(), 3);
+    }
+
+    #[test]
+    fn product_mismatch_rejected() {
+        assert!(matches!(
+            enumerate_matrices(&[2, 16], &[3, 16]),
+            Err(PlacementError::ProductMismatch { devices: 32, parallelism: 48 })
+        ));
+    }
+
+    #[test]
+    fn every_enumerated_matrix_is_valid_and_unique() {
+        let matrices = enumerate_matrices(&[2, 2, 8], &[4, 2, 4]).unwrap();
+        assert!(!matrices.is_empty());
+        let mut seen = std::collections::HashSet::new();
+        for m in &matrices {
+            assert!(seen.insert(m.to_string()), "duplicate matrix {m}");
+            for (i, row) in m.rows().iter().enumerate() {
+                assert_eq!(row.iter().product::<usize>(), m.axis_sizes()[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn three_axis_enumeration_is_nontrivial() {
+        let matrices = enumerate_matrices(&[4, 16], &[16, 2, 2]).unwrap();
+        assert!(matrices.len() >= 4);
+    }
+}

@@ -1,0 +1,65 @@
+use std::fmt;
+
+/// Errors produced while constructing or querying parallelism placements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PlacementError {
+    /// The product of the parallelism axes must equal the number of devices.
+    ProductMismatch {
+        /// Product of the hierarchy cardinalities.
+        devices: usize,
+        /// Product of the parallelism axis sizes.
+        parallelism: usize,
+    },
+    /// At least one parallelism axis is required.
+    EmptyAxes,
+    /// At least one hierarchy level is required.
+    EmptyHierarchy,
+    /// Axis sizes and level cardinalities must be non-zero.
+    ZeroSize,
+    /// The matrix supplied to [`crate::ParallelismMatrix::new`] violates the
+    /// row-product constraint (Equation 2 of the paper).
+    RowProductMismatch {
+        /// Offending axis index.
+        axis: usize,
+    },
+    /// The matrix violates the column-product constraint (Equation 1).
+    ColumnProductMismatch {
+        /// Offending level index.
+        level: usize,
+    },
+    /// The matrix shape does not match the axes/hierarchy.
+    ShapeMismatch,
+    /// A reduction axis index was out of range.
+    AxisOutOfRange {
+        /// The offending axis index.
+        axis: usize,
+    },
+    /// A device rank or axis coordinate was out of range.
+    CoordinateOutOfRange,
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::ProductMismatch { devices, parallelism } => write!(
+                f,
+                "parallelism axes multiply to {parallelism} but the system has {devices} devices"
+            ),
+            PlacementError::EmptyAxes => write!(f, "no parallelism axes given"),
+            PlacementError::EmptyHierarchy => write!(f, "no hierarchy levels given"),
+            PlacementError::ZeroSize => write!(f, "axis sizes and cardinalities must be non-zero"),
+            PlacementError::RowProductMismatch { axis } => {
+                write!(f, "row {axis} does not multiply to the corresponding axis size")
+            }
+            PlacementError::ColumnProductMismatch { level } => {
+                write!(f, "column {level} does not multiply to the corresponding cardinality")
+            }
+            PlacementError::ShapeMismatch => write!(f, "matrix shape does not match axes/hierarchy"),
+            PlacementError::AxisOutOfRange { axis } => write!(f, "axis index {axis} out of range"),
+            PlacementError::CoordinateOutOfRange => write!(f, "device or axis coordinate out of range"),
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}

@@ -1,0 +1,33 @@
+//! Parallelism placement synthesis for the P² reproduction (paper §2.1, §3.1).
+//!
+//! A *parallelism placement* decides which part of a partitioned program runs
+//! on which device. Instead of enumerating all `(#devices)!` arbitrary
+//! mappings, P² factorizes every parallelism axis over the hardware hierarchy:
+//! the result is a [`ParallelismMatrix`] whose element `x[i][j]` says how many
+//! ways parallelism axis `i` is split across hierarchy level `j`. Row products
+//! must equal the axis sizes and column products must equal the level
+//! cardinalities (Equations 1 and 2 of the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use p2_placement::{enumerate_matrices, ParallelismMatrix};
+//!
+//! // Figure 2: 16 GPUs arranged as [1, 2, 2, 4]; data parallelism 4 x 4 shards.
+//! let matrices = enumerate_matrices(&[1, 2, 2, 4], &[4, 4]).unwrap();
+//! assert!(matrices.iter().any(|m| m.row(0) == [1, 2, 2, 1] && m.row(1) == [1, 1, 1, 4]));
+//! // Reduction along the parameter-sharding axis (axis 1) forms groups of 4.
+//! let m: &ParallelismMatrix = &matrices[0];
+//! let groups = m.reduction_groups(&[1]).unwrap();
+//! assert!(groups.iter().all(|g| g.len() == 4));
+//! ```
+
+#![deny(missing_docs)]
+
+mod enumerate;
+mod error;
+mod matrix;
+
+pub use enumerate::{enumerate_matrices, ordered_factorizations};
+pub use error::PlacementError;
+pub use matrix::ParallelismMatrix;

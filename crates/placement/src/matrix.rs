@@ -1,0 +1,449 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::PlacementError;
+
+/// A parallelism matrix: the factorization of every parallelism axis across
+/// every hardware-hierarchy level (paper §3.1).
+///
+/// Rows correspond to parallelism axes, columns to hierarchy levels
+/// (outermost level first). Element `x[i][j]` is the *parallelism factor*:
+/// the number of pieces axis `i` is split into at level `j`. Row `i`
+/// multiplies to the axis size `p_i` (Equation 2) and column `j` multiplies to
+/// the level cardinality `h_j` (Equation 1), so a matrix is simultaneously a
+/// placement of program partitions onto devices and a recipe for forming
+/// reduction groups.
+///
+/// The induced device mapping interprets each level's child index as a
+/// mixed-radix number over the column's factors with axis 0 most significant,
+/// and each axis coordinate as the mixed-radix combination of its per-level
+/// digits with level 0 most significant; this matches the level-by-level
+/// reading of Figure 2 in the paper.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ParallelismMatrix {
+    /// `factors[axis][level]`
+    factors: Vec<Vec<usize>>,
+    /// Hierarchy cardinalities (column targets).
+    arities: Vec<usize>,
+    /// Parallelism axis sizes (row targets).
+    axes: Vec<usize>,
+}
+
+impl ParallelismMatrix {
+    /// Creates a parallelism matrix, validating the shape and the row/column
+    /// product constraints of the paper.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlacementError`] if the shape does not match, any entry is
+    /// zero, a row does not multiply to its axis size, or a column does not
+    /// multiply to its level cardinality.
+    pub fn new(
+        factors: Vec<Vec<usize>>,
+        arities: Vec<usize>,
+        axes: Vec<usize>,
+    ) -> Result<Self, PlacementError> {
+        if axes.is_empty() {
+            return Err(PlacementError::EmptyAxes);
+        }
+        if arities.is_empty() {
+            return Err(PlacementError::EmptyHierarchy);
+        }
+        if axes.iter().any(|&p| p == 0) || arities.iter().any(|&h| h == 0) {
+            return Err(PlacementError::ZeroSize);
+        }
+        if factors.len() != axes.len() || factors.iter().any(|row| row.len() != arities.len()) {
+            return Err(PlacementError::ShapeMismatch);
+        }
+        if factors.iter().flatten().any(|&x| x == 0) {
+            return Err(PlacementError::ZeroSize);
+        }
+        for (i, row) in factors.iter().enumerate() {
+            if row.iter().product::<usize>() != axes[i] {
+                return Err(PlacementError::RowProductMismatch { axis: i });
+            }
+        }
+        for j in 0..arities.len() {
+            let col: usize = factors.iter().map(|row| row[j]).product();
+            if col != arities[j] {
+                return Err(PlacementError::ColumnProductMismatch { level: j });
+            }
+        }
+        Ok(ParallelismMatrix { factors, arities, axes })
+    }
+
+    /// Number of parallelism axes (rows).
+    pub fn num_axes(&self) -> usize {
+        self.axes.len()
+    }
+
+    /// Number of hierarchy levels (columns).
+    pub fn num_levels(&self) -> usize {
+        self.arities.len()
+    }
+
+    /// Total number of devices (the product of the cardinalities).
+    pub fn num_devices(&self) -> usize {
+        self.arities.iter().product()
+    }
+
+    /// The parallelism factor for `axis` at `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn factor(&self, axis: usize, level: usize) -> usize {
+        self.factors[axis][level]
+    }
+
+    /// The factor row for one axis (one entry per level).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis` is out of range.
+    pub fn row(&self, axis: usize) -> &[usize] {
+        &self.factors[axis]
+    }
+
+    /// All factor rows.
+    pub fn rows(&self) -> &[Vec<usize>] {
+        &self.factors
+    }
+
+    /// The hierarchy cardinalities this matrix was built for.
+    pub fn arities(&self) -> &[usize] {
+        &self.arities
+    }
+
+    /// The parallelism axis sizes this matrix was built for.
+    pub fn axis_sizes(&self) -> &[usize] {
+        &self.axes
+    }
+
+    /// The per-axis, per-level digits of a device: `digits[axis][level]` is
+    /// the index of the device along axis `axis` *within* level `level`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::CoordinateOutOfRange`] if `rank` is not a
+    /// valid device rank.
+    pub fn device_digits(&self, rank: usize) -> Result<Vec<Vec<usize>>, PlacementError> {
+        if rank >= self.num_devices() {
+            return Err(PlacementError::CoordinateOutOfRange);
+        }
+        // Per-level child index, level 0 most significant.
+        let mut level_index = vec![0usize; self.num_levels()];
+        let mut rest = rank;
+        for j in (0..self.num_levels()).rev() {
+            level_index[j] = rest % self.arities[j];
+            rest /= self.arities[j];
+        }
+        // Decompose each level index over the column factors, axis 0 most significant.
+        let mut digits = vec![vec![0usize; self.num_levels()]; self.num_axes()];
+        for j in 0..self.num_levels() {
+            let mut rem = level_index[j];
+            for i in (0..self.num_axes()).rev() {
+                digits[i][j] = rem % self.factors[i][j];
+                rem /= self.factors[i][j];
+            }
+        }
+        Ok(digits)
+    }
+
+    /// Reassembles a device rank from per-axis, per-level digits (the inverse
+    /// of [`ParallelismMatrix::device_digits`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::CoordinateOutOfRange`] if the digit array has
+    /// the wrong shape or any digit exceeds its factor.
+    pub fn device_from_digits(&self, digits: &[Vec<usize>]) -> Result<usize, PlacementError> {
+        if digits.len() != self.num_axes()
+            || digits.iter().any(|row| row.len() != self.num_levels())
+        {
+            return Err(PlacementError::CoordinateOutOfRange);
+        }
+        let mut rank = 0usize;
+        for j in 0..self.num_levels() {
+            let mut level_index = 0usize;
+            for i in 0..self.num_axes() {
+                if digits[i][j] >= self.factors[i][j] {
+                    return Err(PlacementError::CoordinateOutOfRange);
+                }
+                level_index = level_index * self.factors[i][j] + digits[i][j];
+            }
+            rank = rank * self.arities[j] + level_index;
+        }
+        Ok(rank)
+    }
+
+    /// The coordinate of a device along every parallelism axis.
+    ///
+    /// Two devices participate in the same reduction along axis `r` exactly
+    /// when they agree on every coordinate except `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::CoordinateOutOfRange`] if `rank` is invalid.
+    pub fn axis_coords(&self, rank: usize) -> Result<Vec<usize>, PlacementError> {
+        let digits = self.device_digits(rank)?;
+        let mut coords = vec![0usize; self.num_axes()];
+        for i in 0..self.num_axes() {
+            let mut a = 0usize;
+            for j in 0..self.num_levels() {
+                a = a * self.factors[i][j] + digits[i][j];
+            }
+            coords[i] = a;
+        }
+        Ok(coords)
+    }
+
+    /// The device that holds the partition at the given per-axis coordinates
+    /// (the inverse of [`ParallelismMatrix::axis_coords`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::CoordinateOutOfRange`] if the coordinate
+    /// vector has the wrong length or any coordinate exceeds its axis size.
+    pub fn device_for_axis_coords(&self, coords: &[usize]) -> Result<usize, PlacementError> {
+        if coords.len() != self.num_axes() {
+            return Err(PlacementError::CoordinateOutOfRange);
+        }
+        let mut digits = vec![vec![0usize; self.num_levels()]; self.num_axes()];
+        for i in 0..self.num_axes() {
+            if coords[i] >= self.axes[i] {
+                return Err(PlacementError::CoordinateOutOfRange);
+            }
+            let mut rest = coords[i];
+            for j in (0..self.num_levels()).rev() {
+                digits[i][j] = rest % self.factors[i][j];
+                rest /= self.factors[i][j];
+            }
+        }
+        self.device_from_digits(&digits)
+    }
+
+    /// The reduction groups induced by reducing along `reduction_axes`
+    /// (paper §2.1): devices that agree on every *non*-reduction axis
+    /// coordinate belong to the same group. Each group is ordered by the
+    /// reduction-axis coordinates (so index 0 is the root used by `Reduce`
+    /// and `Broadcast`), and groups are ordered by their non-reduction
+    /// coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::AxisOutOfRange`] if any reduction axis index
+    /// is invalid or the list is empty.
+    pub fn reduction_groups(&self, reduction_axes: &[usize]) -> Result<Vec<Vec<usize>>, PlacementError> {
+        if reduction_axes.is_empty() {
+            return Err(PlacementError::EmptyAxes);
+        }
+        for &axis in reduction_axes {
+            if axis >= self.num_axes() {
+                return Err(PlacementError::AxisOutOfRange { axis });
+            }
+        }
+        let mut groups: BTreeMap<Vec<usize>, Vec<(Vec<usize>, usize)>> = BTreeMap::new();
+        for rank in 0..self.num_devices() {
+            let coords = self.axis_coords(rank)?;
+            let key: Vec<usize> = (0..self.num_axes())
+                .filter(|i| !reduction_axes.contains(i))
+                .map(|i| coords[i])
+                .collect();
+            let in_group_key: Vec<usize> = reduction_axes.iter().map(|&i| coords[i]).collect();
+            groups.entry(key).or_default().push((in_group_key, rank));
+        }
+        Ok(groups
+            .into_values()
+            .map(|mut members| {
+                members.sort();
+                members.into_iter().map(|(_, rank)| rank).collect()
+            })
+            .collect())
+    }
+
+    /// The size of every reduction group along `reduction_axes` (the product
+    /// of the reduced axis sizes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlacementError::AxisOutOfRange`] if any axis index is invalid.
+    pub fn reduction_group_size(&self, reduction_axes: &[usize]) -> Result<usize, PlacementError> {
+        for &axis in reduction_axes {
+            if axis >= self.num_axes() {
+                return Err(PlacementError::AxisOutOfRange { axis });
+            }
+        }
+        Ok(reduction_axes.iter().map(|&i| self.axes[i]).product())
+    }
+}
+
+impl fmt::Display for ParallelismMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for row in &self.factors {
+            write!(f, "[")?;
+            for (j, x) in row.iter().enumerate() {
+                if j > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{x}")?;
+            }
+            write!(f, "]")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 2b: [[1 2 2 1][1 1 1 4]] on the [1 2 2 4] system.
+    fn figure2b() -> ParallelismMatrix {
+        ParallelismMatrix::new(
+            vec![vec![1, 2, 2, 1], vec![1, 1, 1, 4]],
+            vec![1, 2, 2, 4],
+            vec![4, 4],
+        )
+        .unwrap()
+    }
+
+    /// Figure 2d: [[1 1 2 2][1 2 1 2]].
+    fn figure2d() -> ParallelismMatrix {
+        ParallelismMatrix::new(
+            vec![vec![1, 1, 2, 2], vec![1, 2, 1, 2]],
+            vec![1, 2, 2, 4],
+            vec![4, 4],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn invalid_matrices_rejected() {
+        // Row product wrong.
+        assert!(matches!(
+            ParallelismMatrix::new(vec![vec![1, 2], vec![1, 4]], vec![1, 8], vec![4, 4]),
+            Err(PlacementError::RowProductMismatch { axis: 0 })
+        ));
+        // Column product wrong.
+        assert!(matches!(
+            ParallelismMatrix::new(vec![vec![2, 2], vec![1, 4]], vec![1, 16], vec![4, 4]),
+            Err(PlacementError::ColumnProductMismatch { level: 0 })
+        ));
+        // Shape wrong.
+        assert!(matches!(
+            ParallelismMatrix::new(vec![vec![1, 4]], vec![1, 16], vec![4, 4]),
+            Err(PlacementError::ShapeMismatch)
+        ));
+        // Zero entries.
+        assert!(ParallelismMatrix::new(vec![vec![0, 4]], vec![0, 4], vec![0]).is_err());
+    }
+
+    #[test]
+    fn figure2b_mapping_each_cpu_is_a_replica() {
+        // In Figure 2b each CPU corresponds to one data-parallel replica and
+        // each GPU within a CPU holds one parameter shard.
+        let m = figure2b();
+        for rank in 0..16 {
+            let coords = m.axis_coords(rank).unwrap();
+            let cpu = rank / 4; // 4 GPUs per CPU, CPUs numbered 0..4
+            let gpu_in_cpu = rank % 4;
+            assert_eq!(coords[0], cpu, "data-parallel index is the CPU index");
+            assert_eq!(coords[1], gpu_in_cpu, "shard index is the GPU index within the CPU");
+        }
+    }
+
+    #[test]
+    fn axis_coords_roundtrip() {
+        for m in [figure2b(), figure2d()] {
+            for rank in 0..m.num_devices() {
+                let coords = m.axis_coords(rank).unwrap();
+                assert_eq!(m.device_for_axis_coords(&coords).unwrap(), rank);
+                let digits = m.device_digits(rank).unwrap();
+                assert_eq!(m.device_from_digits(&digits).unwrap(), rank);
+            }
+        }
+    }
+
+    #[test]
+    fn figure2b_reduction_along_shards_stays_inside_a_cpu() {
+        let m = figure2b();
+        let groups = m.reduction_groups(&[1]).unwrap();
+        assert_eq!(groups.len(), 4);
+        for group in &groups {
+            assert_eq!(group.len(), 4);
+            // All members of a group share the same CPU: ranks differ only in
+            // the last two bits.
+            let cpu = group[0] / 4;
+            assert!(group.iter().all(|&d| d / 4 == cpu));
+        }
+    }
+
+    #[test]
+    fn figure2d_reduction_along_shards_spans_servers() {
+        let m = figure2d();
+        // Axis 1 (parameter sharding) is split across the server and GPU
+        // levels in Figure 2d, so reducing along it crosses the server
+        // boundary (ranks 0..8 are server 0, 8..16 server 1).
+        let groups = m.reduction_groups(&[1]).unwrap();
+        assert_eq!(groups.len(), 4);
+        assert!(groups.iter().all(|g| g.len() == 4));
+        for g in &groups {
+            assert!(g.iter().any(|&d| d < 8) && g.iter().any(|&d| d >= 8));
+        }
+        // Axis 0 (data parallelism) is split across CPU and GPU levels only,
+        // so reducing along it stays inside a server.
+        let groups0 = m.reduction_groups(&[0]).unwrap();
+        for g in &groups0 {
+            let server = g[0] / 8;
+            assert!(g.iter().all(|&d| d / 8 == server));
+        }
+    }
+
+    #[test]
+    fn multi_axis_reduction_covers_everything() {
+        let m = figure2d();
+        let groups = m.reduction_groups(&[0, 1]).unwrap();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 16);
+        assert_eq!(m.reduction_group_size(&[0, 1]).unwrap(), 16);
+    }
+
+    #[test]
+    fn reduction_group_members_are_disjoint_and_cover_all_devices() {
+        let m = figure2d();
+        for axes in [vec![0], vec![1], vec![0, 1]] {
+            let groups = m.reduction_groups(&axes).unwrap();
+            let mut all: Vec<usize> = groups.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..16).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn bad_reduction_axes_rejected() {
+        let m = figure2b();
+        assert!(matches!(
+            m.reduction_groups(&[2]),
+            Err(PlacementError::AxisOutOfRange { axis: 2 })
+        ));
+        assert!(m.reduction_groups(&[]).is_err());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(figure2b().to_string(), "[[1 2 2 1][1 1 1 4]]");
+    }
+
+    #[test]
+    fn group_is_ordered_by_reduction_coordinate() {
+        let m = figure2b();
+        let groups = m.reduction_groups(&[1]).unwrap();
+        for group in groups {
+            let shard_coords: Vec<usize> =
+                group.iter().map(|&d| m.axis_coords(d).unwrap()[1]).collect();
+            assert_eq!(shard_coords, vec![0, 1, 2, 3]);
+        }
+    }
+}

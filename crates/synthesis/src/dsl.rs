@@ -1,0 +1,142 @@
+//! The reduction DSL of paper §3.3: a program is a list of
+//! `(slice, form, collective)` instructions over the synthesis hierarchy.
+
+use std::fmt;
+
+use p2_collectives::Collective;
+
+/// How the reduction groups derived from a slice are combined (paper §3.3,
+/// Table 2).
+///
+/// The `usize` carried by [`Form::Parallel`] and [`Form::Master`] is the index
+/// of a synthesis-hierarchy level that must be a strict ancestor of the
+/// instruction's slice level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Form {
+    /// Perform the collective within each slice group.
+    InsideGroup,
+    /// Perform the collective across the i-th members of the slice groups that
+    /// share the given ancestor level, for every i simultaneously.
+    Parallel(usize),
+    /// Like [`Form::Parallel`] but only the first member group per ancestor
+    /// instance participates.
+    Master(usize),
+}
+
+impl fmt::Display for Form {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Form::InsideGroup => write!(f, "InsideGroup"),
+            Form::Parallel(level) => write!(f, "Parallel(L{level})"),
+            Form::Master(level) => write!(f, "Master(L{level})"),
+        }
+    }
+}
+
+/// One reduction instruction: a slice level, a form and a collective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Instruction {
+    /// Index of the synthesis-hierarchy level whose instances are the slice groups.
+    pub slice: usize,
+    /// How the slice groups are combined into device groups.
+    pub form: Form,
+    /// The collective performed by every derived device group.
+    pub collective: Collective,
+}
+
+impl Instruction {
+    /// Creates an instruction.
+    pub fn new(slice: usize, form: Form, collective: Collective) -> Self {
+        Instruction { slice, form, collective }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(L{}, {}, {})", self.slice, self.form, self.collective)
+    }
+}
+
+/// A reduction program: an ordered list of instructions (paper §3.3).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Program {
+    /// The instructions, executed in order.
+    pub instructions: Vec<Instruction>,
+}
+
+impl Program {
+    /// Creates a program from a list of instructions.
+    pub fn new(instructions: Vec<Instruction>) -> Self {
+        Program { instructions }
+    }
+
+    /// The empty program.
+    pub fn empty() -> Self {
+        Program { instructions: Vec::new() }
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// The sequence of collectives, e.g. `"Reduce-AllReduce-Broadcast"` —
+    /// the notation used in the paper's Figure 3 and Figure 10.
+    pub fn signature(&self) -> String {
+        self.instructions
+            .iter()
+            .map(|i| i.collective.to_string())
+            .collect::<Vec<_>>()
+            .join("-")
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, instr) in self.instructions.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{instr}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<Instruction> for Program {
+    fn from_iter<T: IntoIterator<Item = Instruction>>(iter: T) -> Self {
+        Program::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_signature() {
+        let p = Program::new(vec![
+            Instruction::new(1, Form::InsideGroup, Collective::Reduce),
+            Instruction::new(0, Form::Parallel(0), Collective::AllReduce),
+            Instruction::new(1, Form::InsideGroup, Collective::Broadcast),
+        ]);
+        assert_eq!(p.signature(), "Reduce-AllReduce-Broadcast");
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert!(p.to_string().contains("InsideGroup"));
+        assert!(Program::empty().is_empty());
+    }
+
+    #[test]
+    fn collects_from_iterator() {
+        let p: Program =
+            std::iter::once(Instruction::new(0, Form::InsideGroup, Collective::AllReduce)).collect();
+        assert_eq!(p.len(), 1);
+    }
+}

@@ -1,0 +1,78 @@
+use std::fmt;
+
+use p2_collectives::SemanticsError;
+use p2_placement::PlacementError;
+
+/// Errors produced while building synthesis hierarchies, synthesizing or
+/// lowering reduction programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SynthesisError {
+    /// A reduction-axis index was out of range or the list was empty.
+    InvalidReductionAxes {
+        /// The offending axes.
+        axes: Vec<usize>,
+    },
+    /// A DSL instruction referenced a synthesis-hierarchy level that does not exist.
+    LevelOutOfRange {
+        /// The offending level index.
+        level: usize,
+    },
+    /// A form's ancestor level must be a strict ancestor of the slice level.
+    NotAnAncestor {
+        /// Slice level.
+        slice: usize,
+        /// Claimed ancestor level.
+        ancestor: usize,
+    },
+    /// A program failed the collective semantics when re-validated or lowered.
+    Semantics(SemanticsError),
+    /// A program executed without errors but did not end in the requested
+    /// reduction state.
+    GoalNotReached,
+    /// An underlying placement query failed.
+    Placement(PlacementError),
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::InvalidReductionAxes { axes } => {
+                write!(f, "invalid reduction axes {axes:?}")
+            }
+            SynthesisError::LevelOutOfRange { level } => {
+                write!(f, "synthesis-hierarchy level {level} out of range")
+            }
+            SynthesisError::NotAnAncestor { slice, ancestor } => {
+                write!(f, "level {ancestor} is not a strict ancestor of slice level {slice}")
+            }
+            SynthesisError::Semantics(e) => write!(f, "semantics violation: {e}"),
+            SynthesisError::GoalNotReached => {
+                write!(f, "program does not end in the requested reduction state")
+            }
+            SynthesisError::Placement(e) => write!(f, "placement error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SynthesisError::Semantics(e) => Some(e),
+            SynthesisError::Placement(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SemanticsError> for SynthesisError {
+    fn from(e: SemanticsError) -> Self {
+        SynthesisError::Semantics(e)
+    }
+}
+
+impl From<PlacementError> for SynthesisError {
+    fn from(e: PlacementError) -> Self {
+        SynthesisError::Placement(e)
+    }
+}

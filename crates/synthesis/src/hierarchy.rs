@@ -1,0 +1,376 @@
+//! Synthesis hierarchies (paper §2.5 and §3.4).
+//!
+//! The synthesizer needs a flat hierarchy of *parallelism factors* to slice
+//! devices into groups. The paper compares four choices and proves that (d)
+//! is the most expressive while having the smallest search space:
+//!
+//! * (a) the system hierarchy itself,
+//! * (b) column-based parallelism factors,
+//! * (c) row-based parallelism factors,
+//! * (d) the parallelism factors of the reduction axes only, collapsed per
+//!   hardware level.
+
+use p2_placement::ParallelismMatrix;
+
+use crate::dsl::Form;
+use crate::error::SynthesisError;
+
+/// Which synthesis hierarchy to build (paper §3.4, items (a)–(d)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HierarchyKind {
+    /// (a) The raw system hierarchy.
+    System,
+    /// (b) Column-based parallelism factors: for each hardware level, the
+    /// factors of every axis at that level.
+    ColumnMajor,
+    /// (c) Row-based parallelism factors: for each axis, its factors at every
+    /// hardware level.
+    RowMajor,
+    /// (d) The reduction-axis parallelism factors, collapsed per hardware
+    /// level. This is what P² uses.
+    ReductionAxes,
+}
+
+impl HierarchyKind {
+    /// All four kinds, in the paper's (a)–(d) order.
+    pub const ALL: [HierarchyKind; 4] = [
+        HierarchyKind::System,
+        HierarchyKind::ColumnMajor,
+        HierarchyKind::RowMajor,
+        HierarchyKind::ReductionAxes,
+    ];
+
+    /// The paper's letter for this hierarchy, `'a'`–`'d'`.
+    pub fn letter(self) -> char {
+        match self {
+            HierarchyKind::System => 'a',
+            HierarchyKind::ColumnMajor => 'b',
+            HierarchyKind::RowMajor => 'c',
+            HierarchyKind::ReductionAxes => 'd',
+        }
+    }
+}
+
+/// One level of a synthesis hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynthLevel {
+    /// The parallelism factor at this level (how many children per parent).
+    pub factor: usize,
+    /// The hardware-hierarchy level this factor came from, if any (the
+    /// prepended root has none).
+    pub hw_level: Option<usize>,
+    /// For [`HierarchyKind::ReductionAxes`], the `(axis, factor)` pairs that
+    /// were collapsed into this level, in increasing axis order. Empty for the
+    /// other kinds and for the root.
+    pub axis_factors: Vec<(usize, usize)>,
+}
+
+/// A flat synthesis hierarchy: an ordered list of parallelism factors,
+/// outermost first, always starting with a root factor of 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynthesisHierarchy {
+    kind: HierarchyKind,
+    levels: Vec<SynthLevel>,
+}
+
+impl SynthesisHierarchy {
+    /// Builds the synthesis hierarchy of the given kind for a parallelism
+    /// matrix and a set of reduction axes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::InvalidReductionAxes`] when the axis list is
+    /// empty, contains duplicates, or mentions an axis the matrix does not
+    /// have.
+    pub fn build(
+        matrix: &ParallelismMatrix,
+        reduction_axes: &[usize],
+        kind: HierarchyKind,
+    ) -> Result<Self, SynthesisError> {
+        validate_axes(matrix, reduction_axes)?;
+        let mut levels: Vec<SynthLevel> = Vec::new();
+        match kind {
+            HierarchyKind::System => {
+                for (j, &h) in matrix.arities().iter().enumerate() {
+                    levels.push(SynthLevel { factor: h, hw_level: Some(j), axis_factors: vec![] });
+                }
+            }
+            HierarchyKind::ColumnMajor => {
+                for j in 0..matrix.num_levels() {
+                    for i in 0..matrix.num_axes() {
+                        levels.push(SynthLevel {
+                            factor: matrix.factor(i, j),
+                            hw_level: Some(j),
+                            axis_factors: vec![],
+                        });
+                    }
+                }
+            }
+            HierarchyKind::RowMajor => {
+                for i in 0..matrix.num_axes() {
+                    for j in 0..matrix.num_levels() {
+                        levels.push(SynthLevel {
+                            factor: matrix.factor(i, j),
+                            hw_level: Some(j),
+                            axis_factors: vec![],
+                        });
+                    }
+                }
+            }
+            HierarchyKind::ReductionAxes => {
+                for j in 0..matrix.num_levels() {
+                    let axis_factors: Vec<(usize, usize)> = reduction_axes
+                        .iter()
+                        .copied()
+                        .filter(|&i| matrix.factor(i, j) > 1)
+                        .map(|i| (i, matrix.factor(i, j)))
+                        .collect();
+                    let factor: usize = axis_factors.iter().map(|(_, f)| f).product();
+                    if factor > 1 {
+                        levels.push(SynthLevel { factor, hw_level: Some(j), axis_factors });
+                    }
+                }
+            }
+        }
+        // Always start from a root level of 1 so "everything" is a slice group
+        // (the paper appends (root, 1) to hierarchy (d)).
+        if levels.first().map(|l| l.factor) != Some(1) {
+            levels.insert(0, SynthLevel { factor: 1, hw_level: None, axis_factors: vec![] });
+        }
+        Ok(SynthesisHierarchy { kind, levels })
+    }
+
+    /// Which of the paper's hierarchies this is.
+    pub fn kind(&self) -> HierarchyKind {
+        self.kind
+    }
+
+    /// The levels, outermost first.
+    pub fn levels(&self) -> &[SynthLevel] {
+        &self.levels
+    }
+
+    /// The per-level factors, outermost first.
+    pub fn factors(&self) -> Vec<usize> {
+        self.levels.iter().map(|l| l.factor).collect()
+    }
+
+    /// Number of levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The size of the synthesis space: the product of all factors. For
+    /// hierarchy (d) this is the reduction-group size; for (a)–(c) it is the
+    /// total device count.
+    pub fn space_size(&self) -> usize {
+        self.levels.iter().map(|l| l.factor).product()
+    }
+
+    /// Derives the device groups (as synthesis-space indices) named by a
+    /// `slice`/`form` pair, following Table 2 of the paper.
+    ///
+    /// Space indices enumerate the leaves of the synthesis hierarchy in
+    /// row-major order (level 0 most significant). Every returned group is
+    /// sorted; groups are pairwise disjoint by construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SynthesisError::LevelOutOfRange`] for an invalid slice or
+    /// ancestor level and [`SynthesisError::NotAnAncestor`] when the form's
+    /// level is not a strict ancestor of the slice.
+    pub fn derive_groups(&self, slice: usize, form: Form) -> Result<Vec<Vec<usize>>, SynthesisError> {
+        let depth = self.depth();
+        if slice >= depth {
+            return Err(SynthesisError::LevelOutOfRange { level: slice });
+        }
+        let factors = self.factors();
+        let total: usize = factors.iter().product();
+        // Size of a slice group: devices sharing the prefix up to `slice`.
+        let slice_block: usize = factors[slice + 1..].iter().product();
+        match form {
+            Form::InsideGroup => {
+                let groups = (0..total / slice_block.max(1))
+                    .map(|g| (g * slice_block..(g + 1) * slice_block).collect())
+                    .collect();
+                Ok(groups)
+            }
+            Form::Parallel(ancestor) | Form::Master(ancestor) => {
+                if ancestor >= depth {
+                    return Err(SynthesisError::LevelOutOfRange { level: ancestor });
+                }
+                if ancestor >= slice {
+                    return Err(SynthesisError::NotAnAncestor { slice, ancestor });
+                }
+                // Devices sharing the prefix up to `ancestor` form one block.
+                let ancestor_block: usize = factors[ancestor + 1..].iter().product();
+                let num_ancestor_blocks = total / ancestor_block;
+                let mut groups = Vec::new();
+                for block in 0..num_ancestor_blocks {
+                    let base = block * ancestor_block;
+                    let offsets: Box<dyn Iterator<Item = usize>> = match form {
+                        Form::Master(_) => Box::new(std::iter::once(0)),
+                        _ => Box::new(0..slice_block),
+                    };
+                    for offset in offsets {
+                        let group: Vec<usize> = (0..ancestor_block / slice_block)
+                            .map(|i| base + i * slice_block + offset)
+                            .collect();
+                        groups.push(group);
+                    }
+                }
+                Ok(groups)
+            }
+        }
+    }
+}
+
+fn validate_axes(matrix: &ParallelismMatrix, reduction_axes: &[usize]) -> Result<(), SynthesisError> {
+    let bad = reduction_axes.is_empty()
+        || reduction_axes.iter().any(|&a| a >= matrix.num_axes())
+        || (1..reduction_axes.len()).any(|i| reduction_axes[i..].contains(&reduction_axes[i - 1]));
+    if bad {
+        Err(SynthesisError::InvalidReductionAxes { axes: reduction_axes.to_vec() })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 2d / Table 1 matrix: [[1 1 2 2][1 2 1 2]] on [1 2 2 4].
+    fn figure2d() -> ParallelismMatrix {
+        ParallelismMatrix::new(
+            vec![vec![1, 1, 2, 2], vec![1, 2, 1, 2]],
+            vec![1, 2, 2, 4],
+            vec![4, 4],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn table1_hierarchies() {
+        let m = figure2d();
+        let a = SynthesisHierarchy::build(&m, &[1], HierarchyKind::System).unwrap();
+        assert_eq!(a.factors(), vec![1, 2, 2, 4]);
+        let b = SynthesisHierarchy::build(&m, &[1], HierarchyKind::ColumnMajor).unwrap();
+        assert_eq!(b.factors(), vec![1, 1, 1, 2, 2, 1, 2, 2]);
+        let c = SynthesisHierarchy::build(&m, &[1], HierarchyKind::RowMajor).unwrap();
+        assert_eq!(c.factors(), vec![1, 1, 2, 2, 1, 2, 1, 2]);
+        let d = SynthesisHierarchy::build(&m, &[1], HierarchyKind::ReductionAxes).unwrap();
+        // [1 2 1 2] with the 1-factors dropped and a root of 1 prepended.
+        assert_eq!(d.factors(), vec![1, 2, 2]);
+        assert_eq!(d.space_size(), 4);
+        assert_eq!(a.space_size(), 16);
+        assert_eq!(b.space_size(), 16);
+        assert_eq!(c.space_size(), 16);
+    }
+
+    #[test]
+    fn multi_axis_collapse_matches_table1() {
+        // Table 1 second half: rows [1 2 3][4 5 6][7 8 9], reduce axes {0, 2};
+        // the collapsed hierarchy is [7 16 27].
+        let m = ParallelismMatrix::new(
+            vec![vec![1, 2, 3], vec![4, 5, 6], vec![7, 8, 9]],
+            vec![28, 80, 162],
+            vec![6, 120, 504],
+        )
+        .unwrap();
+        let d = SynthesisHierarchy::build(&m, &[0, 2], HierarchyKind::ReductionAxes).unwrap();
+        assert_eq!(d.factors(), vec![1, 7, 16, 27]);
+        // Level 1 collapsed (axis0=1 dropped, axis2=7); level 2 collapsed 2*8 = 16.
+        assert_eq!(d.levels()[2].axis_factors, vec![(0, 2), (2, 8)]);
+    }
+
+    #[test]
+    fn invalid_axes_rejected() {
+        let m = figure2d();
+        assert!(SynthesisHierarchy::build(&m, &[], HierarchyKind::ReductionAxes).is_err());
+        assert!(SynthesisHierarchy::build(&m, &[2], HierarchyKind::ReductionAxes).is_err());
+        assert!(SynthesisHierarchy::build(&m, &[0, 0], HierarchyKind::ReductionAxes).is_err());
+    }
+
+    #[test]
+    fn table2_groups_on_the_system_hierarchy() {
+        let m = figure2d();
+        let h = SynthesisHierarchy::build(&m, &[1], HierarchyKind::System).unwrap();
+        // slice = CPU (level 2), InsideGroup: the four CPUs' GPU quartets.
+        let g = h.derive_groups(2, Form::InsideGroup).unwrap();
+        assert_eq!(g, vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9, 10, 11], vec![12, 13, 14, 15]]);
+        // slice = CPU, Parallel(server = level 1): {A0,B0} {A1,B1} ... {C0,D0} ...
+        let g = h.derive_groups(2, Form::Parallel(1)).unwrap();
+        assert!(g.contains(&vec![0, 4]));
+        assert!(g.contains(&vec![3, 7]));
+        assert!(g.contains(&vec![8, 12]));
+        assert_eq!(g.len(), 8);
+        // slice = CPU, Parallel(rack = level 0): {A0,B0,C0,D0} ...
+        let g = h.derive_groups(2, Form::Parallel(0)).unwrap();
+        assert!(g.contains(&vec![0, 4, 8, 12]));
+        assert_eq!(g.len(), 4);
+        // slice = CPU, Master(rack): only the first of those groups.
+        let g = h.derive_groups(2, Form::Master(0)).unwrap();
+        assert_eq!(g, vec![vec![0, 4, 8, 12]]);
+        // slice = server (level 1), InsideGroup: halves of the rack.
+        let g = h.derive_groups(1, Form::InsideGroup).unwrap();
+        assert_eq!(g, vec![(0..8).collect::<Vec<_>>(), (8..16).collect::<Vec<_>>()]);
+        // slice = server, Parallel(rack): {A0,C0} {A1,C1} ... {B0,D0} ...
+        let g = h.derive_groups(1, Form::Parallel(0)).unwrap();
+        assert!(g.contains(&vec![0, 8]));
+        assert!(g.contains(&vec![4, 12]));
+        assert_eq!(g.len(), 8);
+        // slice = rack, InsideGroup: everything.
+        let g = h.derive_groups(0, Form::InsideGroup).unwrap();
+        assert_eq!(g, vec![(0..16).collect::<Vec<_>>()]);
+    }
+
+    #[test]
+    fn groups_are_disjoint_and_cover_uniform_sizes() {
+        let m = figure2d();
+        for kind in HierarchyKind::ALL {
+            let h = SynthesisHierarchy::build(&m, &[1], kind).unwrap();
+            for slice in 0..h.depth() {
+                let mut forms = vec![Form::InsideGroup];
+                for a in 0..slice {
+                    forms.push(Form::Parallel(a));
+                    forms.push(Form::Master(a));
+                }
+                for form in forms {
+                    let groups = h.derive_groups(slice, form).unwrap();
+                    let mut seen = std::collections::HashSet::new();
+                    for g in &groups {
+                        for &d in g {
+                            assert!(seen.insert(d), "device {d} appears twice ({kind:?}, {slice}, {form})");
+                            assert!(d < h.space_size());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bad_slice_and_ancestor_rejected() {
+        let m = figure2d();
+        let h = SynthesisHierarchy::build(&m, &[1], HierarchyKind::ReductionAxes).unwrap();
+        assert!(matches!(
+            h.derive_groups(9, Form::InsideGroup),
+            Err(SynthesisError::LevelOutOfRange { level: 9 })
+        ));
+        assert!(matches!(
+            h.derive_groups(1, Form::Parallel(1)),
+            Err(SynthesisError::NotAnAncestor { slice: 1, ancestor: 1 })
+        ));
+        assert!(matches!(
+            h.derive_groups(1, Form::Parallel(7)),
+            Err(SynthesisError::LevelOutOfRange { level: 7 })
+        ));
+    }
+
+    #[test]
+    fn letters_match_paper() {
+        assert_eq!(HierarchyKind::System.letter(), 'a');
+        assert_eq!(HierarchyKind::ReductionAxes.letter(), 'd');
+    }
+}

@@ -1,0 +1,39 @@
+//! Smoke test: synthesis stays fast on the paper's largest configurations.
+use std::time::Instant;
+
+use p2_placement::enumerate_matrices;
+use p2_synthesis::{HierarchyKind, Synthesizer};
+
+#[test]
+fn large_single_axis_synthesis_terminates_quickly() {
+    // [64] on the 4-node A100 system [4, 16]: the largest reduction scope in Table 4.
+    let matrices = enumerate_matrices(&[4, 16], &[64]).unwrap();
+    assert_eq!(matrices.len(), 1);
+    let start = Instant::now();
+    let mut total = 0usize;
+    for m in matrices {
+        let s = Synthesizer::new(m, vec![0], HierarchyKind::ReductionAxes).unwrap();
+        let r = s.synthesize(5);
+        total += r.len();
+    }
+    let elapsed = start.elapsed();
+    println!("[64] on [4,16]: {total} programs in {elapsed:?}");
+    assert!(total >= 3);
+    assert!(elapsed.as_secs() < 120, "synthesis too slow: {elapsed:?}");
+}
+
+#[test]
+fn three_axis_synthesis_terminates_quickly() {
+    // [16 2 2] reduction on axes 0 and 2 (Table 4 row H) across all matrices.
+    let matrices = enumerate_matrices(&[4, 16], &[16, 2, 2]).unwrap();
+    let start = Instant::now();
+    let mut total = 0usize;
+    for m in matrices {
+        let s = Synthesizer::new(m, vec![0, 2], HierarchyKind::ReductionAxes).unwrap();
+        total += s.synthesize(5).len();
+    }
+    let elapsed = start.elapsed();
+    println!("[16 2 2] on [4,16]: {total} programs across matrices in {elapsed:?}");
+    assert!(total > 10);
+    assert!(elapsed.as_secs() < 120, "synthesis too slow: {elapsed:?}");
+}

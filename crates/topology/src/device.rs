@@ -1,0 +1,95 @@
+/// A hierarchical coordinate of a device: one digit per hierarchy level,
+/// outermost level first.
+///
+/// # Examples
+///
+/// ```
+/// use p2_topology::DeviceCoord;
+/// let c = DeviceCoord::new(vec![0, 1, 0, 3]);
+/// assert_eq!(c.digits(), &[0, 1, 0, 3]);
+/// assert_eq!(c.digit(3), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceCoord {
+    digits: Vec<usize>,
+}
+
+impl DeviceCoord {
+    /// Creates a coordinate from per-level digits (outermost first).
+    pub fn new(digits: Vec<usize>) -> Self {
+        DeviceCoord { digits }
+    }
+
+    /// The per-level digits, outermost first.
+    pub fn digits(&self) -> &[usize] {
+        &self.digits
+    }
+
+    /// The digit at a specific level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn digit(&self, level: usize) -> usize {
+        self.digits[level]
+    }
+
+    /// Number of levels in the coordinate.
+    pub fn depth(&self) -> usize {
+        self.digits.len()
+    }
+
+    /// Returns the prefix of the coordinate up to and including `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn prefix(&self, level: usize) -> &[usize] {
+        &self.digits[..=level]
+    }
+}
+
+impl From<Vec<usize>> for DeviceCoord {
+    fn from(digits: Vec<usize>) -> Self {
+        DeviceCoord::new(digits)
+    }
+}
+
+impl AsRef<[usize]> for DeviceCoord {
+    fn as_ref(&self) -> &[usize] {
+        &self.digits
+    }
+}
+
+impl std::fmt::Display for DeviceCoord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.digits.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_accessors() {
+        let c = DeviceCoord::new(vec![1, 2, 3]);
+        assert_eq!(c.to_string(), "(1,2,3)");
+        assert_eq!(c.depth(), 3);
+        assert_eq!(c.prefix(1), &[1, 2]);
+        assert_eq!(c.digit(2), 3);
+    }
+
+    #[test]
+    fn conversions() {
+        let c: DeviceCoord = vec![0, 1].into();
+        assert_eq!(c.as_ref(), &[0, 1]);
+    }
+}

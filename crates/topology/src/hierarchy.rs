@@ -1,0 +1,256 @@
+use crate::device::DeviceCoord;
+use crate::error::TopologyError;
+
+/// One level of the hardware hierarchy: a name and a cardinality.
+///
+/// The cardinality (`arity`) is the number of instances of this level *per
+/// instance of the level above*; for the topmost level it is the absolute
+/// count. For example, the Figure 2a system of the paper is
+/// `[(rack, 1), (server, 2), (CPU, 2), (GPU, 4)]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Level {
+    name: String,
+    arity: usize,
+}
+
+impl Level {
+    /// Creates a new level with the given name and cardinality.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use p2_topology::Level;
+    /// let gpu = Level::new("GPU", 4);
+    /// assert_eq!(gpu.arity(), 4);
+    /// ```
+    pub fn new(name: impl Into<String>, arity: usize) -> Self {
+        Level { name: name.into(), arity }
+    }
+
+    /// The level's name (e.g. `"GPU"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The level's cardinality per parent instance.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+}
+
+/// An ordered hardware hierarchy, from the outermost level to the devices.
+///
+/// Devices are the leaves: there is one device per combination of level
+/// indices. Device *ranks* enumerate the leaves in row-major order with level
+/// 0 most significant.
+///
+/// # Examples
+///
+/// ```
+/// use p2_topology::{Hierarchy, Level};
+/// let h = Hierarchy::new(vec![Level::new("node", 2), Level::new("gpu", 4)]).unwrap();
+/// assert_eq!(h.num_devices(), 8);
+/// assert_eq!(h.rank_to_coord(5).unwrap().digits(), &[1, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Hierarchy {
+    levels: Vec<Level>,
+}
+
+impl Hierarchy {
+    /// Creates a hierarchy from a non-empty list of levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::EmptyHierarchy`] if `levels` is empty and
+    /// [`TopologyError::ZeroArity`] if any level has cardinality zero.
+    pub fn new(levels: Vec<Level>) -> Result<Self, TopologyError> {
+        if levels.is_empty() {
+            return Err(TopologyError::EmptyHierarchy);
+        }
+        for level in &levels {
+            if level.arity == 0 {
+                return Err(TopologyError::ZeroArity { level: level.name.clone() });
+            }
+        }
+        Ok(Hierarchy { levels })
+    }
+
+    /// Creates a hierarchy from `(name, arity)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Hierarchy::new`].
+    pub fn from_pairs<I, S>(pairs: I) -> Result<Self, TopologyError>
+    where
+        I: IntoIterator<Item = (S, usize)>,
+        S: Into<String>,
+    {
+        Hierarchy::new(pairs.into_iter().map(|(n, a)| Level::new(n, a)).collect())
+    }
+
+    /// Creates a hierarchy with auto-generated level names (`level0`, `level1`, …).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Hierarchy::new`].
+    pub fn from_arities(arities: &[usize]) -> Result<Self, TopologyError> {
+        Hierarchy::new(
+            arities
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| Level::new(format!("level{i}"), a))
+                .collect(),
+        )
+    }
+
+    /// The ordered levels, outermost first.
+    pub fn levels(&self) -> &[Level] {
+        &self.levels
+    }
+
+    /// The number of levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The per-level cardinalities, outermost first.
+    pub fn arities(&self) -> Vec<usize> {
+        self.levels.iter().map(|l| l.arity).collect()
+    }
+
+    /// Total number of devices (leaves): the product of all cardinalities.
+    pub fn num_devices(&self) -> usize {
+        self.levels.iter().map(|l| l.arity).product()
+    }
+
+    /// Converts a device rank to its hierarchical coordinate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::DeviceOutOfRange`] if `rank` is not a valid
+    /// device rank.
+    pub fn rank_to_coord(&self, rank: usize) -> Result<DeviceCoord, TopologyError> {
+        let n = self.num_devices();
+        if rank >= n {
+            return Err(TopologyError::DeviceOutOfRange { rank, num_devices: n });
+        }
+        let mut digits = vec![0usize; self.depth()];
+        let mut rest = rank;
+        for (i, level) in self.levels.iter().enumerate().rev() {
+            digits[i] = rest % level.arity;
+            rest /= level.arity;
+        }
+        Ok(DeviceCoord::new(digits))
+    }
+
+    /// Converts a hierarchical coordinate back to a device rank.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidCoordinate`] if the coordinate's shape
+    /// does not match the hierarchy or any digit is out of range.
+    pub fn coord_to_rank(&self, coord: &DeviceCoord) -> Result<usize, TopologyError> {
+        let digits = coord.digits();
+        if digits.len() != self.depth() {
+            return Err(TopologyError::InvalidCoordinate { coord: digits.to_vec() });
+        }
+        let mut rank = 0usize;
+        for (digit, level) in digits.iter().zip(&self.levels) {
+            if *digit >= level.arity {
+                return Err(TopologyError::InvalidCoordinate { coord: digits.to_vec() });
+            }
+            rank = rank * level.arity + digit;
+        }
+        Ok(rank)
+    }
+
+    /// A human-readable name for a device, e.g. `"rack0/server1/CPU0/GPU3"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::DeviceOutOfRange`] if `rank` is invalid.
+    pub fn device_name(&self, rank: usize) -> Result<String, TopologyError> {
+        let coord = self.rank_to_coord(rank)?;
+        Ok(coord
+            .digits()
+            .iter()
+            .zip(&self.levels)
+            .map(|(d, l)| format!("{}{}", l.name, d))
+            .collect::<Vec<_>>()
+            .join("/"))
+    }
+
+    /// Iterates over all device ranks.
+    pub fn device_ranks(&self) -> std::ops::Range<usize> {
+        0..self.num_devices()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure2a() -> Hierarchy {
+        Hierarchy::from_pairs([("rack", 1), ("server", 2), ("CPU", 2), ("GPU", 4)]).unwrap()
+    }
+
+    #[test]
+    fn figure2a_has_sixteen_gpus() {
+        assert_eq!(figure2a().num_devices(), 16);
+        assert_eq!(figure2a().arities(), vec![1, 2, 2, 4]);
+    }
+
+    #[test]
+    fn rank_coord_roundtrip() {
+        let h = figure2a();
+        for rank in h.device_ranks() {
+            let coord = h.rank_to_coord(rank).unwrap();
+            assert_eq!(h.coord_to_rank(&coord).unwrap(), rank);
+        }
+    }
+
+    #[test]
+    fn rank_out_of_range_is_error() {
+        let h = figure2a();
+        assert!(matches!(
+            h.rank_to_coord(16),
+            Err(TopologyError::DeviceOutOfRange { rank: 16, num_devices: 16 })
+        ));
+    }
+
+    #[test]
+    fn coord_with_bad_digit_is_error() {
+        let h = figure2a();
+        let bad = DeviceCoord::new(vec![0, 0, 2, 0]);
+        assert!(h.coord_to_rank(&bad).is_err());
+        let short = DeviceCoord::new(vec![0, 0]);
+        assert!(h.coord_to_rank(&short).is_err());
+    }
+
+    #[test]
+    fn empty_hierarchy_rejected() {
+        assert_eq!(Hierarchy::new(vec![]), Err(TopologyError::EmptyHierarchy));
+    }
+
+    #[test]
+    fn zero_arity_rejected() {
+        let err = Hierarchy::from_pairs([("node", 2), ("gpu", 0)]).unwrap_err();
+        assert!(matches!(err, TopologyError::ZeroArity { .. }));
+    }
+
+    #[test]
+    fn device_names_follow_levels() {
+        let h = figure2a();
+        assert_eq!(h.device_name(0).unwrap(), "rack0/server0/CPU0/GPU0");
+        assert_eq!(h.device_name(15).unwrap(), "rack0/server1/CPU1/GPU3");
+    }
+
+    #[test]
+    fn ranks_are_row_major_level0_most_significant() {
+        let h = Hierarchy::from_arities(&[2, 3]).unwrap();
+        assert_eq!(h.rank_to_coord(0).unwrap().digits(), &[0, 0]);
+        assert_eq!(h.rank_to_coord(3).unwrap().digits(), &[1, 0]);
+        assert_eq!(h.rank_to_coord(5).unwrap().digits(), &[1, 2]);
+    }
+}

@@ -1,0 +1,94 @@
+use crate::error::TopologyError;
+
+/// A switched interconnect attached to one hierarchy level.
+///
+/// The interconnect at level `l` is the switch that connects the level-`l`
+/// instances that share the same parent instance at level `l − 1` (for the
+/// topmost level it is the data-centre network). `bandwidth` is the
+/// *per-uplink* bandwidth in bytes/second — the rate at which a single child
+/// can move data in or out of the switch — and `latency` is the per-message
+/// latency in seconds.
+///
+/// # Examples
+///
+/// ```
+/// use p2_topology::Interconnect;
+/// let nic = Interconnect::new("NIC", 8.0e9, 10.0e-6).unwrap();
+/// assert_eq!(nic.bandwidth(), 8.0e9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Interconnect {
+    name: String,
+    bandwidth: f64,
+    latency: f64,
+}
+
+impl Interconnect {
+    /// Creates an interconnect with the given per-uplink bandwidth (bytes/s)
+    /// and per-message latency (seconds).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidBandwidth`] if the bandwidth is not a
+    /// positive finite number and [`TopologyError::InvalidLatency`] if the
+    /// latency is negative or non-finite.
+    pub fn new(name: impl Into<String>, bandwidth: f64, latency: f64) -> Result<Self, TopologyError> {
+        let name = name.into();
+        if !(bandwidth.is_finite() && bandwidth > 0.0) {
+            return Err(TopologyError::InvalidBandwidth { link: name });
+        }
+        if !(latency.is_finite() && latency >= 0.0) {
+            return Err(TopologyError::InvalidLatency { link: name });
+        }
+        Ok(Interconnect { name, bandwidth, latency })
+    }
+
+    /// The interconnect's name (e.g. `"NVSwitch"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Per-uplink bandwidth in bytes per second.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Per-message latency in seconds.
+    pub fn latency(&self) -> f64 {
+        self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_interconnect() {
+        let i = Interconnect::new("NVLink", 135.0e9, 2.0e-6).unwrap();
+        assert_eq!(i.name(), "NVLink");
+        assert_eq!(i.bandwidth(), 135.0e9);
+        assert_eq!(i.latency(), 2.0e-6);
+    }
+
+    #[test]
+    fn zero_bandwidth_rejected() {
+        assert!(matches!(
+            Interconnect::new("bad", 0.0, 1.0e-6),
+            Err(TopologyError::InvalidBandwidth { .. })
+        ));
+    }
+
+    #[test]
+    fn nan_bandwidth_rejected() {
+        assert!(Interconnect::new("bad", f64::NAN, 1.0e-6).is_err());
+    }
+
+    #[test]
+    fn negative_latency_rejected() {
+        assert!(matches!(
+            Interconnect::new("bad", 1.0e9, -1.0),
+            Err(TopologyError::InvalidLatency { .. })
+        ));
+    }
+}

@@ -1,0 +1,43 @@
+//! Hierarchical system and interconnect models for the P² reproduction.
+//!
+//! A *system* (paper §2) consists of a hardware [`Hierarchy`] — an ordered
+//! list of named levels with cardinalities, e.g. `[(rack, 1), (server, 2),
+//! (CPU, 2), (GPU, 4)]` — and a set of switched interconnects. This crate
+//! models one interconnect per hierarchy level (the switch that connects the
+//! children of every instance of the level above), which matches all the
+//! systems evaluated in the paper, and exposes the *uplink* abstraction used
+//! by the cost model and the execution simulator: the port that connects an
+//! instance of a level to the switch above it.
+//!
+//! # Example
+//!
+//! ```
+//! use p2_topology::presets;
+//!
+//! let system = presets::a100_system(4);
+//! assert_eq!(system.hierarchy().num_devices(), 64);
+//! // Two GPUs in different nodes communicate through the node NICs.
+//! let uplinks = system.used_uplinks(&[0, 16]);
+//! assert!(uplinks.iter().any(|u| u.level == 0));
+//! ```
+
+#![deny(missing_docs)]
+
+mod device;
+mod error;
+mod hierarchy;
+mod interconnect;
+pub mod presets;
+mod system;
+
+pub use device::DeviceCoord;
+pub use error::TopologyError;
+pub use hierarchy::{Hierarchy, Level};
+pub use interconnect::Interconnect;
+pub use system::{SystemTopology, Uplink};
+
+/// Convenience constant: one gigabyte per second, in bytes per second.
+pub const GB_PER_S: f64 = 1.0e9;
+
+/// Convenience constant: one microsecond, in seconds.
+pub const MICROSECOND: f64 = 1.0e-6;

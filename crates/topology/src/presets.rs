@@ -1,0 +1,134 @@
+//! Built-in system models used throughout the paper's evaluation (§4, Figure 9).
+//!
+//! Bandwidth assumptions follow §5 of the paper:
+//!
+//! * 100 Gbps NICs assumed 60 % utilised → 8 GB/s effective per node,
+//! * PCIe switches: 32 GB/s,
+//! * V100 NVLink ring: 135 GB/s per direction,
+//! * A100 NVSwitch: 270 GB/s uni-directional.
+
+use crate::{Hierarchy, Interconnect, SystemTopology, GB_PER_S, MICROSECOND};
+
+/// Effective per-node NIC bandwidth assumed by the paper (bytes/s).
+pub const NIC_BANDWIDTH: f64 = 8.0 * GB_PER_S;
+/// PCIe switch bandwidth assumed by the paper (bytes/s).
+pub const PCIE_BANDWIDTH: f64 = 32.0 * GB_PER_S;
+/// V100 NVLink-ring bandwidth assumed by the paper (bytes/s).
+pub const V100_NVLINK_BANDWIDTH: f64 = 135.0 * GB_PER_S;
+/// A100 NVSwitch bandwidth assumed by the paper (bytes/s).
+pub const A100_NVSWITCH_BANDWIDTH: f64 = 270.0 * GB_PER_S;
+
+/// Per-message latency assumed for the data-centre network.
+pub const DCN_LATENCY: f64 = 25.0 * MICROSECOND;
+/// Per-message latency assumed for intra-node interconnects.
+pub const LOCAL_LATENCY: f64 = 5.0 * MICROSECOND;
+
+/// The A100 system of Figure 9a: `nodes` nodes, each with 16 A100 GPUs
+/// sharing one NVSwitch and one NIC; NICs connected through the data-centre
+/// network. System hierarchy `[nodes, 16]` as in §4.
+///
+/// # Panics
+///
+/// Panics if `nodes` is zero.
+pub fn a100_system(nodes: usize) -> SystemTopology {
+    assert!(nodes > 0, "a100_system requires at least one node");
+    let hierarchy = Hierarchy::from_pairs([("node", nodes), ("gpu", 16)])
+        .expect("static hierarchy is valid");
+    let links = vec![
+        Interconnect::new("NIC/DCN", NIC_BANDWIDTH, DCN_LATENCY).expect("valid link"),
+        Interconnect::new("NVSwitch", A100_NVSWITCH_BANDWIDTH, LOCAL_LATENCY).expect("valid link"),
+    ];
+    SystemTopology::with_name(format!("a100-{nodes}node"), hierarchy, links)
+        .expect("hierarchy and links are consistent")
+}
+
+/// The V100 system of Figure 9b, flattened as in §4: `nodes` nodes, each with
+/// 8 V100 GPUs joined by an NVLink ring. Because the NVLink ring connects all
+/// 8 GPUs and has much higher bandwidth than the PCIe bridges, the paper (and
+/// we) model a node as a single level of 8 GPUs, so the system hierarchy is
+/// `[nodes, 8]`.
+///
+/// # Panics
+///
+/// Panics if `nodes` is zero.
+pub fn v100_system(nodes: usize) -> SystemTopology {
+    assert!(nodes > 0, "v100_system requires at least one node");
+    let hierarchy =
+        Hierarchy::from_pairs([("node", nodes), ("gpu", 8)]).expect("static hierarchy is valid");
+    let links = vec![
+        Interconnect::new("NIC/DCN", NIC_BANDWIDTH, DCN_LATENCY).expect("valid link"),
+        Interconnect::new("NVLink-ring", V100_NVLINK_BANDWIDTH, LOCAL_LATENCY).expect("valid link"),
+    ];
+    SystemTopology::with_name(format!("v100-{nodes}node"), hierarchy, links)
+        .expect("hierarchy and links are consistent")
+}
+
+/// The detailed V100 system of Figure 9b *without* the §4 flattening: each
+/// node has two CPUs (PCIe domains) of 4 GPUs each. Useful for experiments
+/// that exercise deeper hierarchies.
+///
+/// # Panics
+///
+/// Panics if `nodes` is zero.
+pub fn v100_pcie_system(nodes: usize) -> SystemTopology {
+    assert!(nodes > 0, "v100_pcie_system requires at least one node");
+    let hierarchy =
+        Hierarchy::from_pairs([("node", nodes), ("cpu", 2), ("gpu", 4)]).expect("valid hierarchy");
+    let links = vec![
+        Interconnect::new("NIC/DCN", NIC_BANDWIDTH, DCN_LATENCY).expect("valid link"),
+        Interconnect::new("PCIe", PCIE_BANDWIDTH, LOCAL_LATENCY).expect("valid link"),
+        Interconnect::new("NVLink", V100_NVLINK_BANDWIDTH, LOCAL_LATENCY).expect("valid link"),
+    ];
+    SystemTopology::with_name(format!("v100-pcie-{nodes}node"), hierarchy, links)
+        .expect("hierarchy and links are consistent")
+}
+
+/// The 16-GPU example system of Figure 2a: one rack with 2 servers, each with
+/// 2 CPUs connecting 4 GPUs.
+pub fn figure2a_system() -> SystemTopology {
+    let hierarchy =
+        Hierarchy::from_pairs([("rack", 1), ("server", 2), ("CPU", 2), ("GPU", 4)])
+            .expect("valid hierarchy");
+    let links = vec![
+        Interconnect::new("rack-switch", NIC_BANDWIDTH, DCN_LATENCY).expect("valid link"),
+        Interconnect::new("server-NIC", NIC_BANDWIDTH, DCN_LATENCY).expect("valid link"),
+        Interconnect::new("PCIe", PCIE_BANDWIDTH, LOCAL_LATENCY).expect("valid link"),
+        Interconnect::new("NVLink", V100_NVLINK_BANDWIDTH, LOCAL_LATENCY).expect("valid link"),
+    ];
+    SystemTopology::with_name("figure2a", hierarchy, links)
+        .expect("hierarchy and links are consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_sizes() {
+        assert_eq!(a100_system(2).num_devices(), 32);
+        assert_eq!(a100_system(4).num_devices(), 64);
+        assert_eq!(a100_system(4).hierarchy().arities(), vec![4, 16]);
+    }
+
+    #[test]
+    fn v100_sizes() {
+        assert_eq!(v100_system(2).num_devices(), 16);
+        assert_eq!(v100_system(4).num_devices(), 32);
+        assert_eq!(v100_pcie_system(4).num_devices(), 32);
+        assert_eq!(v100_pcie_system(4).hierarchy().depth(), 3);
+    }
+
+    #[test]
+    fn figure2a_matches_paper() {
+        let sys = figure2a_system();
+        assert_eq!(sys.num_devices(), 16);
+        assert_eq!(sys.hierarchy().arities(), vec![1, 2, 2, 4]);
+    }
+
+    #[test]
+    fn nic_is_the_cross_node_bottleneck() {
+        let sys = a100_system(2);
+        assert_eq!(sys.bottleneck_bandwidth(&[0, 16]), Some(NIC_BANDWIDTH));
+        assert_eq!(sys.bottleneck_bandwidth(&[0, 1]), Some(A100_NVSWITCH_BANDWIDTH));
+    }
+}

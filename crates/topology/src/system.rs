@@ -1,0 +1,264 @@
+use std::collections::BTreeSet;
+
+use crate::error::TopologyError;
+use crate::hierarchy::Hierarchy;
+use crate::interconnect::Interconnect;
+
+/// An uplink: the port connecting one instance of a hierarchy level to the
+/// switch of its parent.
+///
+/// `level` indexes the hierarchy (0 = outermost) and `instance` is the rank of
+/// the level-`level` instance among all instances of that level (row-major,
+/// outermost level most significant). All traffic that leaves or enters the
+/// subtree rooted at that instance flows through its uplink, which has the
+/// bandwidth of the interconnect at `level`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Uplink {
+    /// Hierarchy level of the instance that owns this uplink.
+    pub level: usize,
+    /// Rank of the instance among all instances of its level.
+    pub instance: usize,
+}
+
+/// A complete system: a hardware hierarchy plus one interconnect per level.
+///
+/// `links[l]` is the interconnect whose switch connects the level-`l`
+/// instances that share a parent; its bandwidth is the per-uplink bandwidth of
+/// every level-`l` instance.
+///
+/// # Examples
+///
+/// ```
+/// use p2_topology::{Hierarchy, Interconnect, SystemTopology};
+/// let hierarchy = Hierarchy::from_pairs([("node", 2), ("gpu", 16)])?;
+/// let links = vec![
+///     Interconnect::new("NIC", 8.0e9, 10.0e-6)?,
+///     Interconnect::new("NVSwitch", 270.0e9, 2.0e-6)?,
+/// ];
+/// let system = SystemTopology::new(hierarchy, links)?;
+/// assert_eq!(system.num_devices(), 32);
+/// # Ok::<(), p2_topology::TopologyError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemTopology {
+    hierarchy: Hierarchy,
+    links: Vec<Interconnect>,
+    name: String,
+}
+
+impl SystemTopology {
+    /// Creates a system from a hierarchy and one interconnect per level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::LinkCountMismatch`] when the number of
+    /// interconnects differs from the number of levels.
+    pub fn new(hierarchy: Hierarchy, links: Vec<Interconnect>) -> Result<Self, TopologyError> {
+        if hierarchy.depth() != links.len() {
+            return Err(TopologyError::LinkCountMismatch {
+                levels: hierarchy.depth(),
+                links: links.len(),
+            });
+        }
+        Ok(SystemTopology { hierarchy, links, name: "custom".to_string() })
+    }
+
+    /// Creates a named system (used by the presets).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SystemTopology::new`].
+    pub fn with_name(
+        name: impl Into<String>,
+        hierarchy: Hierarchy,
+        links: Vec<Interconnect>,
+    ) -> Result<Self, TopologyError> {
+        let mut sys = SystemTopology::new(hierarchy, links)?;
+        sys.name = name.into();
+        Ok(sys)
+    }
+
+    /// A short descriptive name of the system (e.g. `"a100-4node"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The hardware hierarchy.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// The per-level interconnects, outermost first.
+    pub fn links(&self) -> &[Interconnect] {
+        &self.links
+    }
+
+    /// The interconnect at a specific level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn link(&self, level: usize) -> &Interconnect {
+        &self.links[level]
+    }
+
+    /// Total number of devices in the system.
+    pub fn num_devices(&self) -> usize {
+        self.hierarchy.num_devices()
+    }
+
+    /// Number of instances of a given level across the whole system
+    /// (the product of the cardinalities of levels `0..=level`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range.
+    pub fn instances_at_level(&self, level: usize) -> usize {
+        self.hierarchy.arities()[..=level].iter().product()
+    }
+
+    /// Rank (among all instances of its level) of the ancestor of `device` at
+    /// `level`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `device` is out of range.
+    pub fn ancestor_instance(&self, device: usize, level: usize) -> Result<usize, TopologyError> {
+        let coord = self.hierarchy.rank_to_coord(device)?;
+        let arities = self.hierarchy.arities();
+        let mut rank = 0usize;
+        for l in 0..=level {
+            rank = rank * arities[l] + coord.digit(l);
+        }
+        Ok(rank)
+    }
+
+    /// The set of uplinks used when the devices of `group` communicate with
+    /// each other through the switched hierarchy.
+    ///
+    /// An uplink `(level, instance)` is used exactly when the group contains a
+    /// device inside the instance's subtree and a device outside it, because
+    /// any such traffic must cross that port. The result is sorted and free of
+    /// duplicates.
+    ///
+    /// Groups with fewer than two devices use no uplinks. Device ranks outside
+    /// the system are ignored by this method (callers validate ranks when the
+    /// groups are built).
+    pub fn used_uplinks(&self, group: &[usize]) -> Vec<Uplink> {
+        if group.len() < 2 {
+            return Vec::new();
+        }
+        let depth = self.hierarchy.depth();
+        let mut used = BTreeSet::new();
+        // For every level, bucket the group's members by ancestor instance.
+        for level in 0..depth {
+            let mut instances = BTreeSet::new();
+            for &d in group {
+                if d >= self.num_devices() {
+                    continue;
+                }
+                if let Ok(inst) = self.ancestor_instance(d, level) {
+                    instances.insert(inst);
+                }
+            }
+            // If the group occupies more than one instance at this level, then
+            // each occupied instance's uplink carries traffic (members inside
+            // it must talk to members outside it). We additionally require
+            // that the instances share a parent *or not*: either way the
+            // traffic leaves the subtree through the uplink, so the rule is
+            // simply "more than one occupied instance at this level".
+            if instances.len() > 1 {
+                for inst in instances {
+                    used.insert(Uplink { level, instance: inst });
+                }
+            }
+        }
+        used.into_iter().collect()
+    }
+
+    /// The outermost level at which the members of `group` differ, or `None`
+    /// when the group has fewer than two distinct devices.
+    ///
+    /// This is the level of the slowest interconnect the group must cross.
+    pub fn span_level(&self, group: &[usize]) -> Option<usize> {
+        let uplinks = self.used_uplinks(group);
+        uplinks.first().map(|u| u.level)
+    }
+
+    /// The bandwidth (bytes/s) of the slowest interconnect spanned by `group`,
+    /// ignoring contention, or `None` for trivial groups.
+    pub fn bottleneck_bandwidth(&self, group: &[usize]) -> Option<f64> {
+        self.span_level(group).map(|l| self.links[l].bandwidth())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Hierarchy;
+
+    fn two_by_four() -> SystemTopology {
+        let h = Hierarchy::from_pairs([("node", 2), ("gpu", 4)]).unwrap();
+        let links = vec![
+            Interconnect::new("NIC", 8.0e9, 10.0e-6).unwrap(),
+            Interconnect::new("NVLink", 135.0e9, 2.0e-6).unwrap(),
+        ];
+        SystemTopology::new(h, links).unwrap()
+    }
+
+    #[test]
+    fn link_count_mismatch_rejected() {
+        let h = Hierarchy::from_pairs([("node", 2), ("gpu", 4)]).unwrap();
+        let links = vec![Interconnect::new("NIC", 8.0e9, 1e-6).unwrap()];
+        assert!(matches!(
+            SystemTopology::new(h, links),
+            Err(TopologyError::LinkCountMismatch { levels: 2, links: 1 })
+        ));
+    }
+
+    #[test]
+    fn ancestor_instances() {
+        let sys = two_by_four();
+        assert_eq!(sys.ancestor_instance(0, 0).unwrap(), 0);
+        assert_eq!(sys.ancestor_instance(5, 0).unwrap(), 1);
+        assert_eq!(sys.ancestor_instance(5, 1).unwrap(), 5);
+        assert_eq!(sys.instances_at_level(0), 2);
+        assert_eq!(sys.instances_at_level(1), 8);
+    }
+
+    #[test]
+    fn intra_node_group_uses_only_gpu_uplinks() {
+        let sys = two_by_four();
+        let uplinks = sys.used_uplinks(&[0, 1, 2]);
+        assert!(uplinks.iter().all(|u| u.level == 1));
+        assert_eq!(uplinks.len(), 3);
+        assert_eq!(sys.span_level(&[0, 1, 2]), Some(1));
+        assert_eq!(sys.bottleneck_bandwidth(&[0, 1]), Some(135.0e9));
+    }
+
+    #[test]
+    fn cross_node_group_uses_nics_and_gpu_uplinks() {
+        let sys = two_by_four();
+        let uplinks = sys.used_uplinks(&[0, 4]);
+        assert!(uplinks.contains(&Uplink { level: 0, instance: 0 }));
+        assert!(uplinks.contains(&Uplink { level: 0, instance: 1 }));
+        assert!(uplinks.contains(&Uplink { level: 1, instance: 0 }));
+        assert!(uplinks.contains(&Uplink { level: 1, instance: 4 }));
+        assert_eq!(sys.span_level(&[0, 4]), Some(0));
+        assert_eq!(sys.bottleneck_bandwidth(&[0, 4]), Some(8.0e9));
+    }
+
+    #[test]
+    fn trivial_groups_use_nothing() {
+        let sys = two_by_four();
+        assert!(sys.used_uplinks(&[3]).is_empty());
+        assert!(sys.used_uplinks(&[]).is_empty());
+        assert_eq!(sys.span_level(&[3]), None);
+    }
+
+    #[test]
+    fn same_device_twice_uses_nothing() {
+        let sys = two_by_four();
+        assert!(sys.used_uplinks(&[3, 3]).is_empty());
+    }
+}

@@ -1,0 +1,66 @@
+//! Quickstart: the paper's running example (Figures 2 and 3).
+//!
+//! Synthesizes parallelism placements for the 16-GPU system of Figure 2a with
+//! data parallelism of size 4 and 4 parameter shards, then synthesizes and
+//! evaluates reduction strategies along the parameter-sharding axis.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use p2::{presets, NcclAlgo, P2Config, P2};
+
+fn main() -> Result<(), p2::P2Error> {
+    let system = presets::figure2a_system();
+    println!("System: {} ({} GPUs)", system.name(), system.num_devices());
+    println!("Hierarchy: {:?}", system.hierarchy().arities());
+    println!();
+
+    // Data parallelism of size 4 (axis 0) and 4 parameter shards (axis 1);
+    // the reduction of interest runs along the parameter shards.
+    let config = P2Config::new(system, vec![4, 4], vec![1])
+        .with_algo(NcclAlgo::Ring)
+        .with_bytes_per_device(100.0e6) // 100 MB of gradients per GPU
+        .with_repeats(3);
+    let result = P2::new(config)?.run()?;
+
+    println!(
+        "{} parallelism placements synthesized (Figure 2 shows three of them):",
+        result.placements.len()
+    );
+    for placement in &result.placements {
+        println!(
+            "  {:<22}  AllReduce {:>8.4}s   best program {:>8.4}s  ({})  speedup {:>5.2}x  [{} programs, {} beat AllReduce]",
+            placement.matrix.to_string(),
+            placement.allreduce_measured,
+            placement.optimal_measured(),
+            placement
+                .best_measured()
+                .map(|p| p.signature())
+                .unwrap_or_else(|| "AllReduce".into()),
+            placement.speedup(),
+            placement.num_programs,
+            placement.programs_beating_allreduce(),
+        );
+    }
+    println!();
+
+    let best = result.best_overall().expect("at least one program");
+    println!("Best placement + reduction strategy overall:");
+    println!("  program  : {}", best.signature());
+    println!("  steps    : {}", best.program);
+    println!("  measured : {:.4}s", best.measured_seconds);
+    println!("  predicted: {:.4}s", best.predicted_seconds);
+    println!();
+    println!(
+        "The common optimal programs of Figure 10 — Reduce-AllReduce-Broadcast and \
+         ReduceScatter-AllReduce-AllGather — appear among the synthesized programs:"
+    );
+    for signature in ["Reduce-AllReduce-Broadcast", "ReduceScatter-AllReduce-AllGather"] {
+        let found = result
+            .placements
+            .iter()
+            .flat_map(|p| &p.programs)
+            .any(|p| p.signature() == signature);
+        println!("  {signature}: {}", if found { "synthesized" } else { "not found" });
+    }
+    Ok(())
+}

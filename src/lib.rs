@@ -1,0 +1,53 @@
+//! `p2` — a reproduction of *"Synthesizing Optimal Parallelism Placement and
+//! Reduction Strategies on Hierarchical Systems for Deep Learning"*
+//! (MLSys 2022).
+//!
+//! This crate re-exports the whole public API of the workspace so downstream
+//! users can depend on a single crate:
+//!
+//! * [`topology`] — hierarchical systems and interconnects,
+//! * [`placement`] — parallelism matrices and placement enumeration,
+//! * [`collectives`] — state matrices and the semantics of collectives,
+//! * [`synthesis`] — the reduction DSL, synthesis hierarchies and the
+//!   syntax-guided synthesizer,
+//! * [`cost`] — the analytic cost model (the paper's simulator),
+//! * [`exec`] — the discrete-event execution substrate (the measurement
+//!   stand-in for the paper's GPU clusters),
+//! * [`core`] — the end-to-end [`P2`] pipeline.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use p2::{P2, P2Config, presets, NcclAlgo};
+//!
+//! // The 16-GPU system of Figure 2a with data parallelism 4 and 4 parameter
+//! // shards, reducing along the parameter-sharding axis.
+//! let config = P2Config::new(presets::figure2a_system(), vec![4, 4], vec![1])
+//!     .with_algo(NcclAlgo::Ring)
+//!     .with_bytes_per_device(1.0e8);
+//! let result = P2::new(config)?.run()?;
+//! let best = result.best_overall().expect("at least one program");
+//! println!("best placement/program: {} in {:.3}s", best.signature(), best.measured_seconds);
+//! # Ok::<(), p2::P2Error>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub use p2_collectives as collectives;
+pub use p2_core as core;
+pub use p2_cost as cost;
+pub use p2_exec as exec;
+pub use p2_placement as placement;
+pub use p2_synthesis as synthesis;
+pub use p2_topology as topology;
+
+pub use p2_collectives::{Collective, State};
+pub use p2_core::{top_k_accuracy, ExperimentResult, P2Config, P2Error, PlacementEvaluation, ProgramEvaluation, TopKReport, P2};
+pub use p2_cost::{CostModel, NcclAlgo};
+pub use p2_exec::{ExecConfig, Executor};
+pub use p2_placement::{enumerate_matrices, ParallelismMatrix};
+pub use p2_synthesis::{
+    baseline_allreduce, Form, HierarchyKind, Instruction, LoweredProgram, Program, Synthesizer,
+};
+pub use p2_topology::presets;
+pub use p2_topology::{Hierarchy, Interconnect, Level, SystemTopology};

@@ -1,0 +1,176 @@
+//! Integration tests for multi-axis reductions (the collapsed synthesis
+//! hierarchy of Table 1) and for the agreement between the two performance
+//! models on physically meaningful properties.
+
+use p2::cost::{CostModel, NcclAlgo};
+use p2::exec::{ExecConfig, Executor};
+use p2::placement::ParallelismMatrix;
+use p2::synthesis::{baseline_allreduce, HierarchyKind, Synthesizer};
+use p2::topology::{presets, Hierarchy, Interconnect, SystemTopology};
+
+/// A 3-axis placement on the 4-node A100 system, reducing on axes 0 and 2
+/// (the Table 4 H/I shape): the collapsed hierarchy merges the two reduction
+/// axes per hardware level and lowering instantiates the pattern once per
+/// coordinate of the untouched middle axis.
+#[test]
+fn multi_axis_reduction_lowers_to_correct_groups() {
+    let matrix = ParallelismMatrix::new(
+        vec![vec![2, 8], vec![2, 1], vec![1, 2]],
+        vec![4, 16],
+        vec![16, 2, 2],
+    )
+    .unwrap();
+    let synth = Synthesizer::new(matrix.clone(), vec![0, 2], HierarchyKind::ReductionAxes).unwrap();
+    // Collapsed synthesis hierarchy: level 0 factor 2 (axis 0), level 1 factor 16 (8 * 2).
+    assert_eq!(synth.context().hierarchy().factors(), vec![1, 2, 16]);
+    assert_eq!(synth.context().space_size(), 32);
+    // The middle axis (size 2) is untouched, so there are 2 cosets.
+    assert_eq!(synth.context().cosets().len(), 2);
+
+    let result = synth.synthesize(3);
+    assert!(result.programs.iter().any(|p| p.signature() == "AllReduce"));
+    // The lowered single AllReduce must match the placement's reduction groups.
+    let reduction_groups = matrix.reduction_groups(&[0, 2]).unwrap();
+    assert_eq!(reduction_groups.len(), 2);
+    assert!(reduction_groups.iter().all(|g| g.len() == 32));
+    let allreduce = result.programs.iter().find(|p| p.signature() == "AllReduce").unwrap();
+    let lowered = synth.lower(allreduce).unwrap();
+    assert_eq!(lowered.steps[0].groups.len(), 2);
+    for group in &lowered.steps[0].groups {
+        let mut devices = group.devices.clone();
+        devices.sort_unstable();
+        assert!(reduction_groups.contains(&devices));
+    }
+    // Hierarchical programs exist and validate too.
+    assert!(result
+        .programs
+        .iter()
+        .any(|p| p.signature() == "ReduceScatter-AllReduce-AllGather"));
+}
+
+/// Reducing over *all* axes of a multi-axis placement is the same reduction as
+/// a single axis covering the whole machine, so the best synthesized times
+/// should be close.
+#[test]
+fn reducing_all_axes_equals_single_axis_reduction() {
+    let system = presets::v100_system(2);
+    let bytes = 1.0e9;
+    let single = ParallelismMatrix::new(vec![vec![2, 8]], vec![2, 8], vec![16]).unwrap();
+    let double = ParallelismMatrix::new(vec![vec![2, 2], vec![1, 4]], vec![2, 8], vec![4, 4]).unwrap();
+    let best_time = |matrix: &ParallelismMatrix, axes: Vec<usize>| -> f64 {
+        let synth = Synthesizer::new(matrix.clone(), axes, HierarchyKind::ReductionAxes).unwrap();
+        let model = CostModel::new(&system, NcclAlgo::Ring, bytes).unwrap();
+        synth
+            .synthesize(4)
+            .programs
+            .iter()
+            .map(|p| model.program_time(&synth.lower(p).unwrap()))
+            .fold(f64::INFINITY, f64::min)
+    };
+    let t_single = best_time(&single, vec![0]);
+    let t_double = best_time(&double, vec![0, 1]);
+    assert!(
+        (t_single - t_double).abs() / t_single < 0.05,
+        "equivalent reductions should cost the same: {t_single} vs {t_double}"
+    );
+}
+
+/// Doubling every interconnect's bandwidth halves both the predicted and the
+/// (noise-free) measured time of a bandwidth-bound program.
+#[test]
+fn both_models_scale_inversely_with_bandwidth() {
+    let build = |scale: f64| -> SystemTopology {
+        let hierarchy = Hierarchy::from_pairs([("node", 2), ("gpu", 8)]).unwrap();
+        let links = vec![
+            Interconnect::new("nic", 8.0e9 * scale, 0.0).unwrap(),
+            Interconnect::new("nvlink", 135.0e9 * scale, 0.0).unwrap(),
+        ];
+        SystemTopology::new(hierarchy, links).unwrap()
+    };
+    let slow = build(1.0);
+    let fast = build(2.0);
+    let matrix = ParallelismMatrix::new(vec![vec![2, 8]], vec![2, 8], vec![16]).unwrap();
+    let program = baseline_allreduce(&matrix, &[0]).unwrap();
+    let bytes = 4.0e9;
+
+    let cost_slow = CostModel::new(&slow, NcclAlgo::Ring, bytes).unwrap().program_time(&program);
+    let cost_fast = CostModel::new(&fast, NcclAlgo::Ring, bytes).unwrap().program_time(&program);
+    assert!((cost_slow / cost_fast - 2.0).abs() < 1e-6);
+
+    let exec_config = ExecConfig::new(NcclAlgo::Ring, bytes).with_noise(0.0).with_repeats(1);
+    let exec_slow = Executor::new(&slow, exec_config.clone()).unwrap().measure(&program);
+    let exec_fast = Executor::new(&fast, exec_config).unwrap().measure(&program);
+    // Launch overhead is constant, so the ratio is slightly below 2.
+    let ratio = exec_slow / exec_fast;
+    assert!(ratio > 1.9 && ratio <= 2.0, "exec ratio {ratio}");
+}
+
+/// The AllGather cost grows with the group size for a fixed per-rank block
+/// (each rank must receive n-1 blocks), in both models.
+#[test]
+fn allgather_cost_grows_with_group_size() {
+    use p2::synthesis::{GroupExec, LoweredProgram, LoweredStep};
+    let system = presets::a100_system(1);
+    let bytes = 1.0e9;
+    let model = CostModel::new(&system, NcclAlgo::Ring, bytes).unwrap();
+    let exec = Executor::new(
+        &system,
+        ExecConfig::new(NcclAlgo::Ring, bytes).with_noise(0.0).with_repeats(1),
+    )
+    .unwrap();
+    let program = |n: usize| LoweredProgram {
+        steps: vec![LoweredStep {
+            collective: p2::Collective::AllGather,
+            groups: vec![GroupExec { devices: (0..n).collect(), input_fraction: 0.25 }],
+        }],
+        num_devices: 16,
+    };
+    let mut last_cost = 0.0;
+    let mut last_exec = 0.0;
+    for n in [2usize, 4, 8, 16] {
+        let p = program(n);
+        let c = model.program_time(&p);
+        let e = exec.measure(&p);
+        assert!(c > last_cost, "cost model AllGather not monotone at n={n}");
+        assert!(e > last_exec, "exec AllGather not monotone at n={n}");
+        last_cost = c;
+        last_exec = e;
+    }
+}
+
+/// The deeper V100 PCIe system model (node / CPU / GPU) works end to end and
+/// keeping the reduction inside a PCIe domain is cheaper than crossing CPUs.
+#[test]
+fn three_level_hierarchy_end_to_end() {
+    let system = presets::v100_pcie_system(2);
+    assert_eq!(system.hierarchy().depth(), 3);
+    let bytes = 1.0e9;
+    let model = CostModel::new(&system, NcclAlgo::Ring, bytes).unwrap();
+    // Axes [4, 4]: 4-way reduction axis placed either inside a PCIe domain or
+    // across nodes, depending on the matrix.
+    let local = ParallelismMatrix::new(
+        vec![vec![1, 1, 4], vec![2, 2, 1]],
+        vec![2, 2, 4],
+        vec![4, 4],
+    )
+    .unwrap();
+    let spread = ParallelismMatrix::new(
+        vec![vec![2, 2, 1], vec![1, 1, 4]],
+        vec![2, 2, 4],
+        vec![4, 4],
+    )
+    .unwrap();
+    let t_local = model.program_time(&baseline_allreduce(&local, &[0]).unwrap());
+    let t_spread = model.program_time(&baseline_allreduce(&spread, &[0]).unwrap());
+    assert!(
+        t_spread / t_local > 5.0,
+        "crossing nodes should be much slower: {t_local} vs {t_spread}"
+    );
+    // Synthesis also works on the deeper hierarchy.
+    let synth = Synthesizer::new(spread, vec![0], HierarchyKind::ReductionAxes).unwrap();
+    let result = synth.synthesize(4);
+    assert!(result.programs.len() > 3);
+    for p in &result.programs {
+        assert!(synth.lower(p).unwrap().groups_are_disjoint());
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for parallelism-matrix enumeration and the induced
+//! device mapping.
+
+use proptest::prelude::*;
+
+use p2::placement::{enumerate_matrices, ordered_factorizations};
+
+/// Strategy: a small hierarchy (2–3 levels of cardinality 1–4) plus a split of
+/// the device count into 1–3 parallelism axes.
+fn hierarchy_and_axes() -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
+    (proptest::collection::vec(1usize..=4, 2..=3), 1usize..=3).prop_flat_map(|(arities, axes)| {
+        let devices: usize = arities.iter().product();
+        // Split `devices` into `axes` ordered factors, choosing one of the
+        // possible factorizations uniformly.
+        let factorizations = ordered_factorizations(devices, axes);
+        let idx = 0..factorizations.len();
+        (Just(arities), Just(factorizations), idx)
+            .prop_map(|(arities, fs, i)| (arities, fs[i].clone()))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Equations (1) and (2) of the paper hold for every enumerated matrix,
+    /// and no matrix is enumerated twice.
+    #[test]
+    fn enumerated_matrices_satisfy_row_and_column_products(
+        (arities, axes) in hierarchy_and_axes()
+    ) {
+        let matrices = enumerate_matrices(&arities, &axes).unwrap();
+        prop_assert!(!matrices.is_empty());
+        let mut seen = std::collections::HashSet::new();
+        for m in &matrices {
+            prop_assert!(seen.insert(m.to_string()));
+            for (i, row) in m.rows().iter().enumerate() {
+                prop_assert_eq!(row.iter().product::<usize>(), axes[i]);
+            }
+            for j in 0..arities.len() {
+                let col: usize = (0..axes.len()).map(|i| m.factor(i, j)).product();
+                prop_assert_eq!(col, arities[j]);
+            }
+        }
+    }
+
+    /// The device ↔ axis-coordinate mapping is a bijection for every matrix.
+    #[test]
+    fn device_mapping_is_a_bijection((arities, axes) in hierarchy_and_axes()) {
+        for m in enumerate_matrices(&arities, &axes).unwrap() {
+            let mut seen = std::collections::HashSet::new();
+            for rank in 0..m.num_devices() {
+                let coords = m.axis_coords(rank).unwrap();
+                prop_assert_eq!(coords.len(), axes.len());
+                for (i, &c) in coords.iter().enumerate() {
+                    prop_assert!(c < axes[i]);
+                }
+                prop_assert_eq!(m.device_for_axis_coords(&coords).unwrap(), rank);
+                prop_assert!(seen.insert(coords));
+            }
+            prop_assert_eq!(seen.len(), m.num_devices());
+        }
+    }
+
+    /// Reduction groups partition the devices, have the expected size, and
+    /// members agree on every non-reduction coordinate.
+    #[test]
+    fn reduction_groups_partition_devices(
+        (arities, axes) in hierarchy_and_axes(),
+        axis_selector in any::<proptest::sample::Index>(),
+    ) {
+        for m in enumerate_matrices(&arities, &axes).unwrap() {
+            let reduction_axis = axis_selector.index(axes.len());
+            let groups = m.reduction_groups(&[reduction_axis]).unwrap();
+            let expected_size = axes[reduction_axis];
+            let mut all: Vec<usize> = Vec::new();
+            for g in &groups {
+                prop_assert_eq!(g.len(), expected_size);
+                let reference = m.axis_coords(g[0]).unwrap();
+                for &d in g {
+                    let coords = m.axis_coords(d).unwrap();
+                    for (i, (&a, &b)) in coords.iter().zip(&reference).enumerate() {
+                        if i != reduction_axis {
+                            prop_assert_eq!(a, b);
+                        }
+                    }
+                }
+                all.extend(g);
+            }
+            all.sort_unstable();
+            prop_assert_eq!(all, (0..m.num_devices()).collect::<Vec<_>>());
+        }
+    }
+
+    /// Ordered factorizations multiply back to the original number.
+    #[test]
+    fn factorizations_multiply_back(n in 1usize..=64, parts in 1usize..=4) {
+        let fs = ordered_factorizations(n, parts);
+        prop_assert!(!fs.is_empty());
+        for f in fs {
+            prop_assert_eq!(f.len(), parts);
+            prop_assert_eq!(f.iter().product::<usize>(), n);
+        }
+    }
+}

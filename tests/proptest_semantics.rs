@@ -1,0 +1,113 @@
+//! Property-based tests for the collective semantics (Figure 8 of the paper).
+
+use proptest::prelude::*;
+
+use p2::collectives::{apply_collective, apply_to_groups, Collective, State};
+
+/// Strategy: a scope size and a random partition of the devices into groups of
+/// at least two (singletons are dropped).
+fn scope_and_groups() -> impl Strategy<Value = (usize, Vec<Vec<usize>>)> {
+    (2usize..=8).prop_flat_map(|k| {
+        proptest::collection::vec(0usize..4, k).prop_map(move |labels| {
+            let mut buckets: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+            for (device, label) in labels.iter().enumerate() {
+                buckets.entry(*label).or_default().push(device);
+            }
+            let groups: Vec<Vec<usize>> =
+                buckets.into_values().filter(|g| g.len() >= 2).collect();
+            (k, groups)
+        })
+    })
+}
+
+/// Total number of set bits across a state context.
+fn information(states: &[State]) -> usize {
+    states
+        .iter()
+        .map(|s| (0..s.dim()).map(|r| s.row(r).count_ones()).sum::<usize>())
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Applying any collective to fresh initial states either fails or
+    /// produces states that (a) never lose a device's own contribution
+    /// entirely from the context and (b) never exceed the all-ones goal.
+    #[test]
+    fn collectives_preserve_and_bound_information((k, groups) in scope_and_groups()) {
+        prop_assume!(!groups.is_empty());
+        let states: Vec<State> = (0..k).map(|i| State::initial(k, i)).collect();
+        for collective in Collective::ALL {
+            if let Ok(after) = apply_to_groups(collective, &states, &groups) {
+                let goal = State::goal(k);
+                for s in &after {
+                    prop_assert!(s.le(&goal));
+                }
+                // Information in the whole context never decreases for the
+                // "all" collectives; Reduce/ReduceScatter concentrate data but
+                // never invent contributions that were not there.
+                if matches!(collective, Collective::AllReduce | Collective::AllGather | Collective::Broadcast) {
+                    prop_assert!(information(&after) >= information(&states));
+                }
+                // Non-participating devices are untouched.
+                let members: std::collections::HashSet<usize> =
+                    groups.iter().flatten().copied().collect();
+                for d in 0..k {
+                    if !members.contains(&d) {
+                        prop_assert_eq!(&after[d], &states[d]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// AllReduce is exactly ReduceScatter followed by AllGather (when the
+    /// scatter divides evenly) — the decomposition the BlueConnect-style
+    /// programs exploit.
+    #[test]
+    fn allreduce_equals_reducescatter_then_allgather(k in 2usize..=8) {
+        let states: Vec<State> = (0..k).map(|i| State::initial(k, i)).collect();
+        let direct = apply_collective(Collective::AllReduce, &states).unwrap();
+        let scattered = apply_collective(Collective::ReduceScatter, &states).unwrap();
+        let gathered = apply_collective(Collective::AllGather, &scattered).unwrap();
+        prop_assert_eq!(direct, gathered);
+    }
+
+    /// Reduce followed by Broadcast is equivalent to AllReduce.
+    #[test]
+    fn reduce_then_broadcast_equals_allreduce(k in 2usize..=8) {
+        let states: Vec<State> = (0..k).map(|i| State::initial(k, i)).collect();
+        let direct = apply_collective(Collective::AllReduce, &states).unwrap();
+        let reduced = apply_collective(Collective::Reduce, &states).unwrap();
+        let broadcast = apply_collective(Collective::Broadcast, &reduced).unwrap();
+        prop_assert_eq!(direct, broadcast);
+    }
+
+    /// Applying the same reduction twice is always rejected (Figure 4b).
+    #[test]
+    fn double_reduction_is_always_invalid(k in 2usize..=8) {
+        let states: Vec<State> = (0..k).map(|i| State::initial(k, i)).collect();
+        let once = apply_collective(Collective::AllReduce, &states).unwrap();
+        prop_assert!(apply_collective(Collective::AllReduce, &once).is_err());
+        prop_assert!(apply_collective(Collective::Reduce, &once).is_err());
+        prop_assert!(apply_collective(Collective::ReduceScatter, &once).is_err());
+    }
+
+    /// The data fraction tracked for the cost model always lies in [0, 1] and
+    /// matches the number of non-empty rows.
+    #[test]
+    fn data_fraction_is_consistent((k, groups) in scope_and_groups()) {
+        prop_assume!(!groups.is_empty());
+        let states: Vec<State> = (0..k).map(|i| State::initial(k, i)).collect();
+        for collective in Collective::ALL {
+            if let Ok(after) = apply_to_groups(collective, &states, &groups) {
+                for s in &after {
+                    let f = s.data_fraction();
+                    prop_assert!((0.0..=1.0).contains(&f));
+                    prop_assert!((f - s.num_nonempty_rows() as f64 / k as f64).abs() < 1e-12);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests spanning synthesis, lowering, the cost model and the
+//! execution substrate.
+
+use proptest::prelude::*;
+
+use p2::cost::{CostModel, NcclAlgo};
+use p2::exec::{ExecConfig, Executor};
+use p2::placement::{enumerate_matrices, ordered_factorizations};
+use p2::synthesis::{baseline_allreduce, HierarchyKind, Synthesizer};
+use p2::topology::{Hierarchy, Interconnect, SystemTopology};
+
+/// Strategy: a 2-level system with a fast local link and a slow global link,
+/// a factorization of its device count into 1–2 axes, and a reduction axis.
+fn small_scenario() -> impl Strategy<Value = (SystemTopology, Vec<usize>, usize)> {
+    (2usize..=4, 2usize..=8, 1usize..=2).prop_flat_map(|(nodes, gpus, num_axes)| {
+        let devices = nodes * gpus;
+        let factorizations = ordered_factorizations(devices, num_axes);
+        (0..factorizations.len(), 0..num_axes).prop_map(move |(fi, reduction_axis)| {
+            let hierarchy = Hierarchy::from_pairs([("node", nodes), ("gpu", gpus)]).unwrap();
+            let links = vec![
+                Interconnect::new("nic", 8.0e9, 20.0e-6).unwrap(),
+                Interconnect::new("nvlink", 150.0e9, 2.0e-6).unwrap(),
+            ];
+            let system = SystemTopology::new(hierarchy, links).unwrap();
+            (system, factorizations[fi].clone(), reduction_axis)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every synthesized program re-validates, lowers to disjoint groups whose
+    /// devices lie in the system, costs a positive finite time, and is
+    /// measured as a positive finite time by the execution substrate.
+    #[test]
+    fn synthesized_programs_are_well_formed((system, axes, reduction_axis) in small_scenario()) {
+        let arities = system.hierarchy().arities();
+        let matrices = enumerate_matrices(&arities, &axes).unwrap();
+        let bytes = 1.0e8;
+        let model = CostModel::new(&system, NcclAlgo::Ring, bytes).unwrap();
+        let exec = Executor::new(&system, ExecConfig::new(NcclAlgo::Ring, bytes).with_repeats(1)).unwrap();
+        for matrix in matrices.into_iter().take(3) {
+            // A reduction over an axis of size 1 is a no-op: the only valid
+            // "program" is empty, so there is nothing to cost.
+            prop_assume!(matrix.axis_sizes()[reduction_axis] > 1);
+            let synth =
+                Synthesizer::new(matrix.clone(), vec![reduction_axis], HierarchyKind::ReductionAxes)
+                    .unwrap();
+            let result = synth.synthesize(3);
+            prop_assert!(!result.programs.is_empty());
+            for program in result.programs.iter().take(12) {
+                synth.validate(program).unwrap();
+                let lowered = synth.lower(program).unwrap();
+                prop_assert!(lowered.groups_are_disjoint());
+                for step in &lowered.steps {
+                    for group in &step.groups {
+                        prop_assert!(group.devices.iter().all(|&d| d < system.num_devices()));
+                        prop_assert!(group.input_fraction > 0.0 && group.input_fraction <= 1.0);
+                    }
+                }
+                let predicted = model.program_time(&lowered);
+                prop_assert!(predicted.is_finite() && predicted > 0.0);
+                let measured = exec.measure(&lowered);
+                prop_assert!(measured.is_finite() && measured > 0.0);
+            }
+        }
+    }
+
+    /// The plain AllReduce program is always among the synthesized programs,
+    /// and its lowering matches the explicit baseline construction.
+    #[test]
+    fn baseline_allreduce_is_always_synthesized((system, axes, reduction_axis) in small_scenario()) {
+        let arities = system.hierarchy().arities();
+        for matrix in enumerate_matrices(&arities, &axes).unwrap().into_iter().take(3) {
+            // Skip degenerate cases where the reduction axis has size 1.
+            prop_assume!(matrix.axis_sizes()[reduction_axis] > 1);
+            let synth =
+                Synthesizer::new(matrix.clone(), vec![reduction_axis], HierarchyKind::ReductionAxes)
+                    .unwrap();
+            let result = synth.synthesize(2);
+            let allreduce = result
+                .programs
+                .iter()
+                .find(|p| p.signature() == "AllReduce")
+                .expect("single AllReduce always valid");
+            let lowered = synth.lower(allreduce).unwrap();
+            let baseline = baseline_allreduce(&matrix, &[reduction_axis]).unwrap();
+            // Same groups (up to ordering).
+            let norm = |p: &p2::LoweredProgram| {
+                let mut gs: Vec<Vec<usize>> = p.steps[0]
+                    .groups
+                    .iter()
+                    .map(|g| {
+                        let mut d = g.devices.clone();
+                        d.sort_unstable();
+                        d
+                    })
+                    .collect();
+                gs.sort();
+                gs
+            };
+            prop_assert_eq!(norm(&lowered), norm(&baseline));
+        }
+    }
+
+    /// Cost predictions scale monotonically with the buffer size and are
+    /// insensitive to group ordering within a step.
+    #[test]
+    fn cost_is_monotone_in_bytes((system, axes, reduction_axis) in small_scenario()) {
+        let arities = system.hierarchy().arities();
+        let matrix = enumerate_matrices(&arities, &axes).unwrap().remove(0);
+        prop_assume!(matrix.axis_sizes()[reduction_axis] > 1);
+        let baseline = baseline_allreduce(&matrix, &[reduction_axis]).unwrap();
+        let mut last = 0.0;
+        for bytes in [1.0e6, 1.0e7, 1.0e8, 1.0e9] {
+            for algo in NcclAlgo::ALL {
+                let model = CostModel::new(&system, algo, bytes).unwrap();
+                let t = model.program_time(&baseline);
+                prop_assert!(t.is_finite() && t > 0.0);
+            }
+            let t = CostModel::new(&system, NcclAlgo::Ring, bytes).unwrap().program_time(&baseline);
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+
+    /// The execution substrate is deterministic for a fixed seed and its
+    /// repeated runs stay within the configured noise envelope.
+    #[test]
+    fn execution_is_deterministic_and_bounded_noise((system, axes, reduction_axis) in small_scenario()) {
+        let arities = system.hierarchy().arities();
+        let matrix = enumerate_matrices(&arities, &axes).unwrap().remove(0);
+        prop_assume!(matrix.axis_sizes()[reduction_axis] > 1);
+        let baseline = baseline_allreduce(&matrix, &[reduction_axis]).unwrap();
+        let config = ExecConfig::new(NcclAlgo::Ring, 1.0e8).with_noise(0.05).with_repeats(4);
+        let exec = Executor::new(&system, config.clone()).unwrap();
+        let a = exec.measure(&baseline);
+        let b = Executor::new(&system, config).unwrap().measure(&baseline);
+        prop_assert_eq!(a, b);
+        let runs = exec.measure_runs(&baseline);
+        let min = runs.iter().copied().fold(f64::MAX, f64::min);
+        let max = runs.iter().copied().fold(f64::MIN, f64::max);
+        prop_assert!(max <= min / 0.95 * 1.05 + 1e-9, "noise envelope exceeded: {runs:?}");
+    }
+}
