@@ -18,8 +18,8 @@ fn bench_exec(c: &mut Criterion) {
     let matrix = enumerate_matrices(&[4, 8], &[32]).expect("valid").remove(0);
     let baseline = baseline_allreduce(&matrix, &[0]).expect("valid baseline");
     for algo in NcclAlgo::ALL {
-        let exec =
-            Executor::new(&system, ExecConfig::new(algo, bytes).with_repeats(1)).expect("valid exec");
+        let exec = Executor::new(&system, ExecConfig::new(algo, bytes).with_repeats(1))
+            .expect("valid exec");
         group.bench_with_input(
             BenchmarkId::new("allreduce_32_gpus", algo.to_string()),
             &baseline,
@@ -36,11 +36,16 @@ fn bench_exec(c: &mut Criterion) {
         .find(|p| p.signature() == "ReduceScatter-AllReduce-AllGather")
         .map(|p| synth.lower(p).expect("lowers"))
         .expect("hierarchical program synthesized");
-    let exec = Executor::new(&system, ExecConfig::new(NcclAlgo::Ring, bytes).with_repeats(1))
-        .expect("valid exec");
-    group.bench_with_input(BenchmarkId::new("hierarchical_program", "Ring"), &program, |b, p| {
-        b.iter(|| exec.measure_once(p, 0))
-    });
+    let exec = Executor::new(
+        &system,
+        ExecConfig::new(NcclAlgo::Ring, bytes).with_repeats(1),
+    )
+    .expect("valid exec");
+    group.bench_with_input(
+        BenchmarkId::new("hierarchical_program", "Ring"),
+        &program,
+        |b, p| b.iter(|| exec.measure_once(p, 0)),
+    );
     group.finish();
 }
 

@@ -12,12 +12,18 @@ fn bench_enumeration(c: &mut Criterion) {
         ("a100x4_three_axes", vec![4, 16], vec![8, 2, 4]),
         ("v100x4_three_axes", vec![4, 8], vec![8, 2, 2]),
         ("figure2a_two_axes", vec![1, 2, 2, 4], vec![4, 4]),
-        ("deep_hierarchy_three_axes", vec![2, 2, 2, 2, 4], vec![8, 4, 2]),
+        (
+            "deep_hierarchy_three_axes",
+            vec![2, 2, 2, 2, 4],
+            vec![8, 4, 2],
+        ),
     ];
     for (label, arities, axes) in configs {
-        group.bench_with_input(BenchmarkId::new("enumerate", label), &(arities, axes), |b, (h, p)| {
-            b.iter(|| enumerate_matrices(h, p).expect("valid").len())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("enumerate", label),
+            &(arities, axes),
+            |b, (h, p)| b.iter(|| enumerate_matrices(h, p).expect("valid").len()),
+        );
     }
     group.finish();
 }

@@ -3,34 +3,69 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use p2_bench::sweep_synthesis;
 use p2_placement::enumerate_matrices;
 use p2_synthesis::{HierarchyKind, Synthesizer};
 
+/// (label, system arities, parallelism axes, reduction axes).
+type SynthesisConfig = (&'static str, Vec<usize>, Vec<usize>, Vec<usize>);
+
 fn bench_synthesis(c: &mut Criterion) {
     let mut group = c.benchmark_group("synthesis");
-    // (label, system arities, parallelism axes, reduction axes) — the Table 4
-    // configurations with the largest search spaces.
-    let configs: Vec<(&str, Vec<usize>, Vec<usize>, Vec<usize>)> = vec![
+    // The Table 4 configurations with the largest search spaces.
+    let configs: Vec<SynthesisConfig> = vec![
         ("F_a100x2_[8,4]_r0", vec![2, 16], vec![8, 4], vec![0]),
         ("G_a100x4_[4,16]_r0", vec![4, 16], vec![4, 16], vec![0]),
-        ("H_a100x4_[16,2,2]_r02", vec![4, 16], vec![16, 2, 2], vec![0, 2]),
+        (
+            "H_a100x4_[16,2,2]_r02",
+            vec![4, 16],
+            vec![16, 2, 2],
+            vec![0, 2],
+        ),
         ("J_a100x4_[64]_r0", vec![4, 16], vec![64], vec![0]),
-        ("K_v100x4_[8,2,2]_r02", vec![4, 8], vec![8, 2, 2], vec![0, 2]),
+        (
+            "K_v100x4_[8,2,2]_r02",
+            vec![4, 8],
+            vec![8, 2, 2],
+            vec![0, 2],
+        ),
     ];
     for (label, arities, axes, reduction) in configs {
         let matrices = enumerate_matrices(&arities, &axes).expect("valid config");
-        group.bench_with_input(BenchmarkId::new("all_matrices", label), &matrices, |b, ms| {
-            b.iter(|| {
-                let mut total = 0usize;
-                for m in ms {
-                    let synth =
-                        Synthesizer::new(m.clone(), reduction.clone(), HierarchyKind::ReductionAxes)
-                            .expect("valid synthesizer");
-                    total += synth.synthesize(5).programs.len();
-                }
-                total
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("all_matrices", label),
+            &matrices,
+            |b, ms| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for m in ms {
+                        let synth = Synthesizer::new(
+                            m.clone(),
+                            reduction.clone(),
+                            HierarchyKind::ReductionAxes,
+                        )
+                        .expect("valid synthesizer");
+                        total += synth.synthesize(5).programs.len();
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The placement × synthesis sweep, serial vs. fanned out over every core —
+/// the parallel path must win on a multi-core host (and tie on one core).
+fn bench_sweep_parallelism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis_sweep");
+    let matrices = enumerate_matrices(&[4, 16], &[16, 2, 2]).expect("valid config");
+    for (label, threads) in [("serial", 1usize), ("parallel", 0usize)] {
+        group.bench_with_input(
+            BenchmarkId::new("placement_sweep", label),
+            &matrices,
+            |b, ms| b.iter(|| sweep_synthesis(ms, &[0, 2], 5, threads)),
+        );
     }
     group.finish();
 }
@@ -38,6 +73,6 @@ fn bench_synthesis(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_synthesis
+    targets = bench_synthesis, bench_sweep_parallelism
 }
 criterion_main!(benches);

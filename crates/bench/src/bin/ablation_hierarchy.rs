@@ -40,7 +40,9 @@ fn canonical(program: &LoweredProgram) -> String {
 }
 
 fn hierarchy_ablation() {
-    println!("-- Synthesis hierarchies (a)-(d) on the running example (Figure 2d, reduce axis 1) --\n");
+    println!(
+        "-- Synthesis hierarchies (a)-(d) on the running example (Figure 2d, reduce axis 1) --\n"
+    );
     let matrix = ParallelismMatrix::new(
         vec![vec![1, 1, 2, 2], vec![1, 2, 1, 2]],
         vec![1, 2, 2, 4],
@@ -57,8 +59,11 @@ fn hierarchy_ablation() {
         let start = Instant::now();
         let result = synth.synthesize(4);
         let elapsed = start.elapsed();
-        let lowered: HashSet<String> =
-            result.programs.iter().map(|p| canonical(&synth.lower(p).unwrap())).collect();
+        let lowered: HashSet<String> = result
+            .programs
+            .iter()
+            .map(|p| canonical(&synth.lower(p).unwrap()))
+            .collect();
         sets.push((kind, lowered));
         println!(
             "({}) {:<16} {:>10} {:>10} {:>14} {:>12.2} {:>24}",
@@ -92,11 +97,14 @@ fn hierarchy_ablation() {
 
 fn size_limit_sweep() {
     println!("-- Program-size-limit sweep (Result 2: limit 5 is sufficient) --\n");
-    println!("{:<6} {:<16} {:>8} {:>10} {:>12}", "id", "axes", "limit", "programs", "time (ms)");
+    println!(
+        "{:<6} {:<16} {:>8} {:>10} {:>12}",
+        "id", "axes", "limit", "programs", "time (ms)"
+    );
     for spec in table4_specs().into_iter().take(3) {
         let system = spec.system.system(spec.nodes);
-        let matrices = enumerate_matrices(&system.hierarchy().arities(), &spec.axes)
-            .expect("spec axes valid");
+        let matrices =
+            enumerate_matrices(&system.hierarchy().arities(), &spec.axes).expect("spec axes valid");
         for limit in [3usize, 4, 5, 6] {
             let start = Instant::now();
             let mut total = 0usize;

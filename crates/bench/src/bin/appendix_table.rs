@@ -13,8 +13,11 @@ use p2_core::ExperimentResult;
 use p2_cost::NcclAlgo;
 
 fn print_block(result_ring: &ExperimentResult, result_tree: &ExperimentResult) {
-    for (i, (ring_pl, tree_pl)) in
-        result_ring.placements.iter().zip(&result_tree.placements).enumerate()
+    for (i, (ring_pl, tree_pl)) in result_ring
+        .placements
+        .iter()
+        .zip(&result_tree.placements)
+        .enumerate()
     {
         assert_eq!(ring_pl.matrix, tree_pl.matrix);
         let first = i == 0;
@@ -22,12 +25,20 @@ fn print_block(result_ring: &ExperimentResult, result_tree: &ExperimentResult) {
             "    {:<22} {:>10} {:>10} {:>9} {:>9} {:>8} {:>8} {:>10} {:>10}",
             ring_pl.matrix.to_string(),
             if first {
-                format!("{}/{}", result_ring.total_programs_beating_allreduce(), result_ring.total_programs())
+                format!(
+                    "{}/{}",
+                    result_ring.total_programs_beating_allreduce(),
+                    result_ring.total_programs()
+                )
             } else {
                 String::new()
             },
             if first {
-                format!("{}/{}", result_tree.total_programs_beating_allreduce(), result_tree.total_programs())
+                format!(
+                    "{}/{}",
+                    result_tree.total_programs_beating_allreduce(),
+                    result_tree.total_programs()
+                )
             } else {
                 String::new()
             },
@@ -55,7 +66,11 @@ fn main() {
         (SystemKind::V100, 2),
         (SystemKind::V100, 4),
     ] {
-        println!("== {nodes} nodes each with {} {:?} ==", system.gpus_per_node(), system);
+        println!(
+            "== {nodes} nodes each with {} {:?} ==",
+            system.gpus_per_node(),
+            system
+        );
         for (axes, reductions) in appendix_axes(system, nodes) {
             for reduction in reductions {
                 let ring = ExperimentSpec::new(
@@ -88,8 +103,11 @@ fn main() {
                 summary.add(&tree);
                 // Track the AllReduce spread across matrices for Result 1.
                 for result in [&ring, &tree] {
-                    let times: Vec<f64> =
-                        result.placements.iter().map(|p| p.allreduce_measured).collect();
+                    let times: Vec<f64> = result
+                        .placements
+                        .iter()
+                        .map(|p| p.allreduce_measured)
+                        .collect();
                     let max = times.iter().copied().fold(f64::MIN, f64::max);
                     let min = times.iter().copied().fold(f64::MAX, f64::min);
                     if min > 0.0 && times.len() > 1 {

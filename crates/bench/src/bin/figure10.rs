@@ -34,12 +34,17 @@ fn main() {
             println!("{target}: not synthesized (unexpected)");
             continue;
         };
-        let lowered = synthesizer.lower(program).expect("synthesized program lowers");
+        let lowered = synthesizer
+            .lower(program)
+            .expect("synthesized program lowers");
         println!("{target}");
         println!("  DSL       : {program}");
         for (i, step) in lowered.steps.iter().enumerate() {
-            let groups: Vec<String> =
-                step.groups.iter().map(|g| format!("{:?}", g.devices)).collect();
+            let groups: Vec<String> = step
+                .groups
+                .iter()
+                .map(|g| format!("{:?}", g.devices))
+                .collect();
             println!(
                 "  step {i}: {:<14} data fraction {:.2}  groups {}",
                 step.collective.to_string(),

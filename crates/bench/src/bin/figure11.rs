@@ -27,7 +27,11 @@ fn panel(title: &str, spec: ExperimentSpec) {
         "#", "parallelism matrix", "program", "measured", "predicted", "error"
     );
     for (i, (matrix, signature, measured, predicted)) in result.series().iter().enumerate() {
-        let error = if *measured > 0.0 { (predicted - measured) / measured * 100.0 } else { 0.0 };
+        let error = if *measured > 0.0 {
+            (predicted - measured) / measured * 100.0
+        } else {
+            0.0
+        };
         println!(
             "  {:<5} {:<22} {:<42} {:>12.3} {:>12.3} {:>8.1}%",
             i + 1,
@@ -50,7 +54,14 @@ fn main() {
     println!("Figure 11: simulation vs. measurement, in increasing order of measured time\n");
     panel(
         "(a) 4 nodes of V100, NCCL Ring, parallelism axes [2 16], reduction on the 1st axis",
-        ExperimentSpec::new("11a", SystemKind::V100, 4, vec![2, 16], vec![1], NcclAlgo::Ring),
+        ExperimentSpec::new(
+            "11a",
+            SystemKind::V100,
+            4,
+            vec![2, 16],
+            vec![1],
+            NcclAlgo::Ring,
+        ),
     );
     panel(
         "(b) 4 nodes of A100, NCCL Tree, parallelism axes [4 2 8], reduction on the 0th and 2nd axes",

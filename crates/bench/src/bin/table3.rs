@@ -34,16 +34,15 @@ fn main() {
         let mut per_axis_times: Vec<Vec<f64>> = vec![Vec::new(), Vec::new()];
         for (idx, matrix) in matrices.iter().enumerate() {
             let mut row = Vec::new();
-            for reduction_axis in 0..2usize {
+            for (reduction_axis, axis_times) in per_axis_times.iter_mut().enumerate() {
                 for algo in NcclAlgo::ALL {
-                    let exec =
-                        Executor::new(&system, ExecConfig::new(algo, bytes).with_repeats(3))
-                            .expect("valid exec config");
+                    let exec = Executor::new(&system, ExecConfig::new(algo, bytes).with_repeats(3))
+                        .expect("valid exec config");
                     let baseline = baseline_allreduce(matrix, &[reduction_axis])
                         .expect("valid reduction axis");
                     let seconds = exec.measure(&baseline);
                     row.push(seconds);
-                    per_axis_times[reduction_axis].push(seconds);
+                    axis_times.push(seconds);
                 }
             }
             println!(

@@ -7,7 +7,9 @@
 use p2_bench::{fmt_s, fmt_speedup, table4_specs, SpeedupSummary};
 
 fn main() {
-    println!("Table 4: reduction time in seconds for AllReduce and the synthesized optimal strategy");
+    println!(
+        "Table 4: reduction time in seconds for AllReduce and the synthesized optimal strategy"
+    );
     println!("(reduction on the 0th axis for 1- and 2-axis configurations, on the 0th and 2nd for 3-axis ones)\n");
     println!(
         "{:<4} {:<6} {:<14} {:>12} {:>22} {:<22} {:>10} {:>10} {:>9}",
@@ -39,17 +41,37 @@ fn main() {
             .unwrap_or(f64::INFINITY);
         for (i, placement) in result.placements.iter().enumerate() {
             let first = i == 0;
-            let allreduce_marker =
-                if (placement.allreduce_measured - best_allreduce).abs() < 1e-12 { "*" } else { " " };
+            let allreduce_marker = if (placement.allreduce_measured - best_allreduce).abs() < 1e-12
+            {
+                "*"
+            } else {
+                " "
+            };
             let optimal = placement.optimal_measured();
-            let optimal_marker = if (optimal - best_overall).abs() < 1e-12 { "*" } else { " " };
+            let optimal_marker = if (optimal - best_overall).abs() < 1e-12 {
+                "*"
+            } else {
+                " "
+            };
             println!(
                 "{:<4} {:<6} {:<14} {:>12} {:>22} {:<22} {:>9}{} {:>9}{} {:>9}",
                 if first { spec.id } else { "" },
-                if first { spec.algo.to_string() } else { String::new() },
-                if first { format!("{:?}", spec.axes) } else { String::new() },
+                if first {
+                    spec.algo.to_string()
+                } else {
+                    String::new()
+                },
+                if first {
+                    format!("{:?}", spec.axes)
+                } else {
+                    String::new()
+                },
                 if first { fmt_s(synth_s) } else { String::new() },
-                if first { format!("{beating}/{total}") } else { String::new() },
+                if first {
+                    format!("{beating}/{total}")
+                } else {
+                    String::new()
+                },
                 placement.matrix.to_string(),
                 fmt_s(placement.allreduce_measured),
                 allreduce_marker,

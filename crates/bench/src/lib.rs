@@ -10,6 +10,8 @@
 
 use p2_core::{ExperimentResult, P2Config, P2};
 use p2_cost::NcclAlgo;
+use p2_placement::ParallelismMatrix;
+use p2_synthesis::{HierarchyKind, Synthesizer};
 use p2_topology::{presets, SystemTopology};
 
 /// Which GPU system a configuration runs on.
@@ -67,7 +69,14 @@ impl ExperimentSpec {
         reduction: Vec<usize>,
         algo: NcclAlgo,
     ) -> Self {
-        ExperimentSpec { id, system, nodes, axes, reduction, algo }
+        ExperimentSpec {
+            id,
+            system,
+            nodes,
+            axes,
+            reduction,
+            algo,
+        }
     }
 
     /// The per-device buffer the paper uses: `2^29 × nodes` float32 elements.
@@ -77,11 +86,15 @@ impl ExperimentSpec {
 
     /// Builds the [`P2Config`] for this experiment.
     pub fn config(&self) -> P2Config {
-        P2Config::new(self.system.system(self.nodes), self.axes.clone(), self.reduction.clone())
-            .with_algo(self.algo)
-            .with_bytes_per_device(self.bytes_per_device())
-            .with_repeats(3)
-            .with_seed(0xb2b2)
+        P2Config::new(
+            self.system.system(self.nodes),
+            self.axes.clone(),
+            self.reduction.clone(),
+        )
+        .with_algo(self.algo)
+        .with_bytes_per_device(self.bytes_per_device())
+        .with_repeats(3)
+        .with_seed(0xb2b2)
     }
 
     /// Runs the full pipeline for this experiment.
@@ -92,7 +105,10 @@ impl ExperimentSpec {
     /// not matching the device count) — specifications in this crate are
     /// static and known-good.
     pub fn run(&self) -> ExperimentResult {
-        P2::new(self.config()).expect("static experiment spec is valid").run().expect("pipeline runs")
+        P2::new(self.config())
+            .expect("static experiment spec is valid")
+            .run()
+            .expect("pipeline runs")
     }
 
     /// A human-readable description, e.g. `"4 nodes each with 16 A100, axes [16, 2, 2]"`.
@@ -109,15 +125,84 @@ impl ExperimentSpec {
     }
 }
 
+/// Runs a batch of experiment specifications, fanning the specs out across
+/// worker threads. Each spec's own placement sweep then runs serially so the
+/// two levels of parallelism do not oversubscribe the machine. Results come
+/// back in spec order and are bit-identical to serial runs.
+pub fn run_specs(specs: &[ExperimentSpec]) -> Vec<ExperimentResult> {
+    p2_par::par_map(specs, |_, spec| {
+        P2::new(spec.config().with_threads(1))
+            .expect("static experiment spec is valid")
+            .run()
+            .expect("pipeline runs")
+    })
+}
+
+/// Synthesizes reduction programs for every matrix on `threads` workers
+/// (`0` = all cores, `1` = serial) and returns the total program count — the
+/// placement × synthesis sweep the criterion `synthesis` bench times serially
+/// and in parallel.
+pub fn sweep_synthesis(
+    matrices: &[ParallelismMatrix],
+    reduction: &[usize],
+    max_program_size: usize,
+    threads: usize,
+) -> usize {
+    p2_par::par_map_threads(threads, matrices, |_, m| {
+        Synthesizer::new(m.clone(), reduction.to_vec(), HierarchyKind::ReductionAxes)
+            .expect("valid synthesizer")
+            .synthesize(max_program_size)
+            .programs
+            .len()
+    })
+    .into_iter()
+    .sum()
+}
+
 /// The Table 4 experiment specifications (rows F–L of the paper).
 pub fn table4_specs() -> Vec<ExperimentSpec> {
     vec![
-        ExperimentSpec::new("F", SystemKind::A100, 2, vec![8, 4], vec![0], NcclAlgo::Ring),
-        ExperimentSpec::new("G", SystemKind::A100, 4, vec![4, 16], vec![0], NcclAlgo::Tree),
-        ExperimentSpec::new("H", SystemKind::A100, 4, vec![16, 2, 2], vec![0, 2], NcclAlgo::Ring),
-        ExperimentSpec::new("I", SystemKind::A100, 4, vec![2, 2, 16], vec![0, 2], NcclAlgo::Ring),
+        ExperimentSpec::new(
+            "F",
+            SystemKind::A100,
+            2,
+            vec![8, 4],
+            vec![0],
+            NcclAlgo::Ring,
+        ),
+        ExperimentSpec::new(
+            "G",
+            SystemKind::A100,
+            4,
+            vec![4, 16],
+            vec![0],
+            NcclAlgo::Tree,
+        ),
+        ExperimentSpec::new(
+            "H",
+            SystemKind::A100,
+            4,
+            vec![16, 2, 2],
+            vec![0, 2],
+            NcclAlgo::Ring,
+        ),
+        ExperimentSpec::new(
+            "I",
+            SystemKind::A100,
+            4,
+            vec![2, 2, 16],
+            vec![0, 2],
+            NcclAlgo::Ring,
+        ),
         ExperimentSpec::new("J", SystemKind::A100, 4, vec![64], vec![0], NcclAlgo::Tree),
-        ExperimentSpec::new("K", SystemKind::V100, 4, vec![8, 2, 2], vec![0, 2], NcclAlgo::Ring),
+        ExperimentSpec::new(
+            "K",
+            SystemKind::V100,
+            4,
+            vec![8, 2, 2],
+            vec![0, 2],
+            NcclAlgo::Ring,
+        ),
         ExperimentSpec::new("L", SystemKind::V100, 4, vec![32], vec![0], NcclAlgo::Ring),
     ]
 }
@@ -235,7 +320,11 @@ mod tests {
         for spec in table4_specs() {
             let devices = spec.system.system(spec.nodes).num_devices();
             let product: usize = spec.axes.iter().product();
-            assert_eq!(devices, product, "spec {} axes do not cover the system", spec.id);
+            assert_eq!(
+                devices, product,
+                "spec {} axes do not cover the system",
+                spec.id
+            );
             assert!(spec.config().validate().is_ok());
             assert!(spec.describe().contains("nodes"));
         }
@@ -279,6 +368,43 @@ mod tests {
         assert!(summary.max_speedup >= 1.0);
         assert!(summary.average_speedup >= 1.0);
         assert!(!summary.to_string().is_empty());
+    }
+
+    #[test]
+    fn parallel_spec_runs_match_serial_runs() {
+        let spec = ExperimentSpec::new(
+            "tiny",
+            SystemKind::A100,
+            2,
+            vec![8, 4],
+            vec![0],
+            NcclAlgo::Ring,
+        );
+        let serial = P2::new(spec.config().with_threads(1))
+            .unwrap()
+            .run()
+            .unwrap();
+        let parallel = &run_specs(std::slice::from_ref(&spec))[0];
+        assert_eq!(serial.placements.len(), parallel.placements.len());
+        for (a, b) in serial.placements.iter().zip(&parallel.placements) {
+            assert_eq!(a.matrix.to_string(), b.matrix.to_string());
+            assert_eq!(a.allreduce_measured, b.allreduce_measured);
+            for (pa, pb) in a.programs.iter().zip(&b.programs) {
+                assert_eq!(pa.signature(), pb.signature());
+                assert_eq!(pa.measured_seconds, pb.measured_seconds);
+                assert_eq!(pa.predicted_seconds, pb.predicted_seconds);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_synthesis_thread_count_does_not_change_the_count() {
+        let matrices = p2_placement::enumerate_matrices(&[2, 16], &[8, 4]).expect("valid config");
+        let serial = sweep_synthesis(&matrices, &[0], 4, 1);
+        assert!(serial > 0);
+        for threads in [0, 2, 4] {
+            assert_eq!(serial, sweep_synthesis(&matrices, &[0], 4, threads));
+        }
     }
 
     #[test]

@@ -25,7 +25,10 @@ pub struct Bitset {
 impl Bitset {
     /// Creates an empty bitset of the given length.
     pub fn new(len: usize) -> Self {
-        Bitset { len, words: vec![0; len.div_ceil(64)] }
+        Bitset {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
     }
 
     /// Creates a bitset of the given length with every bit set.
@@ -69,7 +72,11 @@ impl Bitset {
     ///
     /// Panics if `index >= len`.
     pub fn get(&self, index: usize) -> bool {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         (self.words[index / 64] >> (index % 64)) & 1 == 1
     }
 
@@ -79,7 +86,11 @@ impl Bitset {
     ///
     /// Panics if `index >= len`.
     pub fn set(&mut self, index: usize, value: bool) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         if value {
             self.words[index / 64] |= 1 << (index % 64);
         } else {
@@ -121,7 +132,10 @@ impl Bitset {
     /// Panics if the lengths differ.
     pub fn is_subset(&self, other: &Bitset) -> bool {
         assert_eq!(self.len, other.len, "bitset length mismatch");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates over the indices of set bits, in increasing order.

@@ -327,7 +327,10 @@ mod tests {
             Err(SemanticsError::TrivialGroup)
         );
         assert_eq!(
-            apply_collective(Collective::AllReduce, &[State::initial(2, 0), State::initial(3, 1)]),
+            apply_collective(
+                Collective::AllReduce,
+                &[State::initial(2, 0), State::initial(3, 1)]
+            ),
             Err(SemanticsError::DimensionMismatch)
         );
     }
@@ -349,8 +352,7 @@ mod tests {
     fn apply_to_groups_updates_only_members() {
         let k = 4;
         let states = initial(k);
-        let after =
-            apply_to_groups(Collective::AllReduce, &states, &[vec![0, 1]]).unwrap();
+        let after = apply_to_groups(Collective::AllReduce, &states, &[vec![0, 1]]).unwrap();
         assert_eq!(after[0], after[1]);
         assert_eq!(after[2], State::initial(k, 2));
         assert_eq!(after[3], State::initial(k, 3));
@@ -386,8 +388,12 @@ mod tests {
     fn reducescatter_allreduce_allgather_program_reaches_goal() {
         // The Figure 10ii / BlueConnect pattern on 4 devices arranged as 2x2.
         let states = initial(4);
-        let s1 =
-            apply_to_groups(Collective::ReduceScatter, &states, &[vec![0, 1], vec![2, 3]]).unwrap();
+        let s1 = apply_to_groups(
+            Collective::ReduceScatter,
+            &states,
+            &[vec![0, 1], vec![2, 3]],
+        )
+        .unwrap();
         let s2 = apply_to_groups(Collective::AllReduce, &s1, &[vec![0, 2], vec![1, 3]]).unwrap();
         let s3 = apply_to_groups(Collective::AllGather, &s2, &[vec![0, 1], vec![2, 3]]).unwrap();
         assert!(s3.iter().all(|s| *s == State::goal(4)));

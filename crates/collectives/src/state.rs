@@ -18,7 +18,10 @@ pub struct State {
 impl State {
     /// The empty state (no data at all) for a scope of `k` devices.
     pub fn empty(k: usize) -> Self {
-        State { k, rows: vec![Bitset::new(k); k] }
+        State {
+            k,
+            rows: vec![Bitset::new(k); k],
+        }
     }
 
     /// The initial state of device `device`: it holds its own copy of every
@@ -39,7 +42,10 @@ impl State {
     /// The goal state of a full reduction over all `k` devices: every chunk
     /// has been reduced over every device (the all-ones matrix).
     pub fn goal(k: usize) -> Self {
-        State { k, rows: vec![Bitset::full(k); k] }
+        State {
+            k,
+            rows: vec![Bitset::full(k); k],
+        }
     }
 
     /// Number of devices in the reduction scope (the matrix dimension).
@@ -132,7 +138,10 @@ impl State {
     /// Panics if the dimensions differ.
     pub fn le(&self, other: &State) -> bool {
         assert_eq!(self.k, other.k, "state dimension mismatch");
-        self.rows.iter().zip(&other.rows).all(|(a, b)| a.is_subset(b))
+        self.rows
+            .iter()
+            .zip(&other.rows)
+            .all(|(a, b)| a.is_subset(b))
     }
 
     /// Whether `self` is element-wise strictly below `other`.

@@ -18,7 +18,10 @@ pub struct TopKReport {
 impl TopKReport {
     /// The accuracy for a specific `k`, if it was requested.
     pub fn accuracy_for(&self, k: usize) -> Option<f64> {
-        self.ks.iter().position(|&x| x == k).map(|i| self.accuracy[i])
+        self.ks
+            .iter()
+            .position(|&x| x == k)
+            .map(|i| self.accuracy[i])
     }
 }
 
@@ -43,11 +46,18 @@ pub fn top_k_accuracy(results: &[ExperimentResult], ks: &[usize]) -> TopKReport 
             if experiments == 0 {
                 return 0.0;
             }
-            let hits = results.iter().filter(|r| r.predicted_best_in_measured_top_k(k)).count();
+            let hits = results
+                .iter()
+                .filter(|r| r.predicted_best_in_measured_top_k(k))
+                .count();
             hits as f64 / experiments as f64
         })
         .collect();
-    TopKReport { ks: ks.to_vec(), accuracy, experiments }
+    TopKReport {
+        ks: ks.to_vec(),
+        accuracy,
+        experiments,
+    }
 }
 
 #[cfg(test)]

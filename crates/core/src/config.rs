@@ -35,6 +35,11 @@ pub struct P2Config {
     pub seed: u64,
     /// Simulated runs averaged per measurement.
     pub repeats: usize,
+    /// Worker threads for the placement × synthesis sweep: `0` uses every
+    /// available core, `1` runs serially. Results are identical for any value
+    /// — the sweep is order-independent and noise is derived from `seed` and
+    /// program content alone.
+    pub threads: usize,
 }
 
 impl P2Config {
@@ -57,6 +62,7 @@ impl P2Config {
             noise_fraction: 0.03,
             seed: 0x5eed,
             repeats: 5,
+            threads: 0,
         }
     }
 
@@ -102,6 +108,13 @@ impl P2Config {
         self
     }
 
+    /// Sets the worker-thread count for the placement sweep (`0` = all cores,
+    /// `1` = serial — the sentinel is resolved by [`p2_par::par_map_threads`]).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -109,13 +122,23 @@ impl P2Config {
     /// Returns [`P2Error::InvalidConfig`] with a description of the problem.
     pub fn validate(&self) -> Result<(), P2Error> {
         if self.parallelism_axes.is_empty() {
-            return Err(P2Error::InvalidConfig { reason: "no parallelism axes".into() });
+            return Err(P2Error::InvalidConfig {
+                reason: "no parallelism axes".into(),
+            });
         }
         if self.reduction_axes.is_empty() {
-            return Err(P2Error::InvalidConfig { reason: "no reduction axes".into() });
+            return Err(P2Error::InvalidConfig {
+                reason: "no reduction axes".into(),
+            });
         }
-        if self.reduction_axes.iter().any(|&a| a >= self.parallelism_axes.len()) {
-            return Err(P2Error::InvalidConfig { reason: "reduction axis out of range".into() });
+        if self
+            .reduction_axes
+            .iter()
+            .any(|&a| a >= self.parallelism_axes.len())
+        {
+            return Err(P2Error::InvalidConfig {
+                reason: "reduction axis out of range".into(),
+            });
         }
         let devices = self.system.num_devices();
         let parallelism: usize = self.parallelism_axes.iter().product();
@@ -127,13 +150,19 @@ impl P2Config {
             });
         }
         if !(self.bytes_per_device.is_finite() && self.bytes_per_device > 0.0) {
-            return Err(P2Error::InvalidConfig { reason: "bytes_per_device must be positive".into() });
+            return Err(P2Error::InvalidConfig {
+                reason: "bytes_per_device must be positive".into(),
+            });
         }
         if self.max_program_size == 0 {
-            return Err(P2Error::InvalidConfig { reason: "max_program_size must be positive".into() });
+            return Err(P2Error::InvalidConfig {
+                reason: "max_program_size must be positive".into(),
+            });
         }
         if self.repeats == 0 {
-            return Err(P2Error::InvalidConfig { reason: "repeats must be positive".into() });
+            return Err(P2Error::InvalidConfig {
+                reason: "repeats must be positive".into(),
+            });
         }
         Ok(())
     }
@@ -167,10 +196,18 @@ mod tests {
     #[test]
     fn invalid_configs_are_rejected() {
         let sys = presets::a100_system(2);
-        assert!(P2Config::new(sys.clone(), vec![], vec![0]).validate().is_err());
-        assert!(P2Config::new(sys.clone(), vec![32], vec![]).validate().is_err());
-        assert!(P2Config::new(sys.clone(), vec![32], vec![1]).validate().is_err());
-        assert!(P2Config::new(sys.clone(), vec![30], vec![0]).validate().is_err());
+        assert!(P2Config::new(sys.clone(), vec![], vec![0])
+            .validate()
+            .is_err());
+        assert!(P2Config::new(sys.clone(), vec![32], vec![])
+            .validate()
+            .is_err());
+        assert!(P2Config::new(sys.clone(), vec![32], vec![1])
+            .validate()
+            .is_err());
+        assert!(P2Config::new(sys.clone(), vec![30], vec![0])
+            .validate()
+            .is_err());
         assert!(P2Config::new(sys.clone(), vec![32], vec![0])
             .with_bytes_per_device(-1.0)
             .validate()
@@ -179,6 +216,9 @@ mod tests {
             .with_max_program_size(0)
             .validate()
             .is_err());
-        assert!(P2Config::new(sys, vec![32], vec![0]).with_repeats(0).validate().is_err());
+        assert!(P2Config::new(sys, vec![32], vec![0])
+            .with_repeats(0)
+            .validate()
+            .is_err());
     }
 }

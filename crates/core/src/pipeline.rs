@@ -2,7 +2,7 @@ use std::time::Instant;
 
 use p2_cost::CostModel;
 use p2_exec::{ExecConfig, Executor};
-use p2_placement::enumerate_matrices;
+use p2_placement::{enumerate_matrices, ParallelismMatrix};
 use p2_synthesis::{baseline_allreduce, Synthesizer};
 
 use crate::config::P2Config;
@@ -77,9 +77,14 @@ impl P2 {
             .with_seed(self.config.seed)
             .with_repeats(self.config.repeats);
         let executor = Executor::new(&self.config.system, exec_config)?;
-        for &(pi, qi, _) in order.iter().take(shortlist) {
-            let program = &mut result.placements[pi].programs[qi];
-            program.measured_seconds = executor.measure(&program.lowered);
+        let chosen = &order[..shortlist.min(order.len())];
+        // Measurements fan out across threads; noise depends only on the seed
+        // and program content, so the values match a serial run exactly.
+        let measured = p2_par::par_map_threads(self.config.threads, chosen, |_, &(pi, qi, _)| {
+            executor.measure(&result.placements[pi].programs[qi].lowered)
+        });
+        for (&(pi, qi, _), seconds) in chosen.iter().zip(measured) {
+            result.placements[pi].programs[qi].measured_seconds = seconds;
         }
         for placement in &mut result.placements {
             placement
@@ -101,57 +106,84 @@ impl P2 {
         self.run_internal(true)
     }
 
+    /// Synthesizes, predicts and optionally measures every program of one
+    /// placement — the per-item body of the parallel sweep.
+    fn evaluate_placement(
+        &self,
+        matrix: &ParallelismMatrix,
+        cost: &CostModel<'_>,
+        executor: &Executor<'_>,
+        measure_programs: bool,
+    ) -> Result<PlacementEvaluation, P2Error> {
+        let synthesizer = Synthesizer::new(
+            matrix.clone(),
+            self.config.reduction_axes.clone(),
+            self.config.hierarchy_kind,
+        )?;
+        let start = Instant::now();
+        let synthesis = synthesizer.synthesize(self.config.max_program_size);
+        let synthesis_time = start.elapsed();
+
+        let baseline = baseline_allreduce(matrix, &self.config.reduction_axes)?;
+        let allreduce_predicted = cost.program_time(&baseline);
+        let allreduce_measured = executor.measure(&baseline);
+
+        let mut programs = Vec::with_capacity(synthesis.programs.len());
+        for program in &synthesis.programs {
+            let lowered = synthesizer.lower(program)?;
+            let predicted_seconds = cost.program_time(&lowered);
+            let measured_seconds = if measure_programs {
+                executor.measure(&lowered)
+            } else {
+                predicted_seconds
+            };
+            programs.push(ProgramEvaluation {
+                program: program.clone(),
+                lowered,
+                predicted_seconds,
+                measured_seconds,
+            });
+        }
+        programs.sort_by(|a, b| a.measured_seconds.total_cmp(&b.measured_seconds));
+
+        Ok(PlacementEvaluation {
+            matrix: matrix.clone(),
+            synthesis_time,
+            num_programs: synthesis.programs.len(),
+            allreduce_predicted,
+            allreduce_measured,
+            programs,
+        })
+    }
+
     fn run_internal(&self, measure_programs: bool) -> Result<ExperimentResult, P2Error> {
-        let cost = CostModel::new(&self.config.system, self.config.algo, self.config.bytes_per_device)?;
+        let cost = CostModel::new(
+            &self.config.system,
+            self.config.algo,
+            self.config.bytes_per_device,
+        )?;
         let exec_config = ExecConfig::new(self.config.algo, self.config.bytes_per_device)
             .with_noise(self.config.noise_fraction)
             .with_seed(self.config.seed)
             .with_repeats(self.config.repeats);
         let executor = Executor::new(&self.config.system, exec_config)?;
 
-        let mut placements = Vec::new();
+        // The sweep is embarrassingly parallel: each placement synthesizes,
+        // predicts and measures independently. `par_map_threads` returns
+        // results in enumeration order, and measurement noise is a pure
+        // function of (seed, program content), so any thread count — including
+        // a serial run — produces bit-identical results.
+        let matrices = self.placements()?;
+        let evaluations = p2_par::par_map_threads(self.config.threads, &matrices, |_, matrix| {
+            self.evaluate_placement(matrix, &cost, &executor, measure_programs)
+        });
+
+        let mut placements = Vec::with_capacity(evaluations.len());
         let mut total_synthesis = std::time::Duration::ZERO;
-        for matrix in self.placements()? {
-            let synthesizer = Synthesizer::new(
-                matrix.clone(),
-                self.config.reduction_axes.clone(),
-                self.config.hierarchy_kind,
-            )?;
-            let start = Instant::now();
-            let synthesis = synthesizer.synthesize(self.config.max_program_size);
-            let synthesis_time = start.elapsed();
-            total_synthesis += synthesis_time;
-
-            let baseline = baseline_allreduce(&matrix, &self.config.reduction_axes)?;
-            let allreduce_predicted = cost.program_time(&baseline);
-            let allreduce_measured = executor.measure(&baseline);
-
-            let mut programs = Vec::with_capacity(synthesis.programs.len());
-            for program in &synthesis.programs {
-                let lowered = synthesizer.lower(program)?;
-                let predicted_seconds = cost.program_time(&lowered);
-                let measured_seconds = if measure_programs {
-                    executor.measure(&lowered)
-                } else {
-                    predicted_seconds
-                };
-                programs.push(ProgramEvaluation {
-                    program: program.clone(),
-                    lowered,
-                    predicted_seconds,
-                    measured_seconds,
-                });
-            }
-            programs.sort_by(|a, b| a.measured_seconds.total_cmp(&b.measured_seconds));
-
-            placements.push(PlacementEvaluation {
-                matrix,
-                synthesis_time,
-                num_programs: synthesis.programs.len(),
-                allreduce_predicted,
-                allreduce_measured,
-                programs,
-            });
+        for evaluation in evaluations {
+            let placement = evaluation?;
+            total_synthesis += placement.synthesis_time;
+            placements.push(placement);
         }
 
         Ok(ExperimentResult {
@@ -232,8 +264,10 @@ mod tests {
         // full run within the noise envelope).
         let full_best = full.best_overall().unwrap().measured_seconds;
         let short_best = shortlisted.best_overall().unwrap().measured_seconds;
-        assert!((full_best - short_best).abs() / full_best < 0.2,
-            "shortlist optimum {short_best} too far from full optimum {full_best}");
+        assert!(
+            (full_best - short_best).abs() / full_best < 0.2,
+            "shortlist optimum {short_best} too far from full optimum {full_best}"
+        );
         // Unmeasured programs report their prediction.
         let some_unmeasured = shortlisted
             .placements

@@ -110,7 +110,10 @@ impl ExperimentResult {
 
     /// Total number of programs that beat their placement's AllReduce baseline.
     pub fn total_programs_beating_allreduce(&self) -> usize {
-        self.placements.iter().map(PlacementEvaluation::programs_beating_allreduce).sum()
+        self.placements
+            .iter()
+            .map(PlacementEvaluation::programs_beating_allreduce)
+            .sum()
     }
 
     /// The placement whose AllReduce baseline is fastest (the bold "AllReduce"
@@ -147,7 +150,12 @@ impl ExperimentResult {
             .iter()
             .flat_map(|pl| {
                 pl.programs.iter().map(move |p| {
-                    (pl.matrix.to_string(), p.signature(), p.measured_seconds, p.predicted_seconds)
+                    (
+                        pl.matrix.to_string(),
+                        p.signature(),
+                        p.measured_seconds,
+                        p.predicted_seconds,
+                    )
                 })
             })
             .collect();
@@ -159,7 +167,9 @@ impl ExperimentResult {
     /// whole experiment) falls within the measured top-`k` programs — the
     /// per-experiment quantity behind Table 5.
     pub fn predicted_best_in_measured_top_k(&self, k: usize) -> bool {
-        let Some(best_pred) = self.best_predicted_overall() else { return false };
+        let Some(best_pred) = self.best_predicted_overall() else {
+            return false;
+        };
         let mut measured: Vec<f64> = self
             .placements
             .iter()
@@ -184,7 +194,10 @@ mod tests {
         LoweredProgram {
             steps: vec![LoweredStep {
                 collective: sig,
-                groups: vec![GroupExec { devices: vec![0, 1], input_fraction: 1.0 }],
+                groups: vec![GroupExec {
+                    devices: vec![0, 1],
+                    input_fraction: 1.0,
+                }],
             }],
             num_devices: 4,
         }

@@ -22,10 +22,16 @@ impl fmt::Display for CostError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CostError::InvalidBytes { bytes } => {
-                write!(f, "per-device byte count {bytes} is not a positive finite number")
+                write!(
+                    f,
+                    "per-device byte count {bytes} is not a positive finite number"
+                )
             }
             CostError::DeviceOutOfRange { rank, num_devices } => {
-                write!(f, "device rank {rank} out of range for {num_devices} devices")
+                write!(
+                    f,
+                    "device rank {rank} out of range for {num_devices} devices"
+                )
             }
         }
     }

@@ -64,9 +64,15 @@ impl<'a> CostModel<'a> {
         bytes_per_device: f64,
     ) -> Result<Self, CostError> {
         if !(bytes_per_device.is_finite() && bytes_per_device > 0.0) {
-            return Err(CostError::InvalidBytes { bytes: bytes_per_device });
+            return Err(CostError::InvalidBytes {
+                bytes: bytes_per_device,
+            });
         }
-        Ok(CostModel { system, algo, bytes_per_device })
+        Ok(CostModel {
+            system,
+            algo,
+            bytes_per_device,
+        })
     }
 
     /// The system this model predicts for.
@@ -91,7 +97,9 @@ impl<'a> CostModel<'a> {
 
     /// Per-step prediction for a lowered program.
     pub fn program_breakdown(&self, program: &LoweredProgram) -> CostBreakdown {
-        CostBreakdown { steps: program.steps.iter().map(|s| self.step_cost(s)).collect() }
+        CostBreakdown {
+            steps: program.steps.iter().map(|s| self.step_cost(s)).collect(),
+        }
     }
 
     /// Predicted time of one step (the maximum over its concurrent groups).
@@ -119,7 +127,11 @@ impl<'a> CostModel<'a> {
             .map(|(group, uplinks)| self.group_time(step.collective, group, uplinks, &usage))
             .collect();
         let seconds = group_seconds.iter().copied().fold(0.0, f64::max);
-        StepCost { collective: step.collective, seconds, group_seconds }
+        StepCost {
+            collective: step.collective,
+            seconds,
+            group_seconds,
+        }
     }
 
     /// Predicted time of one device group performing one collective, given the
@@ -147,24 +159,32 @@ impl<'a> CostModel<'a> {
         // over the whole collective.
         let (edges, bytes_per_edge, rounds): (Vec<(usize, usize)>, f64, f64) =
             match (collective, self.algo) {
-                (Collective::AllReduce, NcclAlgo::Ring) => {
-                    (ring_edges(&group.devices), 2.0 * (n_f - 1.0) / n_f * bytes, 2.0 * (n_f - 1.0))
-                }
-                (Collective::ReduceScatter, _) => {
-                    (ring_edges(&group.devices), (n_f - 1.0) / n_f * bytes, n_f - 1.0)
-                }
+                (Collective::AllReduce, NcclAlgo::Ring) => (
+                    ring_edges(&group.devices),
+                    2.0 * (n_f - 1.0) / n_f * bytes,
+                    2.0 * (n_f - 1.0),
+                ),
+                (Collective::ReduceScatter, _) => (
+                    ring_edges(&group.devices),
+                    (n_f - 1.0) / n_f * bytes,
+                    n_f - 1.0,
+                ),
                 (Collective::AllGather, _) => {
                     (ring_edges(&group.devices), (n_f - 1.0) * bytes, n_f - 1.0)
                 }
-                (Collective::AllReduce, NcclAlgo::Tree) => {
-                    (bidirectional(tree_edges(&group.devices)), bytes, 2.0 * n_f.log2().ceil())
-                }
+                (Collective::AllReduce, NcclAlgo::Tree) => (
+                    bidirectional(tree_edges(&group.devices)),
+                    bytes,
+                    2.0 * n_f.log2().ceil(),
+                ),
                 (Collective::Reduce, NcclAlgo::Tree) => {
                     (tree_edges(&group.devices), bytes, n_f.log2().ceil())
                 }
-                (Collective::Broadcast, NcclAlgo::Tree) => {
-                    (reverse_edges(tree_edges(&group.devices)), bytes, n_f.log2().ceil())
-                }
+                (Collective::Broadcast, NcclAlgo::Tree) => (
+                    reverse_edges(tree_edges(&group.devices)),
+                    bytes,
+                    n_f.log2().ceil(),
+                ),
                 (Collective::Reduce, NcclAlgo::Ring) => {
                     (chain_edges(&group.devices, true), bytes, n_f - 1.0)
                 }
@@ -207,7 +227,10 @@ impl<'a> CostModel<'a> {
             for group in &step.groups {
                 for &d in &group.devices {
                     if d >= num_devices {
-                        return Err(CostError::DeviceOutOfRange { rank: d, num_devices });
+                        return Err(CostError::DeviceOutOfRange {
+                            rank: d,
+                            num_devices,
+                        });
                     }
                 }
             }
@@ -314,13 +337,16 @@ mod tests {
         let bytes = 4.0 * (1u64 << 29) as f64 * 4.0;
         let b1 =
             ParallelismMatrix::new(vec![vec![1, 4], vec![4, 4]], vec![4, 16], vec![4, 16]).unwrap();
-        let b3 =
-            ParallelismMatrix::new(vec![vec![4, 1], vec![1, 16]], vec![4, 16], vec![4, 16]).unwrap();
+        let b3 = ParallelismMatrix::new(vec![vec![4, 1], vec![1, 16]], vec![4, 16], vec![4, 16])
+            .unwrap();
         for algo in NcclAlgo::ALL {
             let model = CostModel::new(&sys, algo, bytes).unwrap();
             let t1 = model.program_time(&baseline_allreduce(&b1, &[0]).unwrap());
             let t3 = model.program_time(&baseline_allreduce(&b3, &[0]).unwrap());
-            assert!(t3 / t1 > 100.0, "{algo}: expected a large gap, got {t1} vs {t3}");
+            assert!(
+                t3 / t1 > 100.0,
+                "{algo}: expected a large gap, got {t1} vs {t3}"
+            );
             // And the same placement is much better for the *other* reduction axis.
             let t1_axis1 = model.program_time(&baseline_allreduce(&b1, &[1]).unwrap());
             let t3_axis1 = model.program_time(&baseline_allreduce(&b3, &[1]).unwrap());
@@ -335,7 +361,8 @@ mod tests {
         let sys = presets::v100_system(4);
         let bytes = 4.0 * (1u64 << 29) as f64 * 4.0;
         let matrix = ParallelismMatrix::new(vec![vec![4, 8]], vec![4, 8], vec![32]).unwrap();
-        let synth = Synthesizer::new(matrix.clone(), vec![0], HierarchyKind::ReductionAxes).unwrap();
+        let synth =
+            Synthesizer::new(matrix.clone(), vec![0], HierarchyKind::ReductionAxes).unwrap();
         let result = synth.synthesize(5);
         let model = CostModel::new(&sys, NcclAlgo::Ring, bytes).unwrap();
         let baseline = model.program_time(&baseline_allreduce(&matrix, &[0]).unwrap());
@@ -344,9 +371,15 @@ mod tests {
             .iter()
             .map(|p| model.program_time(&synth.lower(p).unwrap()))
             .fold(f64::INFINITY, f64::min);
-        assert!(best < baseline, "best synthesized {best} should beat AllReduce {baseline}");
+        assert!(
+            best < baseline,
+            "best synthesized {best} should beat AllReduce {baseline}"
+        );
         let speedup = baseline / best;
-        assert!(speedup > 1.05 && speedup < 10.0, "speedup {speedup} outside plausible range");
+        assert!(
+            speedup > 1.05 && speedup < 10.0,
+            "speedup {speedup} outside plausible range"
+        );
     }
 
     #[test]
@@ -358,7 +391,8 @@ mod tests {
         // F1-style placement: reduction axis inside the node.
         let matrix =
             ParallelismMatrix::new(vec![vec![1, 8], vec![4, 2]], vec![4, 16], vec![8, 8]).unwrap();
-        let synth = Synthesizer::new(matrix.clone(), vec![0], HierarchyKind::ReductionAxes).unwrap();
+        let synth =
+            Synthesizer::new(matrix.clone(), vec![0], HierarchyKind::ReductionAxes).unwrap();
         let model = CostModel::new(&sys, NcclAlgo::Ring, bytes).unwrap();
         let baseline = model.program_time(&baseline_allreduce(&matrix, &[0]).unwrap());
         let best = synth
@@ -367,17 +401,25 @@ mod tests {
             .iter()
             .map(|p| model.program_time(&synth.lower(p).unwrap()))
             .fold(f64::INFINITY, f64::min);
-        assert!(baseline <= best * 1.01, "AllReduce {baseline} should be optimal, best {best}");
+        assert!(
+            baseline <= best * 1.01,
+            "AllReduce {baseline} should be optimal, best {best}"
+        );
     }
 
     #[test]
     fn cost_scales_linearly_with_bytes() {
         let sys = a100_4();
         let matrix =
-            ParallelismMatrix::new(vec![vec![4, 1], vec![1, 16]], vec![4, 16], vec![4, 16]).unwrap();
+            ParallelismMatrix::new(vec![vec![4, 1], vec![1, 16]], vec![4, 16], vec![4, 16])
+                .unwrap();
         let program = baseline_allreduce(&matrix, &[0]).unwrap();
-        let small = CostModel::new(&sys, NcclAlgo::Ring, GIB).unwrap().program_time(&program);
-        let large = CostModel::new(&sys, NcclAlgo::Ring, 4.0 * GIB).unwrap().program_time(&program);
+        let small = CostModel::new(&sys, NcclAlgo::Ring, GIB)
+            .unwrap()
+            .program_time(&program);
+        let large = CostModel::new(&sys, NcclAlgo::Ring, 4.0 * GIB)
+            .unwrap()
+            .program_time(&program);
         let ratio = large / small;
         assert!(
             (ratio - 4.0).abs() < 0.05,
@@ -392,19 +434,28 @@ mod tests {
         // One cross-node pair alone...
         let lone = LoweredStep {
             collective: Collective::AllReduce,
-            groups: vec![GroupExec { devices: vec![0, 16], input_fraction: 1.0 }],
+            groups: vec![GroupExec {
+                devices: vec![0, 16],
+                input_fraction: 1.0,
+            }],
         };
         // ...versus sixteen cross-node pairs sharing the two NICs.
         let crowded = LoweredStep {
             collective: Collective::AllReduce,
             groups: (0..16)
-                .map(|i| GroupExec { devices: vec![i, 16 + i], input_fraction: 1.0 })
+                .map(|i| GroupExec {
+                    devices: vec![i, 16 + i],
+                    input_fraction: 1.0,
+                })
                 .collect(),
         };
         let t_lone = model.step_time(&lone);
         let t_crowded = model.step_time(&crowded);
         let ratio = t_crowded / t_lone;
-        assert!((ratio - 16.0).abs() < 0.5, "expected ~16x contention slowdown, got {ratio}");
+        assert!(
+            (ratio - 16.0).abs() < 0.5,
+            "expected ~16x contention slowdown, got {ratio}"
+        );
     }
 
     #[test]
@@ -413,10 +464,16 @@ mod tests {
         let model = CostModel::new(&sys, NcclAlgo::Tree, GIB).unwrap();
         let step = LoweredStep {
             collective: Collective::Broadcast,
-            groups: vec![GroupExec { devices: vec![3], input_fraction: 1.0 }],
+            groups: vec![GroupExec {
+                devices: vec![3],
+                input_fraction: 1.0,
+            }],
         };
         assert_eq!(model.step_time(&step), 0.0);
-        let empty = LoweredProgram { steps: vec![], num_devices: 64 };
+        let empty = LoweredProgram {
+            steps: vec![],
+            num_devices: 64,
+        };
         assert_eq!(model.program_time(&empty), 0.0);
     }
 
@@ -427,7 +484,10 @@ mod tests {
         let bad = LoweredProgram {
             steps: vec![LoweredStep {
                 collective: Collective::AllReduce,
-                groups: vec![GroupExec { devices: vec![0, 99], input_fraction: 1.0 }],
+                groups: vec![GroupExec {
+                    devices: vec![0, 99],
+                    input_fraction: 1.0,
+                }],
             }],
             num_devices: 64,
         };

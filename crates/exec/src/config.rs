@@ -70,10 +70,14 @@ impl ExecConfig {
     /// Returns an [`ExecError`] describing the first invalid field.
     pub fn validate(&self) -> Result<(), ExecError> {
         if !(self.bytes_per_device.is_finite() && self.bytes_per_device > 0.0) {
-            return Err(ExecError::InvalidBytes { bytes: self.bytes_per_device });
+            return Err(ExecError::InvalidBytes {
+                bytes: self.bytes_per_device,
+            });
         }
         if !(self.noise_fraction.is_finite() && (0.0..1.0).contains(&self.noise_fraction)) {
-            return Err(ExecError::InvalidNoise { noise: self.noise_fraction });
+            return Err(ExecError::InvalidNoise {
+                noise: self.noise_fraction,
+            });
         }
         if self.repeats == 0 {
             return Err(ExecError::ZeroRepeats);
@@ -107,7 +111,13 @@ mod tests {
     #[test]
     fn invalid_configs_rejected() {
         assert!(ExecConfig::new(NcclAlgo::Ring, 0.0).validate().is_err());
-        assert!(ExecConfig::new(NcclAlgo::Ring, 1.0).with_noise(1.5).validate().is_err());
-        assert!(ExecConfig::new(NcclAlgo::Ring, 1.0).with_repeats(0).validate().is_err());
+        assert!(ExecConfig::new(NcclAlgo::Ring, 1.0)
+            .with_noise(1.5)
+            .validate()
+            .is_err());
+        assert!(ExecConfig::new(NcclAlgo::Ring, 1.0)
+            .with_repeats(0)
+            .validate()
+            .is_err());
     }
 }

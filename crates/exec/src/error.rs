@@ -29,14 +29,20 @@ impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExecError::InvalidBytes { bytes } => {
-                write!(f, "per-device byte count {bytes} is not a positive finite number")
+                write!(
+                    f,
+                    "per-device byte count {bytes} is not a positive finite number"
+                )
             }
             ExecError::InvalidNoise { noise } => {
                 write!(f, "noise fraction {noise} is not a finite value in [0, 1)")
             }
             ExecError::ZeroRepeats => write!(f, "at least one measurement repetition is required"),
             ExecError::DeviceOutOfRange { rank, num_devices } => {
-                write!(f, "device rank {rank} out of range for {num_devices} devices")
+                write!(
+                    f,
+                    "device rank {rank} out of range for {num_devices} devices"
+                )
             }
         }
     }

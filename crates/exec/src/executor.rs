@@ -4,14 +4,12 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use p2_synthesis::{LoweredProgram, LoweredStep};
 use p2_topology::{SystemTopology, Uplink};
 
 use crate::config::ExecConfig;
 use crate::error::ExecError;
+use crate::rng::NoiseRng;
 use crate::schedule::collective_rounds;
 
 /// The execution simulator: "runs" lowered reduction programs on a modelled
@@ -53,13 +51,19 @@ impl<'a> Executor<'a> {
 
     /// Measures a program and returns every simulated run.
     pub fn measure_runs(&self, program: &LoweredProgram) -> Vec<f64> {
-        (0..self.config.repeats).map(|run| self.measure_once(program, run as u64)).collect()
+        (0..self.config.repeats)
+            .map(|run| self.measure_once(program, run as u64))
+            .collect()
     }
 
     /// Simulates a single run of a program.
     pub fn measure_once(&self, program: &LoweredProgram, run: u64) -> f64 {
         let mut rng = self.rng_for(program, run);
-        program.steps.iter().map(|step| self.step_time(step, &mut rng)).sum()
+        program
+            .steps
+            .iter()
+            .map(|step| self.step_time(step, &mut rng))
+            .sum()
     }
 
     /// Checks that a program only references devices of this system.
@@ -73,7 +77,10 @@ impl<'a> Executor<'a> {
             for group in &step.groups {
                 for &d in &group.devices {
                     if d >= num_devices {
-                        return Err(ExecError::DeviceOutOfRange { rank: d, num_devices });
+                        return Err(ExecError::DeviceOutOfRange {
+                            rank: d,
+                            num_devices,
+                        });
                     }
                 }
             }
@@ -81,7 +88,7 @@ impl<'a> Executor<'a> {
         Ok(())
     }
 
-    fn rng_for(&self, program: &LoweredProgram, run: u64) -> StdRng {
+    fn rng_for(&self, program: &LoweredProgram, run: u64) -> NoiseRng {
         let mut hasher = DefaultHasher::new();
         self.config.seed.hash(&mut hasher);
         run.hash(&mut hasher);
@@ -91,13 +98,13 @@ impl<'a> Executor<'a> {
                 group.devices.hash(&mut hasher);
             }
         }
-        StdRng::seed_from_u64(hasher.finish())
+        NoiseRng::seed_from_u64(hasher.finish())
     }
 
     /// Simulated time of one step: the groups' round schedules are advanced in
     /// lockstep, and within each global round every uplink's bandwidth is
     /// shared by the bytes crossing it.
-    fn step_time(&self, step: &LoweredStep, rng: &mut StdRng) -> f64 {
+    fn step_time(&self, step: &LoweredStep, rng: &mut NoiseRng) -> f64 {
         // Expand every group into its rounds.
         let group_rounds: Vec<Vec<crate::schedule::Round>> = step
             .groups
@@ -116,7 +123,9 @@ impl<'a> Executor<'a> {
             let mut load: HashMap<(Uplink, bool), f64> = HashMap::new();
             let mut latency = 0.0_f64;
             for rounds in &group_rounds {
-                let Some(round) = rounds.get(round_idx) else { continue };
+                let Some(round) = rounds.get(round_idx) else {
+                    continue;
+                };
                 for transfer in round {
                     if transfer.src == transfer.dst {
                         continue;
@@ -143,8 +152,8 @@ impl<'a> Executor<'a> {
         }
         // Launch overhead plus multiplicative measurement noise.
         let noise: f64 = if self.config.noise_fraction > 0.0 {
-            let z: f64 = rng.sample(rand::distributions::Standard);
-            // `Standard` yields a uniform in [0, 1); centre it and scale.
+            // `next_f64` yields a uniform in [0, 1); centre it and scale.
+            let z = rng.next_f64();
             1.0 + self.config.noise_fraction * (2.0 * z - 1.0)
         } else {
             1.0
@@ -168,11 +177,9 @@ mod tests {
         let sys = presets::a100_system(2);
         let matrix = ParallelismMatrix::new(vec![vec![2, 16]], vec![2, 16], vec![32]).unwrap();
         let program = baseline_allreduce(&matrix, &[0]).unwrap();
-        let exec =
-            Executor::new(&sys, ExecConfig::new(NcclAlgo::Ring, GB).with_seed(42)).unwrap();
+        let exec = Executor::new(&sys, ExecConfig::new(NcclAlgo::Ring, GB).with_seed(42)).unwrap();
         assert_eq!(exec.measure(&program), exec.measure(&program));
-        let other =
-            Executor::new(&sys, ExecConfig::new(NcclAlgo::Ring, GB).with_seed(43)).unwrap();
+        let other = Executor::new(&sys, ExecConfig::new(NcclAlgo::Ring, GB).with_seed(43)).unwrap();
         assert_ne!(exec.measure(&program), other.measure(&program));
     }
 
@@ -202,8 +209,12 @@ mod tests {
         pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         let half = pairs.len() / 2;
         let first: f64 = pairs[..half].iter().map(|p| p.1).sum::<f64>() / half as f64;
-        let second: f64 = pairs[half..].iter().map(|p| p.1).sum::<f64>() / (pairs.len() - half) as f64;
-        assert!(second > first, "measured times do not follow predicted ordering");
+        let second: f64 =
+            pairs[half..].iter().map(|p| p.1).sum::<f64>() / (pairs.len() - half) as f64;
+        assert!(
+            second > first,
+            "measured times do not follow predicted ordering"
+        );
     }
 
     #[test]
@@ -211,10 +222,11 @@ mod tests {
         let sys = presets::a100_system(4);
         let bytes = 4.0 * GB;
         let exec = Executor::new(&sys, ExecConfig::new(NcclAlgo::Ring, bytes)).unwrap();
-        let local = ParallelismMatrix::new(vec![vec![1, 4], vec![4, 4]], vec![4, 16], vec![4, 16])
-            .unwrap();
-        let spread = ParallelismMatrix::new(vec![vec![4, 1], vec![1, 16]], vec![4, 16], vec![4, 16])
-            .unwrap();
+        let local =
+            ParallelismMatrix::new(vec![vec![1, 4], vec![4, 4]], vec![4, 16], vec![4, 16]).unwrap();
+        let spread =
+            ParallelismMatrix::new(vec![vec![4, 1], vec![1, 16]], vec![4, 16], vec![4, 16])
+                .unwrap();
         let t_local = exec.measure(&baseline_allreduce(&local, &[0]).unwrap());
         let t_spread = exec.measure(&baseline_allreduce(&spread, &[0]).unwrap());
         assert!(
@@ -227,7 +239,10 @@ mod tests {
     fn empty_programs_take_no_time() {
         let sys = presets::v100_system(2);
         let exec = Executor::new(&sys, ExecConfig::new(NcclAlgo::Tree, GB)).unwrap();
-        let empty = LoweredProgram { steps: vec![], num_devices: 16 };
+        let empty = LoweredProgram {
+            steps: vec![],
+            num_devices: 16,
+        };
         assert_eq!(exec.measure(&empty), 0.0);
     }
 
@@ -238,7 +253,10 @@ mod tests {
         let bad = LoweredProgram {
             steps: vec![LoweredStep {
                 collective: p2_collectives::Collective::AllReduce,
-                groups: vec![GroupExec { devices: vec![0, 31], input_fraction: 1.0 }],
+                groups: vec![GroupExec {
+                    devices: vec![0, 31],
+                    input_fraction: 1.0,
+                }],
             }],
             num_devices: 16,
         };
@@ -255,7 +273,9 @@ mod tests {
         let program = baseline_allreduce(&matrix, &[0]).unwrap();
         let exec = Executor::new(
             &sys,
-            ExecConfig::new(NcclAlgo::Ring, GB).with_noise(0.0).with_repeats(3),
+            ExecConfig::new(NcclAlgo::Ring, GB)
+                .with_noise(0.0)
+                .with_repeats(3),
         )
         .unwrap();
         let runs = exec.measure_runs(&program);
@@ -265,13 +285,15 @@ mod tests {
     #[test]
     fn tree_and_ring_differ() {
         let sys = presets::a100_system(4);
-        let matrix =
-            ParallelismMatrix::new(vec![vec![4, 16]], vec![4, 16], vec![64]).unwrap();
+        let matrix = ParallelismMatrix::new(vec![vec![4, 16]], vec![4, 16], vec![64]).unwrap();
         let program = baseline_allreduce(&matrix, &[0]).unwrap();
         let ring = Executor::new(&sys, ExecConfig::new(NcclAlgo::Ring, GB)).unwrap();
         let tree = Executor::new(&sys, ExecConfig::new(NcclAlgo::Tree, GB)).unwrap();
         let (t_ring, t_tree) = (ring.measure(&program), tree.measure(&program));
         assert!(t_ring > 0.0 && t_tree > 0.0);
-        assert!((t_ring - t_tree).abs() / t_ring > 0.01, "algorithms should not be identical");
+        assert!(
+            (t_ring - t_tree).abs() / t_ring > 0.01,
+            "algorithms should not be identical"
+        );
     }
 }

@@ -39,6 +39,7 @@
 mod config;
 mod error;
 mod executor;
+mod rng;
 mod schedule;
 
 pub use config::ExecConfig;

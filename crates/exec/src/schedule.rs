@@ -77,7 +77,11 @@ fn ring_rounds(devices: &[usize], rounds: usize, bytes_per_round: f64) -> Vec<Ro
     (0..rounds)
         .map(|_| {
             (0..n)
-                .map(|i| Transfer { src: devices[i], dst: devices[(i + 1) % n], bytes: bytes_per_round })
+                .map(|i| Transfer {
+                    src: devices[i],
+                    dst: devices[(i + 1) % n],
+                    bytes: bytes_per_round,
+                })
                 .collect()
         })
         .collect()
@@ -94,9 +98,17 @@ fn chain_rounds(devices: &[usize], bytes: f64, toward_root: bool) -> Vec<Round> 
             (1..n)
                 .map(|i| {
                     if toward_root {
-                        Transfer { src: devices[i], dst: devices[i - 1], bytes: per_round }
+                        Transfer {
+                            src: devices[i],
+                            dst: devices[i - 1],
+                            bytes: per_round,
+                        }
                     } else {
-                        Transfer { src: devices[i - 1], dst: devices[i], bytes: per_round }
+                        Transfer {
+                            src: devices[i - 1],
+                            dst: devices[i],
+                            bytes: per_round,
+                        }
                     }
                 })
                 .collect()
@@ -114,7 +126,11 @@ fn reduce_tree_rounds(devices: &[usize], bytes: f64) -> Vec<Round> {
         let mut round = Vec::new();
         let mut i = 0usize;
         while i + step < n {
-            round.push(Transfer { src: devices[i + step], dst: devices[i], bytes });
+            round.push(Transfer {
+                src: devices[i + step],
+                dst: devices[i],
+                bytes,
+            });
             i += 2 * step;
         }
         rounds.push(round);
@@ -141,7 +157,10 @@ mod tests {
     use super::*;
 
     fn group(devices: Vec<usize>) -> GroupExec {
-        GroupExec { devices, input_fraction: 1.0 }
+        GroupExec {
+            devices,
+            input_fraction: 1.0,
+        }
     }
 
     #[test]
@@ -154,7 +173,12 @@ mod tests {
             assert!(round.iter().all(|t| (t.bytes - 1.0).abs() < 1e-12));
         }
         // Total bytes leaving device 0: 6 rounds * 1 byte = 2 * (n-1)/n * total.
-        let sent: f64 = rounds.iter().flatten().filter(|t| t.src == 0).map(|t| t.bytes).sum();
+        let sent: f64 = rounds
+            .iter()
+            .flatten()
+            .filter(|t| t.src == 0)
+            .map(|t| t.bytes)
+            .sum();
         assert!((sent - 6.0).abs() < 1e-12);
     }
 
@@ -163,7 +187,7 @@ mod tests {
         let g = group(vec![0, 1, 2, 3, 4]);
         let rounds = collective_rounds(Collective::AllReduce, NcclAlgo::Tree, &g, 8.0);
         assert_eq!(rounds.len(), 6); // ceil(log2 5) = 3 up + 3 down
-        // The first reduce round pairs neighbours; the final broadcast round mirrors it.
+                                     // The first reduce round pairs neighbours; the final broadcast round mirrors it.
         assert!(rounds[0].iter().all(|t| t.dst < t.src || t.bytes == 8.0));
         let total_up: f64 = rounds[..3].iter().flatten().map(|t| t.bytes).sum();
         let total_down: f64 = rounds[3..].iter().flatten().map(|t| t.bytes).sum();
@@ -200,7 +224,10 @@ mod tests {
         let g = group(vec![0, 1, 2, 3]);
         let rounds = collective_rounds(Collective::AllGather, NcclAlgo::Ring, &g, 2.0);
         assert_eq!(rounds.len(), 3);
-        assert!(rounds.iter().flatten().all(|t| (t.bytes - 2.0).abs() < 1e-12));
+        assert!(rounds
+            .iter()
+            .flatten()
+            .all(|t| (t.bytes - 2.0).abs() < 1e-12));
     }
 
     #[test]

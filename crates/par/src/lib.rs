@@ -1,0 +1,134 @@
+//! Dependency-free data parallelism on scoped OS threads.
+//!
+//! This crate is the workspace's stand-in for `rayon` (the build runs without
+//! network access, so crates.io dependencies are unavailable): it fans a map
+//! over a pool of scoped threads and returns the results **in input order**,
+//! so callers that were deterministic serially stay deterministic in
+//! parallel. Work is distributed dynamically (an atomic cursor over the input)
+//! which keeps cores busy even when per-item cost is highly skewed — exactly
+//! the shape of the placement × synthesis sweep, where one placement can
+//! synthesize orders of magnitude more programs than another.
+//!
+//! # Example
+//!
+//! ```
+//! let squares = p2_par::par_map(&[1usize, 2, 3, 4], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![deny(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Number of worker threads `par_map` uses by default: the machine's available
+/// parallelism, or 1 when it cannot be queried.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on up to [`default_threads()`] scoped threads,
+/// returning results in input order. `f` receives the item index alongside the
+/// item so callers can derive per-item seeds or labels.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_threads(default_threads(), items, f)
+}
+
+/// [`par_map`] with an explicit thread count. `0` resolves to
+/// [`default_threads()`] (every available core), `1` runs serially on the
+/// calling thread; the output is identical for any value.
+pub fn par_map_threads<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = if threads == 0 {
+        default_threads()
+    } else {
+        threads
+    };
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                // A worker may die of a panic in `f`; the send only fails if
+                // the receiver is gone, which cannot happen inside the scope.
+                let _ = tx.send((i, f(i, item)));
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        let mut received = 0usize;
+        for (i, r) in rx {
+            slots[i] = Some(r);
+            received += 1;
+        }
+        assert_eq!(received, items.len(), "a parallel worker panicked");
+        slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let input: Vec<usize> = (0..257).collect();
+        let out = par_map(&input, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, input.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let input: Vec<u64> = (0..100).collect();
+        let serial = par_map_threads(1, &input, |i, &x| x.wrapping_mul(i as u64 + 3));
+        for threads in [2, 4, 8] {
+            let parallel = par_map_threads(threads, &input, |i, &x| x.wrapping_mul(i as u64 + 3));
+            assert_eq!(serial, parallel);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert_eq!(par_map::<u32, u32, _>(&[], |_, &x| x), Vec::<u32>::new());
+        assert_eq!(par_map(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn zero_threads_means_all_cores() {
+        let input: Vec<usize> = (0..50).collect();
+        let auto = par_map_threads(0, &input, |_, &x| x + 1);
+        assert_eq!(auto, par_map_threads(1, &input, |_, &x| x + 1));
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let out = par_map_threads(64, &[1u8, 2], |_, &x| x);
+        assert_eq!(out, vec![1, 2]);
+    }
+}

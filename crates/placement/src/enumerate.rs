@@ -21,7 +21,12 @@ pub fn ordered_factorizations(n: usize, parts: usize) -> Vec<Vec<usize>> {
     }
     let mut out = Vec::new();
     let mut current = Vec::with_capacity(parts);
-    fn rec(remaining: usize, parts_left: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    fn rec(
+        remaining: usize,
+        parts_left: usize,
+        current: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
         if parts_left == 1 {
             current.push(remaining);
             out.push(current.clone());
@@ -29,7 +34,7 @@ pub fn ordered_factorizations(n: usize, parts: usize) -> Vec<Vec<usize>> {
             return;
         }
         for d in 1..=remaining {
-            if remaining % d == 0 {
+            if remaining.is_multiple_of(d) {
                 current.push(d);
                 rec(remaining / d, parts_left - 1, current, out);
                 current.pop();
@@ -73,13 +78,16 @@ pub fn enumerate_matrices(
     if arities.is_empty() {
         return Err(PlacementError::EmptyHierarchy);
     }
-    if axes.iter().any(|&p| p == 0) || arities.iter().any(|&h| h == 0) {
+    if axes.contains(&0) || arities.contains(&0) {
         return Err(PlacementError::ZeroSize);
     }
     let devices: usize = arities.iter().product();
     let parallelism: usize = axes.iter().product();
     if devices != parallelism {
-        return Err(PlacementError::ProductMismatch { devices, parallelism });
+        return Err(PlacementError::ProductMismatch {
+            devices,
+            parallelism,
+        });
     }
 
     let mut out = Vec::new();
@@ -109,7 +117,11 @@ pub fn enumerate_matrices(
         }
         for factorization in ordered_factorizations(arities[level], axes.len()) {
             // Prune: each factor must divide the axis budget that remains.
-            if factorization.iter().zip(remaining.iter()).any(|(f, r)| r % f != 0) {
+            if factorization
+                .iter()
+                .zip(remaining.iter())
+                .any(|(f, r)| r % f != 0)
+            {
                 continue;
             }
             for (i, f) in factorization.iter().enumerate() {
@@ -176,7 +188,12 @@ mod tests {
         // [4 16] system; the number of matrices equals the number of ways to
         // split each axis across the two levels consistently.
         let m_2_32 = enumerate_matrices(&[4, 16], &[2, 32]).unwrap();
-        assert_eq!(m_2_32.len(), 2, "{:?}", m_2_32.iter().map(|m| m.to_string()).collect::<Vec<_>>());
+        assert_eq!(
+            m_2_32.len(),
+            2,
+            "{:?}",
+            m_2_32.iter().map(|m| m.to_string()).collect::<Vec<_>>()
+        );
         let m_4_16 = enumerate_matrices(&[4, 16], &[4, 16]).unwrap();
         assert_eq!(m_4_16.len(), 3);
         let m_8_8 = enumerate_matrices(&[4, 16], &[8, 8]).unwrap();
@@ -187,7 +204,10 @@ mod tests {
     fn product_mismatch_rejected() {
         assert!(matches!(
             enumerate_matrices(&[2, 16], &[3, 16]),
-            Err(PlacementError::ProductMismatch { devices: 32, parallelism: 48 })
+            Err(PlacementError::ProductMismatch {
+                devices: 32,
+                parallelism: 48
+            })
         ));
     }
 

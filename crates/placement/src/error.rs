@@ -42,7 +42,10 @@ pub enum PlacementError {
 impl fmt::Display for PlacementError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PlacementError::ProductMismatch { devices, parallelism } => write!(
+            PlacementError::ProductMismatch {
+                devices,
+                parallelism,
+            } => write!(
                 f,
                 "parallelism axes multiply to {parallelism} but the system has {devices} devices"
             ),
@@ -50,14 +53,24 @@ impl fmt::Display for PlacementError {
             PlacementError::EmptyHierarchy => write!(f, "no hierarchy levels given"),
             PlacementError::ZeroSize => write!(f, "axis sizes and cardinalities must be non-zero"),
             PlacementError::RowProductMismatch { axis } => {
-                write!(f, "row {axis} does not multiply to the corresponding axis size")
+                write!(
+                    f,
+                    "row {axis} does not multiply to the corresponding axis size"
+                )
             }
             PlacementError::ColumnProductMismatch { level } => {
-                write!(f, "column {level} does not multiply to the corresponding cardinality")
+                write!(
+                    f,
+                    "column {level} does not multiply to the corresponding cardinality"
+                )
             }
-            PlacementError::ShapeMismatch => write!(f, "matrix shape does not match axes/hierarchy"),
+            PlacementError::ShapeMismatch => {
+                write!(f, "matrix shape does not match axes/hierarchy")
+            }
             PlacementError::AxisOutOfRange { axis } => write!(f, "axis index {axis} out of range"),
-            PlacementError::CoordinateOutOfRange => write!(f, "device or axis coordinate out of range"),
+            PlacementError::CoordinateOutOfRange => {
+                write!(f, "device or axis coordinate out of range")
+            }
         }
     }
 }

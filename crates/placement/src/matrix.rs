@@ -49,7 +49,7 @@ impl ParallelismMatrix {
         if arities.is_empty() {
             return Err(PlacementError::EmptyHierarchy);
         }
-        if axes.iter().any(|&p| p == 0) || arities.iter().any(|&h| h == 0) {
+        if axes.contains(&0) || arities.contains(&0) {
             return Err(PlacementError::ZeroSize);
         }
         if factors.len() != axes.len() || factors.iter().any(|row| row.len() != arities.len()) {
@@ -69,7 +69,11 @@ impl ParallelismMatrix {
                 return Err(PlacementError::ColumnProductMismatch { level: j });
             }
         }
-        Ok(ParallelismMatrix { factors, arities, axes })
+        Ok(ParallelismMatrix {
+            factors,
+            arities,
+            axes,
+        })
     }
 
     /// Number of parallelism axes (rows).
@@ -164,15 +168,15 @@ impl ParallelismMatrix {
             return Err(PlacementError::CoordinateOutOfRange);
         }
         let mut rank = 0usize;
-        for j in 0..self.num_levels() {
+        for (j, &arity) in self.arities.iter().enumerate() {
             let mut level_index = 0usize;
-            for i in 0..self.num_axes() {
-                if digits[i][j] >= self.factors[i][j] {
+            for (i, axis_digits) in digits.iter().enumerate() {
+                if axis_digits[j] >= self.factors[i][j] {
                     return Err(PlacementError::CoordinateOutOfRange);
                 }
-                level_index = level_index * self.factors[i][j] + digits[i][j];
+                level_index = level_index * self.factors[i][j] + axis_digits[j];
             }
-            rank = rank * self.arities[j] + level_index;
+            rank = rank * arity + level_index;
         }
         Ok(rank)
     }
@@ -188,12 +192,12 @@ impl ParallelismMatrix {
     pub fn axis_coords(&self, rank: usize) -> Result<Vec<usize>, PlacementError> {
         let digits = self.device_digits(rank)?;
         let mut coords = vec![0usize; self.num_axes()];
-        for i in 0..self.num_axes() {
+        for (i, coord) in coords.iter_mut().enumerate() {
             let mut a = 0usize;
-            for j in 0..self.num_levels() {
-                a = a * self.factors[i][j] + digits[i][j];
+            for (j, &digit) in digits[i].iter().enumerate() {
+                a = a * self.factors[i][j] + digit;
             }
-            coords[i] = a;
+            *coord = a;
         }
         Ok(coords)
     }
@@ -234,7 +238,10 @@ impl ParallelismMatrix {
     ///
     /// Returns [`PlacementError::AxisOutOfRange`] if any reduction axis index
     /// is invalid or the list is empty.
-    pub fn reduction_groups(&self, reduction_axes: &[usize]) -> Result<Vec<Vec<usize>>, PlacementError> {
+    pub fn reduction_groups(
+        &self,
+        reduction_axes: &[usize],
+    ) -> Result<Vec<Vec<usize>>, PlacementError> {
         if reduction_axes.is_empty() {
             return Err(PlacementError::EmptyAxes);
         }
@@ -350,7 +357,10 @@ mod tests {
             let cpu = rank / 4; // 4 GPUs per CPU, CPUs numbered 0..4
             let gpu_in_cpu = rank % 4;
             assert_eq!(coords[0], cpu, "data-parallel index is the CPU index");
-            assert_eq!(coords[1], gpu_in_cpu, "shard index is the GPU index within the CPU");
+            assert_eq!(
+                coords[1], gpu_in_cpu,
+                "shard index is the GPU index within the CPU"
+            );
         }
     }
 
@@ -441,8 +451,10 @@ mod tests {
         let m = figure2b();
         let groups = m.reduction_groups(&[1]).unwrap();
         for group in groups {
-            let shard_coords: Vec<usize> =
-                group.iter().map(|&d| m.axis_coords(d).unwrap()[1]).collect();
+            let shard_coords: Vec<usize> = group
+                .iter()
+                .map(|&d| m.axis_coords(d).unwrap()[1])
+                .collect();
             assert_eq!(shard_coords, vec![0, 1, 2, 3]);
         }
     }

@@ -59,7 +59,12 @@ impl SynthesisContext {
                 groups.into_values().collect()
             }
         };
-        Ok(SynthesisContext { matrix, reduction_axes, hierarchy, goal_groups })
+        Ok(SynthesisContext {
+            matrix,
+            reduction_axes,
+            hierarchy,
+            goal_groups,
+        })
     }
 
     /// The parallelism matrix this context was built for.
@@ -117,7 +122,11 @@ impl SynthesisContext {
     /// # Errors
     ///
     /// Same as [`SynthesisHierarchy::derive_groups`].
-    pub fn derive_groups(&self, slice: usize, form: Form) -> Result<Vec<Vec<usize>>, SynthesisError> {
+    pub fn derive_groups(
+        &self,
+        slice: usize,
+        form: Form,
+    ) -> Result<Vec<Vec<usize>>, SynthesisError> {
         self.hierarchy.derive_groups(slice, form)
     }
 
@@ -131,7 +140,11 @@ impl SynthesisContext {
     /// # Errors
     ///
     /// Propagates placement errors for out-of-range coordinates.
-    pub fn space_to_physical(&self, index: usize, coset: &[usize]) -> Result<usize, SynthesisError> {
+    pub fn space_to_physical(
+        &self,
+        index: usize,
+        coset: &[usize],
+    ) -> Result<usize, SynthesisError> {
         match self.hierarchy.kind() {
             HierarchyKind::System | HierarchyKind::ColumnMajor => Ok(index),
             HierarchyKind::RowMajor => {
@@ -199,16 +212,16 @@ impl SynthesisContext {
         let mut coords = vec![0usize; self.matrix.num_axes()];
         for &axis in &self.reduction_axes {
             let mut a = 0usize;
-            for j in 0..self.matrix.num_levels() {
-                a = a * self.matrix.factor(axis, j) + axis_level_digit[axis][j];
+            for (j, &digit) in axis_level_digit[axis].iter().enumerate() {
+                a = a * self.matrix.factor(axis, j) + digit;
             }
             coords[axis] = a;
         }
         // Fill in the non-reduction coordinates from the coset.
         let mut it = coset.iter();
-        for axis in 0..self.matrix.num_axes() {
+        for (axis, coord) in coords.iter_mut().enumerate() {
             if !self.reduction_axes.contains(&axis) {
-                coords[axis] = *it.next().expect("coset has one coordinate per free axis");
+                *coord = *it.next().expect("coset has one coordinate per free axis");
             }
         }
         coords
@@ -280,12 +293,21 @@ impl SynthesisContext {
                         .iter()
                         .map(|&idx| before[idx].data_fraction())
                         .fold(0.0_f64, f64::max);
-                    groups.push(GroupExec { devices, input_fraction });
+                    groups.push(GroupExec {
+                        devices,
+                        input_fraction,
+                    });
                 }
             }
-            steps.push(LoweredStep { collective: instr.collective, groups });
+            steps.push(LoweredStep {
+                collective: instr.collective,
+                groups,
+            });
         }
-        Ok(LoweredProgram { steps, num_devices: self.matrix.num_devices() })
+        Ok(LoweredProgram {
+            steps,
+            num_devices: self.matrix.num_devices(),
+        })
     }
 }
 
@@ -348,7 +370,10 @@ mod tests {
         for g in &lowered {
             let mut sorted = g.clone();
             sorted.sort_unstable();
-            assert!(groups.contains(&sorted), "lowered group {g:?} not a reduction group");
+            assert!(
+                groups.contains(&sorted),
+                "lowered group {g:?} not a reduction group"
+            );
         }
         assert_eq!(lowered.len(), groups.len());
     }
@@ -356,12 +381,19 @@ mod tests {
     #[test]
     fn single_allreduce_program_lowers_to_reduction_groups() {
         let ctx = ctx_d();
-        let program = Program::new(vec![Instruction::new(0, Form::InsideGroup, Collective::AllReduce)]);
+        let program = Program::new(vec![Instruction::new(
+            0,
+            Form::InsideGroup,
+            Collective::AllReduce,
+        )]);
         let lowered = ctx.lower(&program).unwrap();
         assert_eq!(lowered.steps.len(), 1);
         assert_eq!(lowered.steps[0].groups.len(), 4);
         assert!(lowered.steps[0].groups.iter().all(|g| g.devices.len() == 4));
-        assert!(lowered.steps[0].groups.iter().all(|g| (g.input_fraction - 1.0).abs() < 1e-12));
+        assert!(lowered.steps[0]
+            .groups
+            .iter()
+            .all(|g| (g.input_fraction - 1.0).abs() < 1e-12));
     }
 
     #[test]
@@ -403,7 +435,11 @@ mod tests {
         ]);
         assert!(ctx.lower(&program).is_err());
         // An incomplete program does not reach the goal.
-        let partial = Program::new(vec![Instruction::new(1, Form::InsideGroup, Collective::Reduce)]);
+        let partial = Program::new(vec![Instruction::new(
+            1,
+            Form::InsideGroup,
+            Collective::Reduce,
+        )]);
         assert!(ctx.lower(&partial).is_err());
     }
 

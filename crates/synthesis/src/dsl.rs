@@ -47,7 +47,11 @@ pub struct Instruction {
 impl Instruction {
     /// Creates an instruction.
     pub fn new(slice: usize, form: Form, collective: Collective) -> Self {
-        Instruction { slice, form, collective }
+        Instruction {
+            slice,
+            form,
+            collective,
+        }
     }
 }
 
@@ -72,7 +76,9 @@ impl Program {
 
     /// The empty program.
     pub fn empty() -> Self {
-        Program { instructions: Vec::new() }
+        Program {
+            instructions: Vec::new(),
+        }
     }
 
     /// Number of instructions.
@@ -135,8 +141,12 @@ mod tests {
 
     #[test]
     fn collects_from_iterator() {
-        let p: Program =
-            std::iter::once(Instruction::new(0, Form::InsideGroup, Collective::AllReduce)).collect();
+        let p: Program = std::iter::once(Instruction::new(
+            0,
+            Form::InsideGroup,
+            Collective::AllReduce,
+        ))
+        .collect();
         assert_eq!(p.len(), 1);
     }
 }

@@ -44,7 +44,10 @@ impl fmt::Display for SynthesisError {
                 write!(f, "synthesis-hierarchy level {level} out of range")
             }
             SynthesisError::NotAnAncestor { slice, ancestor } => {
-                write!(f, "level {ancestor} is not a strict ancestor of slice level {slice}")
+                write!(
+                    f,
+                    "level {ancestor} is not a strict ancestor of slice level {slice}"
+                )
             }
             SynthesisError::Semantics(e) => write!(f, "semantics violation: {e}"),
             SynthesisError::GoalNotReached => {

@@ -92,7 +92,11 @@ impl SynthesisHierarchy {
         match kind {
             HierarchyKind::System => {
                 for (j, &h) in matrix.arities().iter().enumerate() {
-                    levels.push(SynthLevel { factor: h, hw_level: Some(j), axis_factors: vec![] });
+                    levels.push(SynthLevel {
+                        factor: h,
+                        hw_level: Some(j),
+                        axis_factors: vec![],
+                    });
                 }
             }
             HierarchyKind::ColumnMajor => {
@@ -127,7 +131,11 @@ impl SynthesisHierarchy {
                         .collect();
                     let factor: usize = axis_factors.iter().map(|(_, f)| f).product();
                     if factor > 1 {
-                        levels.push(SynthLevel { factor, hw_level: Some(j), axis_factors });
+                        levels.push(SynthLevel {
+                            factor,
+                            hw_level: Some(j),
+                            axis_factors,
+                        });
                     }
                 }
             }
@@ -135,7 +143,14 @@ impl SynthesisHierarchy {
         // Always start from a root level of 1 so "everything" is a slice group
         // (the paper appends (root, 1) to hierarchy (d)).
         if levels.first().map(|l| l.factor) != Some(1) {
-            levels.insert(0, SynthLevel { factor: 1, hw_level: None, axis_factors: vec![] });
+            levels.insert(
+                0,
+                SynthLevel {
+                    factor: 1,
+                    hw_level: None,
+                    axis_factors: vec![],
+                },
+            );
         }
         Ok(SynthesisHierarchy { kind, levels })
     }
@@ -179,7 +194,11 @@ impl SynthesisHierarchy {
     /// Returns [`SynthesisError::LevelOutOfRange`] for an invalid slice or
     /// ancestor level and [`SynthesisError::NotAnAncestor`] when the form's
     /// level is not a strict ancestor of the slice.
-    pub fn derive_groups(&self, slice: usize, form: Form) -> Result<Vec<Vec<usize>>, SynthesisError> {
+    pub fn derive_groups(
+        &self,
+        slice: usize,
+        form: Form,
+    ) -> Result<Vec<Vec<usize>>, SynthesisError> {
         let depth = self.depth();
         if slice >= depth {
             return Err(SynthesisError::LevelOutOfRange { level: slice });
@@ -225,12 +244,17 @@ impl SynthesisHierarchy {
     }
 }
 
-fn validate_axes(matrix: &ParallelismMatrix, reduction_axes: &[usize]) -> Result<(), SynthesisError> {
+fn validate_axes(
+    matrix: &ParallelismMatrix,
+    reduction_axes: &[usize],
+) -> Result<(), SynthesisError> {
     let bad = reduction_axes.is_empty()
         || reduction_axes.iter().any(|&a| a >= matrix.num_axes())
         || (1..reduction_axes.len()).any(|i| reduction_axes[i..].contains(&reduction_axes[i - 1]));
     if bad {
-        Err(SynthesisError::InvalidReductionAxes { axes: reduction_axes.to_vec() })
+        Err(SynthesisError::InvalidReductionAxes {
+            axes: reduction_axes.to_vec(),
+        })
     } else {
         Ok(())
     }
@@ -298,7 +322,15 @@ mod tests {
         let h = SynthesisHierarchy::build(&m, &[1], HierarchyKind::System).unwrap();
         // slice = CPU (level 2), InsideGroup: the four CPUs' GPU quartets.
         let g = h.derive_groups(2, Form::InsideGroup).unwrap();
-        assert_eq!(g, vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7], vec![8, 9, 10, 11], vec![12, 13, 14, 15]]);
+        assert_eq!(
+            g,
+            vec![
+                vec![0, 1, 2, 3],
+                vec![4, 5, 6, 7],
+                vec![8, 9, 10, 11],
+                vec![12, 13, 14, 15]
+            ]
+        );
         // slice = CPU, Parallel(server = level 1): {A0,B0} {A1,B1} ... {C0,D0} ...
         let g = h.derive_groups(2, Form::Parallel(1)).unwrap();
         assert!(g.contains(&vec![0, 4]));
@@ -314,7 +346,10 @@ mod tests {
         assert_eq!(g, vec![vec![0, 4, 8, 12]]);
         // slice = server (level 1), InsideGroup: halves of the rack.
         let g = h.derive_groups(1, Form::InsideGroup).unwrap();
-        assert_eq!(g, vec![(0..8).collect::<Vec<_>>(), (8..16).collect::<Vec<_>>()]);
+        assert_eq!(
+            g,
+            vec![(0..8).collect::<Vec<_>>(), (8..16).collect::<Vec<_>>()]
+        );
         // slice = server, Parallel(rack): {A0,C0} {A1,C1} ... {B0,D0} ...
         let g = h.derive_groups(1, Form::Parallel(0)).unwrap();
         assert!(g.contains(&vec![0, 8]));
@@ -341,7 +376,10 @@ mod tests {
                     let mut seen = std::collections::HashSet::new();
                     for g in &groups {
                         for &d in g {
-                            assert!(seen.insert(d), "device {d} appears twice ({kind:?}, {slice}, {form})");
+                            assert!(
+                                seen.insert(d),
+                                "device {d} appears twice ({kind:?}, {slice}, {form})"
+                            );
                             assert!(d < h.space_size());
                         }
                     }
@@ -360,7 +398,10 @@ mod tests {
         ));
         assert!(matches!(
             h.derive_groups(1, Form::Parallel(1)),
-            Err(SynthesisError::NotAnAncestor { slice: 1, ancestor: 1 })
+            Err(SynthesisError::NotAnAncestor {
+                slice: 1,
+                ancestor: 1
+            })
         ));
         assert!(matches!(
             h.derive_groups(1, Form::Parallel(7)),

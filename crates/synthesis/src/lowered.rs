@@ -30,7 +30,11 @@ pub struct LoweredStep {
 impl LoweredStep {
     /// The largest group size in this step.
     pub fn max_group_size(&self) -> usize {
-        self.groups.iter().map(|g| g.devices.len()).max().unwrap_or(0)
+        self.groups
+            .iter()
+            .map(|g| g.devices.len())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -70,7 +74,10 @@ impl LoweredProgram {
     pub fn groups_are_disjoint(&self) -> bool {
         self.steps.iter().all(|step| {
             let mut seen = std::collections::HashSet::new();
-            step.groups.iter().flat_map(|g| &g.devices).all(|&d| seen.insert(d))
+            step.groups
+                .iter()
+                .flat_map(|g| &g.devices)
+                .all(|&d| seen.insert(d))
         })
     }
 }
@@ -89,10 +96,16 @@ pub fn baseline_allreduce(
         .reduction_groups(reduction_axes)?
         .into_iter()
         .filter(|g| g.len() >= 2)
-        .map(|devices| GroupExec { devices, input_fraction: 1.0 })
+        .map(|devices| GroupExec {
+            devices,
+            input_fraction: 1.0,
+        })
         .collect();
     Ok(LoweredProgram {
-        steps: vec![LoweredStep { collective: Collective::AllReduce, groups }],
+        steps: vec![LoweredStep {
+            collective: Collective::AllReduce,
+            groups,
+        }],
         num_devices: matrix.num_devices(),
     })
 }
@@ -127,8 +140,14 @@ mod tests {
             steps: vec![LoweredStep {
                 collective: Collective::AllReduce,
                 groups: vec![
-                    GroupExec { devices: vec![0, 1], input_fraction: 1.0 },
-                    GroupExec { devices: vec![1, 2], input_fraction: 1.0 },
+                    GroupExec {
+                        devices: vec![0, 1],
+                        input_fraction: 1.0,
+                    },
+                    GroupExec {
+                        devices: vec![1, 2],
+                        input_fraction: 1.0,
+                    },
                 ],
             }],
             num_devices: 4,

@@ -74,7 +74,9 @@ impl Synthesizer {
         reduction_axes: Vec<usize>,
         kind: HierarchyKind,
     ) -> Result<Self, SynthesisError> {
-        Ok(Synthesizer { ctx: SynthesisContext::new(matrix, reduction_axes, kind)? })
+        Ok(Synthesizer {
+            ctx: SynthesisContext::new(matrix, reduction_axes, kind)?,
+        })
     }
 
     /// Creates a synthesizer from an existing context.
@@ -105,8 +107,7 @@ impl Synthesizer {
                     .ctx
                     .derive_groups(slice, form)
                     .expect("slice and ancestor indices are generated in range");
-                let groups: Vec<Vec<usize>> =
-                    groups.into_iter().filter(|g| g.len() >= 2).collect();
+                let groups: Vec<Vec<usize>> = groups.into_iter().filter(|g| g.len() >= 2).collect();
                 if groups.is_empty() {
                     continue;
                 }
@@ -137,12 +138,19 @@ impl Synthesizer {
         let goals = self.ctx.goal_states();
         let candidates = self.candidate_instructions();
         let mut stats = SynthesisStats {
-            candidate_instructions: candidates.len() / Collective::ALL.len().max(1) * Collective::ALL.len(),
+            candidate_instructions: candidates.len() / Collective::ALL.len().max(1)
+                * Collective::ALL.len(),
             ..SynthesisStats::default()
         };
         let mut memo: HashMap<(Vec<State>, usize), Rc<Vec<Program>>> = HashMap::new();
-        let programs =
-            self.search(&initial, &goals, max_size, &candidates, &mut memo, &mut stats);
+        let programs = self.search(
+            &initial,
+            &goals,
+            max_size,
+            &candidates,
+            &mut memo,
+            &mut stats,
+        );
         let mut programs = (*programs).clone();
         programs.sort_by_key(|p| (p.len(), p.to_string()));
         stats.states_explored = memo
@@ -238,8 +246,7 @@ mod tests {
     #[test]
     fn finds_the_paper_figure3_programs() {
         let result = synth_d().synthesize(5);
-        let signatures: Vec<String> =
-            result.programs.iter().map(|p| p.signature()).collect();
+        let signatures: Vec<String> = result.programs.iter().map(|p| p.signature()).collect();
         // Figure 3a: a single AllReduce.
         assert!(signatures.contains(&"AllReduce".to_string()));
         // Figure 3b: AllReduce-AllReduce (local, then across).
@@ -256,7 +263,8 @@ mod tests {
         let result = s.synthesize(5);
         assert!(!result.is_empty());
         for p in &result.programs {
-            s.validate(p).unwrap_or_else(|e| panic!("program {p} failed validation: {e}"));
+            s.validate(p)
+                .unwrap_or_else(|e| panic!("program {p} failed validation: {e}"));
             let lowered = s.lower(p).unwrap();
             assert!(lowered.groups_are_disjoint());
         }
@@ -294,8 +302,7 @@ mod tests {
         // it empirically: every *lowered* program synthesized under (a) also
         // appears among the lowered programs of (d).
         let matrix = figure2d();
-        let synth_a =
-            Synthesizer::new(matrix.clone(), vec![1], HierarchyKind::System).unwrap();
+        let synth_a = Synthesizer::new(matrix.clone(), vec![1], HierarchyKind::System).unwrap();
         let synth_d = Synthesizer::new(matrix, vec![1], HierarchyKind::ReductionAxes).unwrap();
         let lowered_a: Vec<_> = synth_a
             .synthesize(3)
@@ -359,8 +366,7 @@ mod tests {
     #[test]
     fn single_axis_whole_machine_reduction() {
         // One parallelism axis covering a [2, 8] system: reduction over everything.
-        let matrix =
-            ParallelismMatrix::new(vec![vec![2, 8]], vec![2, 8], vec![16]).unwrap();
+        let matrix = ParallelismMatrix::new(vec![vec![2, 8]], vec![2, 8], vec![16]).unwrap();
         let s = Synthesizer::new(matrix, vec![0], HierarchyKind::ReductionAxes).unwrap();
         let result = s.synthesize(5);
         let signatures: Vec<String> = result.programs.iter().map(|p| p.signature()).collect();

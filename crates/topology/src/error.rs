@@ -54,13 +54,22 @@ impl fmt::Display for TopologyError {
                 "expected one interconnect per level ({levels} levels) but got {links}"
             ),
             TopologyError::InvalidBandwidth { link } => {
-                write!(f, "interconnect `{link}` has a non-positive or non-finite bandwidth")
+                write!(
+                    f,
+                    "interconnect `{link}` has a non-positive or non-finite bandwidth"
+                )
             }
             TopologyError::InvalidLatency { link } => {
-                write!(f, "interconnect `{link}` has a negative or non-finite latency")
+                write!(
+                    f,
+                    "interconnect `{link}` has a negative or non-finite latency"
+                )
             }
             TopologyError::DeviceOutOfRange { rank, num_devices } => {
-                write!(f, "device rank {rank} out of range for {num_devices} devices")
+                write!(
+                    f,
+                    "device rank {rank} out of range for {num_devices} devices"
+                )
             }
             TopologyError::InvalidCoordinate { coord } => {
                 write!(f, "coordinate {coord:?} does not match the hierarchy shape")

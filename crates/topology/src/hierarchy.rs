@@ -24,7 +24,10 @@ impl Level {
     /// assert_eq!(gpu.arity(), 4);
     /// ```
     pub fn new(name: impl Into<String>, arity: usize) -> Self {
-        Level { name: name.into(), arity }
+        Level {
+            name: name.into(),
+            arity,
+        }
     }
 
     /// The level's name (e.g. `"GPU"`).
@@ -70,7 +73,9 @@ impl Hierarchy {
         }
         for level in &levels {
             if level.arity == 0 {
-                return Err(TopologyError::ZeroArity { level: level.name.clone() });
+                return Err(TopologyError::ZeroArity {
+                    level: level.name.clone(),
+                });
             }
         }
         Ok(Hierarchy { levels })
@@ -133,7 +138,10 @@ impl Hierarchy {
     pub fn rank_to_coord(&self, rank: usize) -> Result<DeviceCoord, TopologyError> {
         let n = self.num_devices();
         if rank >= n {
-            return Err(TopologyError::DeviceOutOfRange { rank, num_devices: n });
+            return Err(TopologyError::DeviceOutOfRange {
+                rank,
+                num_devices: n,
+            });
         }
         let mut digits = vec![0usize; self.depth()];
         let mut rest = rank;
@@ -153,12 +161,16 @@ impl Hierarchy {
     pub fn coord_to_rank(&self, coord: &DeviceCoord) -> Result<usize, TopologyError> {
         let digits = coord.digits();
         if digits.len() != self.depth() {
-            return Err(TopologyError::InvalidCoordinate { coord: digits.to_vec() });
+            return Err(TopologyError::InvalidCoordinate {
+                coord: digits.to_vec(),
+            });
         }
         let mut rank = 0usize;
         for (digit, level) in digits.iter().zip(&self.levels) {
             if *digit >= level.arity {
-                return Err(TopologyError::InvalidCoordinate { coord: digits.to_vec() });
+                return Err(TopologyError::InvalidCoordinate {
+                    coord: digits.to_vec(),
+                });
             }
             rank = rank * level.arity + digit;
         }
@@ -215,7 +227,10 @@ mod tests {
         let h = figure2a();
         assert!(matches!(
             h.rank_to_coord(16),
-            Err(TopologyError::DeviceOutOfRange { rank: 16, num_devices: 16 })
+            Err(TopologyError::DeviceOutOfRange {
+                rank: 16,
+                num_devices: 16
+            })
         ));
     }
 

@@ -32,7 +32,11 @@ impl Interconnect {
     /// Returns [`TopologyError::InvalidBandwidth`] if the bandwidth is not a
     /// positive finite number and [`TopologyError::InvalidLatency`] if the
     /// latency is negative or non-finite.
-    pub fn new(name: impl Into<String>, bandwidth: f64, latency: f64) -> Result<Self, TopologyError> {
+    pub fn new(
+        name: impl Into<String>,
+        bandwidth: f64,
+        latency: f64,
+    ) -> Result<Self, TopologyError> {
         let name = name.into();
         if !(bandwidth.is_finite() && bandwidth > 0.0) {
             return Err(TopologyError::InvalidBandwidth { link: name });
@@ -40,7 +44,11 @@ impl Interconnect {
         if !(latency.is_finite() && latency >= 0.0) {
             return Err(TopologyError::InvalidLatency { link: name });
         }
-        Ok(Interconnect { name, bandwidth, latency })
+        Ok(Interconnect {
+            name,
+            bandwidth,
+            latency,
+        })
     }
 
     /// The interconnect's name (e.g. `"NVSwitch"`).

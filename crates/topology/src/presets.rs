@@ -32,8 +32,8 @@ pub const LOCAL_LATENCY: f64 = 5.0 * MICROSECOND;
 /// Panics if `nodes` is zero.
 pub fn a100_system(nodes: usize) -> SystemTopology {
     assert!(nodes > 0, "a100_system requires at least one node");
-    let hierarchy = Hierarchy::from_pairs([("node", nodes), ("gpu", 16)])
-        .expect("static hierarchy is valid");
+    let hierarchy =
+        Hierarchy::from_pairs([("node", nodes), ("gpu", 16)]).expect("static hierarchy is valid");
     let links = vec![
         Interconnect::new("NIC/DCN", NIC_BANDWIDTH, DCN_LATENCY).expect("valid link"),
         Interconnect::new("NVSwitch", A100_NVSWITCH_BANDWIDTH, LOCAL_LATENCY).expect("valid link"),
@@ -86,9 +86,8 @@ pub fn v100_pcie_system(nodes: usize) -> SystemTopology {
 /// The 16-GPU example system of Figure 2a: one rack with 2 servers, each with
 /// 2 CPUs connecting 4 GPUs.
 pub fn figure2a_system() -> SystemTopology {
-    let hierarchy =
-        Hierarchy::from_pairs([("rack", 1), ("server", 2), ("CPU", 2), ("GPU", 4)])
-            .expect("valid hierarchy");
+    let hierarchy = Hierarchy::from_pairs([("rack", 1), ("server", 2), ("CPU", 2), ("GPU", 4)])
+        .expect("valid hierarchy");
     let links = vec![
         Interconnect::new("rack-switch", NIC_BANDWIDTH, DCN_LATENCY).expect("valid link"),
         Interconnect::new("server-NIC", NIC_BANDWIDTH, DCN_LATENCY).expect("valid link"),
@@ -129,6 +128,9 @@ mod tests {
     fn nic_is_the_cross_node_bottleneck() {
         let sys = a100_system(2);
         assert_eq!(sys.bottleneck_bandwidth(&[0, 16]), Some(NIC_BANDWIDTH));
-        assert_eq!(sys.bottleneck_bandwidth(&[0, 1]), Some(A100_NVSWITCH_BANDWIDTH));
+        assert_eq!(
+            sys.bottleneck_bandwidth(&[0, 1]),
+            Some(A100_NVSWITCH_BANDWIDTH)
+        );
     }
 }

@@ -60,7 +60,11 @@ impl SystemTopology {
                 links: links.len(),
             });
         }
-        Ok(SystemTopology { hierarchy, links, name: "custom".to_string() })
+        Ok(SystemTopology {
+            hierarchy,
+            links,
+            name: "custom".to_string(),
+        })
     }
 
     /// Creates a named system (used by the presets).
@@ -127,8 +131,8 @@ impl SystemTopology {
         let coord = self.hierarchy.rank_to_coord(device)?;
         let arities = self.hierarchy.arities();
         let mut rank = 0usize;
-        for l in 0..=level {
-            rank = rank * arities[l] + coord.digit(l);
+        for (l, &arity) in arities.iter().enumerate().take(level + 1) {
+            rank = rank * arity + coord.digit(l);
         }
         Ok(rank)
     }
@@ -169,7 +173,10 @@ impl SystemTopology {
             // simply "more than one occupied instance at this level".
             if instances.len() > 1 {
                 for inst in instances {
-                    used.insert(Uplink { level, instance: inst });
+                    used.insert(Uplink {
+                        level,
+                        instance: inst,
+                    });
                 }
             }
         }
@@ -212,7 +219,10 @@ mod tests {
         let links = vec![Interconnect::new("NIC", 8.0e9, 1e-6).unwrap()];
         assert!(matches!(
             SystemTopology::new(h, links),
-            Err(TopologyError::LinkCountMismatch { levels: 2, links: 1 })
+            Err(TopologyError::LinkCountMismatch {
+                levels: 2,
+                links: 1
+            })
         ));
     }
 
@@ -240,10 +250,22 @@ mod tests {
     fn cross_node_group_uses_nics_and_gpu_uplinks() {
         let sys = two_by_four();
         let uplinks = sys.used_uplinks(&[0, 4]);
-        assert!(uplinks.contains(&Uplink { level: 0, instance: 0 }));
-        assert!(uplinks.contains(&Uplink { level: 0, instance: 1 }));
-        assert!(uplinks.contains(&Uplink { level: 1, instance: 0 }));
-        assert!(uplinks.contains(&Uplink { level: 1, instance: 4 }));
+        assert!(uplinks.contains(&Uplink {
+            level: 0,
+            instance: 0
+        }));
+        assert!(uplinks.contains(&Uplink {
+            level: 0,
+            instance: 1
+        }));
+        assert!(uplinks.contains(&Uplink {
+            level: 1,
+            instance: 0
+        }));
+        assert!(uplinks.contains(&Uplink {
+            level: 1,
+            instance: 4
+        }));
         assert_eq!(sys.span_level(&[0, 4]), Some(0));
         assert_eq!(sys.bottleneck_bandwidth(&[0, 4]), Some(8.0e9));
     }

@@ -64,7 +64,10 @@ fn main() -> Result<(), p2::P2Error> {
 
     // Empirical check of Theorem 3.2: every distinct lowered program found by
     // (a), (b) or (c) is also found by (d).
-    let (_, d_set) = lowered_sets.iter().find(|(k, _)| *k == HierarchyKind::ReductionAxes).unwrap();
+    let (_, d_set) = lowered_sets
+        .iter()
+        .find(|(k, _)| *k == HierarchyKind::ReductionAxes)
+        .unwrap();
     for (kind, set) in &lowered_sets {
         if *kind == HierarchyKind::ReductionAxes {
             continue;
@@ -75,7 +78,11 @@ fn main() -> Result<(), p2::P2Error> {
             kind.letter(),
             set.len() - missing,
             set.len(),
-            if missing == 0 { "  [Theorem 3.2 holds]" } else { "  [UNEXPECTED GAP]" }
+            if missing == 0 {
+                "  [Theorem 3.2 holds]"
+            } else {
+                "  [UNEXPECTED GAP]"
+            }
         );
     }
     Ok(())

@@ -50,8 +50,15 @@ fn main() -> Result<(), p2::P2Error> {
         "placement", "shard-axis (s)", "data-axis (s)", "weighted cost (s)"
     );
     let mut best: Option<(String, f64)> = None;
-    for (shard_pl, data_pl) in sharding_results.placements.iter().zip(&data_results.placements) {
-        assert_eq!(shard_pl.matrix, data_pl.matrix, "placement order must match");
+    for (shard_pl, data_pl) in sharding_results
+        .placements
+        .iter()
+        .zip(&data_results.placements)
+    {
+        assert_eq!(
+            shard_pl.matrix, data_pl.matrix,
+            "placement order must match"
+        );
         let shard_time = shard_pl.optimal_measured();
         let data_time = data_pl.optimal_measured();
         let weighted = sharding_weight * shard_time + data_weight * data_time;

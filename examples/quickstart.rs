@@ -54,13 +54,19 @@ fn main() -> Result<(), p2::P2Error> {
         "The common optimal programs of Figure 10 — Reduce-AllReduce-Broadcast and \
          ReduceScatter-AllReduce-AllGather — appear among the synthesized programs:"
     );
-    for signature in ["Reduce-AllReduce-Broadcast", "ReduceScatter-AllReduce-AllGather"] {
+    for signature in [
+        "Reduce-AllReduce-Broadcast",
+        "ReduceScatter-AllReduce-AllGather",
+    ] {
         let found = result
             .placements
             .iter()
             .flat_map(|p| &p.programs)
             .any(|p| p.signature() == signature);
-        println!("  {signature}: {}", if found { "synthesized" } else { "not found" });
+        println!(
+            "  {signature}: {}",
+            if found { "synthesized" } else { "not found" }
+        );
     }
     Ok(())
 }

@@ -35,7 +35,10 @@ fn main() -> Result<(), p2::P2Error> {
         let placement = &result.placements[0];
         let best = placement.best_measured().expect("programs synthesized");
         println!("NCCL {algo}:");
-        println!("  default AllReduce       : {:>9.2} ms", placement.allreduce_measured * 1e3);
+        println!(
+            "  default AllReduce       : {:>9.2} ms",
+            placement.allreduce_measured * 1e3
+        );
         println!(
             "  best synthesized program: {:>9.2} ms  ({})",
             best.measured_seconds * 1e3,
@@ -46,8 +49,7 @@ fn main() -> Result<(), p2::P2Error> {
         // A rough end-to-end estimate in the spirit of the paper's 15% claim:
         // assume communication is ~35% of a data-parallel step at this scale.
         let comm_share = 0.35;
-        let step_improvement =
-            1.0 - (1.0 - comm_share + comm_share / speedup);
+        let step_improvement = 1.0 - (1.0 - comm_share + comm_share / speedup);
         println!(
             "  estimated end-to-end step improvement (communication ~{:.0}% of step): {:.1}%",
             comm_share * 100.0,

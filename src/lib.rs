@@ -42,7 +42,10 @@ pub use p2_synthesis as synthesis;
 pub use p2_topology as topology;
 
 pub use p2_collectives::{Collective, State};
-pub use p2_core::{top_k_accuracy, ExperimentResult, P2Config, P2Error, PlacementEvaluation, ProgramEvaluation, TopKReport, P2};
+pub use p2_core::{
+    top_k_accuracy, ExperimentResult, P2Config, P2Error, PlacementEvaluation, ProgramEvaluation,
+    TopKReport, P2,
+};
 pub use p2_cost::{CostModel, NcclAlgo};
 pub use p2_exec::{ExecConfig, Executor};
 pub use p2_placement::{enumerate_matrices, ParallelismMatrix};

@@ -12,7 +12,11 @@ fn figure2_running_example() {
     let result = P2::new(config).unwrap().run().unwrap();
 
     // Figure 2 shows three placements; the enumeration finds them (plus one more).
-    let matrices: Vec<String> = result.placements.iter().map(|p| p.matrix.to_string()).collect();
+    let matrices: Vec<String> = result
+        .placements
+        .iter()
+        .map(|p| p.matrix.to_string())
+        .collect();
     assert!(matrices.contains(&"[[1 2 2 1][1 1 1 4]]".to_string()));
     assert!(matrices.contains(&"[[1 2 1 2][1 1 2 2]]".to_string()));
     assert!(matrices.contains(&"[[1 1 2 2][1 2 1 2]]".to_string()));
@@ -52,7 +56,11 @@ fn placement_impact_spans_orders_of_magnitude() {
             .with_bytes_per_device(2.0e9)
             .with_repeats(2);
         let result = P2::new(config).unwrap().run().unwrap();
-        let times: Vec<f64> = result.placements.iter().map(|p| p.allreduce_measured).collect();
+        let times: Vec<f64> = result
+            .placements
+            .iter()
+            .map(|p| p.allreduce_measured)
+            .collect();
         let max = times.iter().copied().fold(f64::MIN, f64::max);
         let min = times.iter().copied().fold(f64::MAX, f64::min);
         spreads.push(max / min);
@@ -75,7 +83,10 @@ fn synthesis_helps_exactly_where_the_paper_says() {
     // The single axis spans both nodes, so a hierarchical program must win.
     assert!(placement.programs_beating_allreduce() > 0);
     let speedup = placement.speedup();
-    assert!(speedup > 1.1 && speedup < 5.0, "speedup {speedup} outside the paper's ballpark");
+    assert!(
+        speedup > 1.1 && speedup < 5.0,
+        "speedup {speedup} outside the paper's ballpark"
+    );
 
     // Intra-node reduction: the placement [[1 8][2 1]] keeps the reduction
     // axis inside one node; AllReduce is already optimal there.
@@ -88,7 +99,11 @@ fn synthesis_helps_exactly_where_the_paper_says() {
         .iter()
         .find(|p| p.matrix.to_string() == "[[1 8][2 1]]")
         .expect("local placement enumerated");
-    assert!(local.speedup() < 1.1, "local reduction should not benefit: {}", local.speedup());
+    assert!(
+        local.speedup() < 1.1,
+        "local reduction should not benefit: {}",
+        local.speedup()
+    );
 }
 
 /// Table 5's headline: the analytic simulator identifies near-optimal programs
@@ -159,8 +174,15 @@ fn reduction_hierarchy_is_smallest_and_most_expressive() {
         sets.insert(kind, set);
     }
     let d = &sets[&HierarchyKind::ReductionAxes];
-    for kind in [HierarchyKind::System, HierarchyKind::ColumnMajor, HierarchyKind::RowMajor] {
-        assert!(sets[&kind].is_subset(d), "hierarchy (d) must cover {kind:?}");
+    for kind in [
+        HierarchyKind::System,
+        HierarchyKind::ColumnMajor,
+        HierarchyKind::RowMajor,
+    ] {
+        assert!(
+            sets[&kind].is_subset(d),
+            "hierarchy (d) must cover {kind:?}"
+        );
         assert!(space_sizes[&HierarchyKind::ReductionAxes] <= space_sizes[&kind]);
     }
 }

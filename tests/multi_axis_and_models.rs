@@ -33,7 +33,11 @@ fn multi_axis_reduction_lowers_to_correct_groups() {
     let reduction_groups = matrix.reduction_groups(&[0, 2]).unwrap();
     assert_eq!(reduction_groups.len(), 2);
     assert!(reduction_groups.iter().all(|g| g.len() == 32));
-    let allreduce = result.programs.iter().find(|p| p.signature() == "AllReduce").unwrap();
+    let allreduce = result
+        .programs
+        .iter()
+        .find(|p| p.signature() == "AllReduce")
+        .unwrap();
     let lowered = synth.lower(allreduce).unwrap();
     assert_eq!(lowered.steps[0].groups.len(), 2);
     for group in &lowered.steps[0].groups {
@@ -56,7 +60,8 @@ fn reducing_all_axes_equals_single_axis_reduction() {
     let system = presets::v100_system(2);
     let bytes = 1.0e9;
     let single = ParallelismMatrix::new(vec![vec![2, 8]], vec![2, 8], vec![16]).unwrap();
-    let double = ParallelismMatrix::new(vec![vec![2, 2], vec![1, 4]], vec![2, 8], vec![4, 4]).unwrap();
+    let double =
+        ParallelismMatrix::new(vec![vec![2, 2], vec![1, 4]], vec![2, 8], vec![4, 4]).unwrap();
     let best_time = |matrix: &ParallelismMatrix, axes: Vec<usize>| -> f64 {
         let synth = Synthesizer::new(matrix.clone(), axes, HierarchyKind::ReductionAxes).unwrap();
         let model = CostModel::new(&system, NcclAlgo::Ring, bytes).unwrap();
@@ -93,12 +98,20 @@ fn both_models_scale_inversely_with_bandwidth() {
     let program = baseline_allreduce(&matrix, &[0]).unwrap();
     let bytes = 4.0e9;
 
-    let cost_slow = CostModel::new(&slow, NcclAlgo::Ring, bytes).unwrap().program_time(&program);
-    let cost_fast = CostModel::new(&fast, NcclAlgo::Ring, bytes).unwrap().program_time(&program);
+    let cost_slow = CostModel::new(&slow, NcclAlgo::Ring, bytes)
+        .unwrap()
+        .program_time(&program);
+    let cost_fast = CostModel::new(&fast, NcclAlgo::Ring, bytes)
+        .unwrap()
+        .program_time(&program);
     assert!((cost_slow / cost_fast - 2.0).abs() < 1e-6);
 
-    let exec_config = ExecConfig::new(NcclAlgo::Ring, bytes).with_noise(0.0).with_repeats(1);
-    let exec_slow = Executor::new(&slow, exec_config.clone()).unwrap().measure(&program);
+    let exec_config = ExecConfig::new(NcclAlgo::Ring, bytes)
+        .with_noise(0.0)
+        .with_repeats(1);
+    let exec_slow = Executor::new(&slow, exec_config.clone())
+        .unwrap()
+        .measure(&program);
     let exec_fast = Executor::new(&fast, exec_config).unwrap().measure(&program);
     // Launch overhead is constant, so the ratio is slightly below 2.
     let ratio = exec_slow / exec_fast;
@@ -115,13 +128,18 @@ fn allgather_cost_grows_with_group_size() {
     let model = CostModel::new(&system, NcclAlgo::Ring, bytes).unwrap();
     let exec = Executor::new(
         &system,
-        ExecConfig::new(NcclAlgo::Ring, bytes).with_noise(0.0).with_repeats(1),
+        ExecConfig::new(NcclAlgo::Ring, bytes)
+            .with_noise(0.0)
+            .with_repeats(1),
     )
     .unwrap();
     let program = |n: usize| LoweredProgram {
         steps: vec![LoweredStep {
             collective: p2::Collective::AllGather,
-            groups: vec![GroupExec { devices: (0..n).collect(), input_fraction: 0.25 }],
+            groups: vec![GroupExec {
+                devices: (0..n).collect(),
+                input_fraction: 0.25,
+            }],
         }],
         num_devices: 16,
     };

@@ -36,9 +36,9 @@ proptest! {
             for (i, row) in m.rows().iter().enumerate() {
                 prop_assert_eq!(row.iter().product::<usize>(), axes[i]);
             }
-            for j in 0..arities.len() {
+            for (j, &arity) in arities.iter().enumerate() {
                 let col: usize = (0..axes.len()).map(|i| m.factor(i, j)).product();
-                prop_assert_eq!(col, arities[j]);
+                prop_assert_eq!(col, arity);
             }
         }
     }

@@ -13,8 +13,7 @@ fn scope_and_groups() -> impl Strategy<Value = (usize, Vec<Vec<usize>>)> {
             for (device, label) in labels.iter().enumerate() {
                 buckets.entry(*label).or_default().push(device);
             }
-            let groups: Vec<Vec<usize>> =
-                buckets.into_values().filter(|g| g.len() >= 2).collect();
+            let groups: Vec<Vec<usize>> = buckets.into_values().filter(|g| g.len() >= 2).collect();
             (k, groups)
         })
     })
