@@ -64,8 +64,27 @@ fn bench_sweep_parallelism(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("placement_sweep", label),
             &matrices,
-            |b, ms| b.iter(|| sweep_synthesis(ms, &[0, 2], 5, threads)),
+            |b, ms| b.iter(|| sweep_synthesis(ms, &[0, 2], 5, threads, None)),
         );
+    }
+    group.finish();
+}
+
+/// Materializing the full program set per placement vs. streaming it through
+/// the visitor with bounded retention — the memory-model contrast of the
+/// streaming engine. Both count the same programs; the streaming side clones
+/// at most `keep_top` of them per matrix instead of the whole set.
+fn bench_streaming_vs_materialized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streaming_vs_materialized");
+    let matrices = enumerate_matrices(&[4, 16], &[16, 2, 2]).expect("valid config");
+    for (label, keep_top) in [
+        ("materialized", None),
+        ("streaming_top10", Some(10usize)),
+        ("streaming_top1", Some(1usize)),
+    ] {
+        group.bench_with_input(BenchmarkId::new("sweep", label), &matrices, |b, ms| {
+            b.iter(|| sweep_synthesis(ms, &[0, 2], 5, 1, keep_top))
+        });
     }
     group.finish();
 }
@@ -73,6 +92,6 @@ fn bench_sweep_parallelism(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_synthesis, bench_sweep_parallelism
+    targets = bench_synthesis, bench_sweep_parallelism, bench_streaming_vs_materialized
 }
 criterion_main!(benches);

@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --release -p p2-bench --bin table4`.
 
-use p2_bench::{fmt_s, fmt_speedup, table4_specs, SpeedupSummary};
+use p2_bench::{fmt_s, fmt_speedup, run_specs, table4_specs, SpeedupSummary};
 
 fn main() {
     println!(
@@ -87,4 +87,24 @@ fn main() {
     println!("Result 5 aggregate over the Table 4 configurations: {summary}");
     println!("(the paper reports 69% of mappings improved, average 1.27x, max 2.04x over all configurations;");
     println!(" run the appendix_table binary for the full sweep)");
+
+    // The same sweep with bounded (top-8) retention: the streaming engine
+    // prunes and displaces most candidates yet lands on the same optima.
+    println!();
+    println!("Streaming retention check (keep_top = 8):");
+    let specs = table4_specs();
+    let bounded = run_specs(&specs, Some(8));
+    for (spec, result) in specs.iter().zip(&bounded) {
+        println!(
+            "  {:<4} retained {:>4} of {:>5} programs ({} pruned), optimal {}",
+            spec.id,
+            result.total_programs_retained(),
+            result.total_programs(),
+            result.total_programs_pruned(),
+            result
+                .best_overall()
+                .map(|p| format!("{} at {}s", p.signature(), fmt_s(p.measured_seconds)))
+                .unwrap_or_else(|| "-".to_string()),
+        );
+    }
 }

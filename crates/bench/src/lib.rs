@@ -11,7 +11,7 @@
 use p2_core::{ExperimentResult, P2Config, P2};
 use p2_cost::NcclAlgo;
 use p2_placement::ParallelismMatrix;
-use p2_synthesis::{HierarchyKind, Synthesizer};
+use p2_synthesis::{HierarchyKind, Program, SinkControl, Synthesizer};
 use p2_topology::{presets, SystemTopology};
 
 /// Which GPU system a configuration runs on.
@@ -129,9 +129,16 @@ impl ExperimentSpec {
 /// worker threads. Each spec's own placement sweep then runs serially so the
 /// two levels of parallelism do not oversubscribe the machine. Results come
 /// back in spec order and are bit-identical to serial runs.
-pub fn run_specs(specs: &[ExperimentSpec]) -> Vec<ExperimentResult> {
+///
+/// `keep_top` bounds the per-placement retention of every spec (`None` runs
+/// the exhaustive, keep-everything pipeline).
+pub fn run_specs(specs: &[ExperimentSpec], keep_top: Option<usize>) -> Vec<ExperimentResult> {
     p2_par::par_map(specs, |_, spec| {
-        P2::new(spec.config().with_threads(1))
+        let mut config = spec.config().with_threads(1);
+        if let Some(k) = keep_top {
+            config = config.with_keep_top(k);
+        }
+        P2::new(config)
             .expect("static experiment spec is valid")
             .run()
             .expect("pipeline runs")
@@ -142,18 +149,38 @@ pub fn run_specs(specs: &[ExperimentSpec]) -> Vec<ExperimentResult> {
 /// (`0` = all cores, `1` = serial) and returns the total program count — the
 /// placement × synthesis sweep the criterion `synthesis` bench times serially
 /// and in parallel.
+///
+/// With `keep_top = None` every program set is materialized through
+/// [`Synthesizer::synthesize`]; with `Some(k)` the sweep streams through
+/// [`Synthesizer::for_each_program`], cloning at most the `k` shortest
+/// programs per matrix while still counting every emitted program — the two
+/// modes the `streaming_vs_materialized` bench compares. The returned count
+/// is identical in both modes and for any thread count.
 pub fn sweep_synthesis(
     matrices: &[ParallelismMatrix],
     reduction: &[usize],
     max_program_size: usize,
     threads: usize,
+    keep_top: Option<usize>,
 ) -> usize {
     p2_par::par_map_threads(threads, matrices, |_, m| {
-        Synthesizer::new(m.clone(), reduction.to_vec(), HierarchyKind::ReductionAxes)
-            .expect("valid synthesizer")
-            .synthesize(max_program_size)
-            .programs
-            .len()
+        let synth = Synthesizer::new(m.clone(), reduction.to_vec(), HierarchyKind::ReductionAxes)
+            .expect("valid synthesizer");
+        match keep_top {
+            None => synth.synthesize(max_program_size).programs.len(),
+            Some(k) => {
+                // The stream arrives shortest-first, so bounded retention of
+                // the k shortest programs is simply "clone the first k".
+                let mut retained: Vec<Program> = Vec::new();
+                let stats = synth.for_each_program(max_program_size, &mut |p: &Program| {
+                    if retained.len() < k {
+                        retained.push(p.clone());
+                    }
+                    SinkControl::Continue
+                });
+                stats.programs_emitted
+            }
+        }
     })
     .into_iter()
     .sum()
@@ -384,7 +411,7 @@ mod tests {
             .unwrap()
             .run()
             .unwrap();
-        let parallel = &run_specs(std::slice::from_ref(&spec))[0];
+        let parallel = &run_specs(std::slice::from_ref(&spec), None)[0];
         assert_eq!(serial.placements.len(), parallel.placements.len());
         for (a, b) in serial.placements.iter().zip(&parallel.placements) {
             assert_eq!(a.matrix.to_string(), b.matrix.to_string());
@@ -398,13 +425,41 @@ mod tests {
     }
 
     #[test]
-    fn sweep_synthesis_thread_count_does_not_change_the_count() {
+    fn sweep_synthesis_thread_count_and_retention_do_not_change_the_count() {
         let matrices = p2_placement::enumerate_matrices(&[2, 16], &[8, 4]).expect("valid config");
-        let serial = sweep_synthesis(&matrices, &[0], 4, 1);
+        let serial = sweep_synthesis(&matrices, &[0], 4, 1, None);
         assert!(serial > 0);
         for threads in [0, 2, 4] {
-            assert_eq!(serial, sweep_synthesis(&matrices, &[0], 4, threads));
+            assert_eq!(serial, sweep_synthesis(&matrices, &[0], 4, threads, None));
         }
+        // Streaming with bounded retention counts exactly the same programs.
+        for keep_top in [1, 10, usize::MAX] {
+            assert_eq!(
+                serial,
+                sweep_synthesis(&matrices, &[0], 4, 1, Some(keep_top))
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_run_specs_retain_fewer_but_agree_on_the_best_program() {
+        let spec = ExperimentSpec::new(
+            "tiny",
+            SystemKind::A100,
+            2,
+            vec![8, 4],
+            vec![0],
+            NcclAlgo::Ring,
+        );
+        let exhaustive = &run_specs(std::slice::from_ref(&spec), None)[0];
+        let bounded = &run_specs(std::slice::from_ref(&spec), Some(3))[0];
+        assert_eq!(exhaustive.total_programs(), bounded.total_programs());
+        assert!(bounded.total_programs_retained() < exhaustive.total_programs_retained());
+        assert!(bounded.total_programs_pruned() > 0);
+        let a = exhaustive.best_overall().unwrap();
+        let b = bounded.best_overall().unwrap();
+        assert_eq!(a.signature(), b.signature());
+        assert_eq!(a.measured_seconds, b.measured_seconds);
     }
 
     #[test]

@@ -40,6 +40,22 @@ pub struct P2Config {
     /// — the sweep is order-independent and noise is derived from `seed` and
     /// program content alone.
     pub threads: usize,
+    /// Retain at most this many program evaluations per placement in a
+    /// bounded top-K heap over the program stream, ranked by the same key the
+    /// final result ranking uses: measured time in eagerly-measuring runs
+    /// ([`P2::run`]), predicted time in shortlist mode where unmeasured
+    /// programs report their prediction. `None` — the default — retains every
+    /// synthesized program, which is bit-compatible with the materializing
+    /// pipeline.
+    ///
+    /// [`P2::run`]: crate::P2::run
+    pub keep_top: Option<usize>,
+    /// Cost-bound pruning slack, active only when [`P2Config::keep_top`] is
+    /// set: a candidate whose accumulated predicted prefix time exceeds the
+    /// placement's best predicted time so far (seeded by the AllReduce
+    /// baseline prediction) times `1 + prune_slack` is dropped before it is
+    /// fully costed or measured. Larger values prune less aggressively.
+    pub prune_slack: f64,
 }
 
 impl P2Config {
@@ -63,6 +79,8 @@ impl P2Config {
             seed: 0x5eed,
             repeats: 5,
             threads: 0,
+            keep_top: None,
+            prune_slack: 0.5,
         }
     }
 
@@ -115,6 +133,21 @@ impl P2Config {
         self
     }
 
+    /// Bounds the per-placement retention to the `keep_top` best programs
+    /// (by the final ranking key — see [`P2Config::keep_top`]) and enables
+    /// cost-bound pruning of the stream.
+    pub fn with_keep_top(mut self, keep_top: usize) -> Self {
+        self.keep_top = Some(keep_top);
+        self
+    }
+
+    /// Sets the cost-bound pruning slack (only meaningful together with
+    /// [`P2Config::with_keep_top`]).
+    pub fn with_prune_slack(mut self, prune_slack: f64) -> Self {
+        self.prune_slack = prune_slack;
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -162,6 +195,16 @@ impl P2Config {
         if self.repeats == 0 {
             return Err(P2Error::InvalidConfig {
                 reason: "repeats must be positive".into(),
+            });
+        }
+        if self.keep_top == Some(0) {
+            return Err(P2Error::InvalidConfig {
+                reason: "keep_top must be positive (use None to keep all)".into(),
+            });
+        }
+        if !(self.prune_slack.is_finite() && self.prune_slack >= 0.0) {
+            return Err(P2Error::InvalidConfig {
+                reason: "prune_slack must be a non-negative finite number".into(),
             });
         }
         Ok(())
@@ -216,9 +259,26 @@ mod tests {
             .with_max_program_size(0)
             .validate()
             .is_err());
-        assert!(P2Config::new(sys, vec![32], vec![0])
+        assert!(P2Config::new(sys.clone(), vec![32], vec![0])
             .with_repeats(0)
             .validate()
             .is_err());
+        assert!(P2Config::new(sys.clone(), vec![32], vec![0])
+            .with_keep_top(0)
+            .validate()
+            .is_err());
+        assert!(P2Config::new(sys.clone(), vec![32], vec![0])
+            .with_prune_slack(-0.1)
+            .validate()
+            .is_err());
+        assert!(P2Config::new(sys.clone(), vec![32], vec![0])
+            .with_prune_slack(f64::NAN)
+            .validate()
+            .is_err());
+        assert!(P2Config::new(sys, vec![32], vec![0])
+            .with_keep_top(5)
+            .with_prune_slack(1.0)
+            .validate()
+            .is_ok());
     }
 }

@@ -1,13 +1,60 @@
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 use std::time::Instant;
 
 use p2_cost::CostModel;
 use p2_exec::{ExecConfig, Executor};
 use p2_placement::{enumerate_matrices, ParallelismMatrix};
-use p2_synthesis::{baseline_allreduce, Synthesizer};
+use p2_synthesis::{
+    baseline_allreduce, LoweredProgram, Program, SinkControl, SynthesisError, Synthesizer,
+};
 
 use crate::config::P2Config;
 use crate::error::P2Error;
 use crate::result::{ExperimentResult, PlacementEvaluation, ProgramEvaluation};
+
+/// One retained candidate in the bounded top-K retention heap, ordered so the
+/// heap's maximum is the *worst* retained program: highest measured time, ties
+/// broken toward the latest arrival (so on equal times the earlier program
+/// survives — a deterministic, stream-order-local policy). Ranking by the
+/// measured time is ranking by the same key the final result rankings use; in
+/// shortlist mode, where nothing is measured on the stream, `measured` holds
+/// the prediction, exactly as the reported evaluations do.
+struct HeapEntry {
+    predicted: f64,
+    measured: f64,
+    seq: usize,
+    program: Program,
+    lowered: LoweredProgram,
+}
+
+impl HeapEntry {
+    fn rank(&self) -> (f64, usize) {
+        (self.measured, self.seq)
+    }
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.measured
+            .total_cmp(&other.measured)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
 
 /// The P² tool: parallelism placement synthesis, placement-aware reduction
 /// strategy synthesis, prediction, and evaluation.
@@ -53,6 +100,17 @@ impl P2 {
     /// This is how P² avoids "massive evaluations of synthesis results": with
     /// the simulator's top-10 accuracy, a shortlist of 10 almost always
     /// contains the true optimum at a fraction of the evaluation cost.
+    ///
+    /// Combined with [`P2Config::with_keep_top`] the prediction pass itself
+    /// becomes bounded: each placement streams its programs through a top-K
+    /// heap, and candidates whose predicted prefix already exceeds the
+    /// pruning bound are dropped without ever being retained. With
+    /// K ≥ `shortlist`, top-K displacement alone cannot change the measured
+    /// shortlist (every globally top-`shortlist` prediction is by definition
+    /// within its own placement's top-K); cost-bound pruning can still drop a
+    /// candidate predicting worse than `1 + prune_slack` times its
+    /// placement's best, so the shortlist is only guaranteed identical to the
+    /// exhaustive one up to such far-from-optimal entries.
     ///
     /// # Errors
     ///
@@ -108,6 +166,19 @@ impl P2 {
 
     /// Synthesizes, predicts and optionally measures every program of one
     /// placement — the per-item body of the parallel sweep.
+    ///
+    /// Programs are consumed *streaming*: the synthesizer's visitor emits one
+    /// program at a time, which is lowered, costed incrementally and either
+    /// retained or dropped on the spot. With the default configuration
+    /// (`keep_top = None`) every program is retained and the results are
+    /// bit-compatible with the old materializing pipeline; with
+    /// [`P2Config::with_keep_top`] only a bounded top-K heap survives, ranked
+    /// by the same key the final result ranking uses (measured time when
+    /// measuring eagerly, predicted time in shortlist mode), and candidates
+    /// whose accumulated predicted prefix already exceeds the placement's
+    /// best prediction so far times `1 + prune_slack` (or the heap's worst
+    /// retained prediction once it is full, in shortlist mode) are pruned
+    /// before they are fully costed or measured.
     fn evaluate_placement(
         &self,
         matrix: &ParallelismMatrix,
@@ -120,36 +191,129 @@ impl P2 {
             self.config.reduction_axes.clone(),
             self.config.hierarchy_kind,
         )?;
-        let start = Instant::now();
-        let synthesis = synthesizer.synthesize(self.config.max_program_size);
-        let synthesis_time = start.elapsed();
-
         let baseline = baseline_allreduce(matrix, &self.config.reduction_axes)?;
         let allreduce_predicted = cost.program_time(&baseline);
         let allreduce_measured = executor.measure(&baseline);
 
-        let mut programs = Vec::with_capacity(synthesis.programs.len());
-        for program in &synthesis.programs {
-            let lowered = synthesizer.lower(program)?;
-            let predicted_seconds = cost.program_time(&lowered);
-            let measured_seconds = if measure_programs {
-                executor.measure(&lowered)
-            } else {
-                predicted_seconds
-            };
-            programs.push(ProgramEvaluation {
-                program: program.clone(),
-                lowered,
-                predicted_seconds,
-                measured_seconds,
+        let keep_top = self.config.keep_top;
+        let prune_slack = self.config.prune_slack;
+        let mut programs: Vec<ProgramEvaluation> = Vec::new();
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
+        let mut num_programs = 0usize;
+        let mut seq = 0usize;
+        // The pruning bound tracks the best prediction seen in this placement,
+        // seeded by the AllReduce baseline the sweep always evaluates anyway.
+        // All of this is per-placement state, so the sweep stays bit-identical
+        // across worker-thread counts.
+        let mut best_predicted = allreduce_predicted;
+        let mut lower_error: Option<SynthesisError> = None;
+        // Evaluation work (lowering, costing, measuring) is interleaved with
+        // the search on the stream; subtracting it from the pass's wall-clock
+        // keeps `synthesis_time` meaning what the paper's tables report.
+        let mut evaluation_time = std::time::Duration::ZERO;
+
+        let start = Instant::now();
+        let stats =
+            synthesizer.for_each_program(self.config.max_program_size, &mut |program: &Program| {
+                let eval_start = Instant::now();
+                let ctrl = (|| {
+                    num_programs += 1;
+                    let lowered = match synthesizer.lower(program) {
+                        Ok(lowered) => lowered,
+                        Err(e) => {
+                            lower_error = Some(e);
+                            return SinkControl::Stop;
+                        }
+                    };
+                    let Some(k) = keep_top else {
+                        // Exhaustive mode (the default): evaluate and retain every
+                        // program, bit-compatible with the materializing pipeline.
+                        let predicted_seconds = cost.program_time(&lowered);
+                        let measured_seconds = if measure_programs {
+                            executor.measure(&lowered)
+                        } else {
+                            predicted_seconds
+                        };
+                        programs.push(ProgramEvaluation {
+                            program: program.clone(),
+                            lowered,
+                            predicted_seconds,
+                            measured_seconds,
+                        });
+                        return SinkControl::Continue;
+                    };
+                    // Bounded mode: incremental prefix costing with pruning. The
+                    // prefix bound lives in the *predicted* domain, so the heap's
+                    // worst retained time may only tighten it in shortlist mode,
+                    // where ranking time and prediction coincide.
+                    let mut bound = best_predicted * (1.0 + prune_slack);
+                    if !measure_programs && heap.len() == k {
+                        if let Some(worst) = heap.peek() {
+                            bound = bound.min(worst.measured);
+                        }
+                    }
+                    let mut acc = cost.accumulator();
+                    for step in &lowered.steps {
+                        acc.push(step);
+                        if acc.exceeds(bound) {
+                            return SinkControl::Continue;
+                        }
+                    }
+                    let predicted = acc.seconds();
+                    best_predicted = best_predicted.min(predicted);
+                    let measured = if measure_programs {
+                        executor.measure(&lowered)
+                    } else {
+                        predicted
+                    };
+                    let entry = HeapEntry {
+                        predicted,
+                        measured,
+                        seq,
+                        program: program.clone(),
+                        lowered,
+                    };
+                    seq += 1;
+                    if heap.len() < k {
+                        heap.push(entry);
+                    } else if let Some(worst) = heap.peek() {
+                        if entry.rank() < worst.rank() {
+                            heap.pop();
+                            heap.push(entry);
+                        }
+                    }
+                    SinkControl::Continue
+                })();
+                evaluation_time += eval_start.elapsed();
+                ctrl
             });
+        let synthesis_time = start.elapsed().saturating_sub(evaluation_time);
+        if let Some(e) = lower_error {
+            return Err(e.into());
+        }
+        debug_assert_eq!(stats.programs_emitted, num_programs);
+
+        if keep_top.is_some() {
+            let mut entries = heap.into_vec();
+            entries.sort();
+            programs = entries
+                .into_iter()
+                .map(|entry| ProgramEvaluation {
+                    program: entry.program,
+                    lowered: entry.lowered,
+                    predicted_seconds: entry.predicted,
+                    measured_seconds: entry.measured,
+                })
+                .collect();
         }
         programs.sort_by(|a, b| a.measured_seconds.total_cmp(&b.measured_seconds));
 
         Ok(PlacementEvaluation {
             matrix: matrix.clone(),
             synthesis_time,
-            num_programs: synthesis.programs.len(),
+            num_programs,
+            programs_pruned: num_programs - programs.len(),
+            programs_retained: programs.len(),
             allreduce_predicted,
             allreduce_measured,
             programs,
@@ -276,6 +440,36 @@ mod tests {
             .filter(|p| (p.measured_seconds - p.predicted_seconds).abs() < f64::EPSILON)
             .count();
         assert!(some_unmeasured >= shortlisted.total_programs().saturating_sub(10));
+    }
+
+    #[test]
+    fn keep_top_bounds_retention_and_preserves_the_best_program() {
+        let unbounded = P2::new(small_config()).unwrap().run().unwrap();
+        let best = unbounded.best_overall().unwrap();
+        for k in [1usize, 2, 5] {
+            let bounded = P2::new(small_config().with_keep_top(k))
+                .unwrap()
+                .run()
+                .unwrap();
+            // Same synthesis space, strictly bounded retention.
+            assert_eq!(bounded.total_programs(), unbounded.total_programs());
+            assert!(bounded.total_programs_retained() < unbounded.total_programs_retained());
+            assert!(bounded.total_programs_pruned() > 0);
+            for pl in &bounded.placements {
+                assert!(pl.programs.len() <= k);
+                assert_eq!(pl.programs_retained, pl.programs.len());
+                assert_eq!(pl.programs_pruned + pl.programs_retained, pl.num_programs);
+                // Retained predictions are the placement's best k.
+                for p in &pl.programs {
+                    assert!(p.predicted_seconds.is_finite());
+                }
+            }
+            // The overall winner survives any retention bound (with the
+            // default slack) and its measurement is bit-identical.
+            let bounded_best = bounded.best_overall().unwrap();
+            assert_eq!(bounded_best.signature(), best.signature());
+            assert_eq!(bounded_best.measured_seconds, best.measured_seconds);
+        }
     }
 
     #[test]

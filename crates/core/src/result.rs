@@ -30,9 +30,21 @@ pub struct PlacementEvaluation {
     /// The parallelism matrix (placement).
     pub matrix: ParallelismMatrix,
     /// Wall-clock time spent synthesizing programs for this placement.
+    /// Synthesis and evaluation are interleaved on the program stream, so
+    /// this is the stream's wall-clock minus the time spent lowering,
+    /// costing and measuring — the quantity the paper's "Synthesis time"
+    /// columns report.
     pub synthesis_time: Duration,
-    /// Number of synthesized programs.
+    /// Number of synthesized programs (every program the stream emitted,
+    /// including ones later pruned or displaced from the top-K retention).
     pub num_programs: usize,
+    /// Programs not retained as evaluations: cut early by the cost bound
+    /// (never costed in full, never measured) or displaced from the top-K
+    /// heap (in eagerly-measuring runs these were measured before eviction).
+    /// Zero when the pipeline retains everything (`keep_top = None`).
+    pub programs_pruned: usize,
+    /// Programs retained as full [`ProgramEvaluation`]s (`programs.len()`).
+    pub programs_retained: usize,
     /// Predicted time of the single-step AllReduce baseline.
     pub allreduce_predicted: f64,
     /// Measured time of the single-step AllReduce baseline.
@@ -106,6 +118,17 @@ impl ExperimentResult {
     /// Total number of synthesized programs across all placements.
     pub fn total_programs(&self) -> usize {
         self.placements.iter().map(|p| p.num_programs).sum()
+    }
+
+    /// Total number of programs dropped by cost-bound pruning or top-K
+    /// displacement across all placements.
+    pub fn total_programs_pruned(&self) -> usize {
+        self.placements.iter().map(|p| p.programs_pruned).sum()
+    }
+
+    /// Total number of retained [`ProgramEvaluation`]s across all placements.
+    pub fn total_programs_retained(&self) -> usize {
+        self.placements.iter().map(|p| p.programs_retained).sum()
     }
 
     /// Total number of programs that beat their placement's AllReduce baseline.
@@ -217,6 +240,8 @@ mod tests {
             matrix: ParallelismMatrix::new(vec![vec![2, 2]], vec![2, 2], vec![4]).unwrap(),
             synthesis_time: Duration::from_millis(1),
             num_programs: programs.len(),
+            programs_pruned: 0,
+            programs_retained: programs.len(),
             allreduce_predicted: allreduce,
             allreduce_measured: allreduce,
             programs,
@@ -253,6 +278,8 @@ mod tests {
             synthesis_time: Duration::from_millis(2),
         };
         assert_eq!(exp.total_programs(), 3);
+        assert_eq!(exp.total_programs_retained(), 3);
+        assert_eq!(exp.total_programs_pruned(), 0);
         assert_eq!(exp.total_programs_beating_allreduce(), 3);
         // Predicted best is (3.0 pred, 5.0 meas); measured ranking is 1.0, 2.0, 5.0.
         assert!(!exp.predicted_best_in_measured_top_k(1));

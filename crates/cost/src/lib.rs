@@ -36,4 +36,4 @@ mod model;
 
 pub use algo::NcclAlgo;
 pub use error::CostError;
-pub use model::{CostBreakdown, CostModel, StepCost};
+pub use model::{CostAccumulator, CostBreakdown, CostModel, StepCost};

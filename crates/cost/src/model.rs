@@ -34,6 +34,56 @@ impl CostBreakdown {
     }
 }
 
+/// Incremental prefix costing for a lowered program: the running sum of the
+/// step times pushed so far.
+///
+/// Step times are non-negative, so after any prefix the accumulated value is
+/// an *admissible lower bound* on the whole program's predicted time — the
+/// streaming pipeline uses it to prune candidates before measuring them.
+/// Pushing every step of a program accumulates, bit for bit, the same value
+/// as [`CostModel::program_time`]: both fold the identical per-step times
+/// with `+` from `0.0` in program order.
+#[derive(Debug, Clone)]
+pub struct CostAccumulator<'m, 'a> {
+    model: &'m CostModel<'a>,
+    seconds: f64,
+    steps: usize,
+}
+
+impl<'m, 'a> CostAccumulator<'m, 'a> {
+    /// Creates an empty accumulator over `model`.
+    pub fn new(model: &'m CostModel<'a>) -> Self {
+        CostAccumulator {
+            model,
+            seconds: 0.0,
+            steps: 0,
+        }
+    }
+
+    /// Adds one step's predicted time and returns the running total.
+    pub fn push(&mut self, step: &LoweredStep) -> f64 {
+        self.seconds += self.model.step_time(step);
+        self.steps += 1;
+        self.seconds
+    }
+
+    /// The accumulated predicted time of the steps pushed so far, in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.seconds
+    }
+
+    /// How many steps have been pushed.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Whether the accumulated prefix already exceeds `bound` — once true, the
+    /// whole program's predicted time is guaranteed to exceed it too.
+    pub fn exceeds(&self, bound: f64) -> bool {
+        self.seconds > bound
+    }
+}
+
 /// The paper's analytic simulator: predicts the end-to-end time of a lowered
 /// reduction program on a hierarchical system.
 ///
@@ -93,6 +143,11 @@ impl<'a> CostModel<'a> {
     /// Predicted time of a whole lowered program, in seconds.
     pub fn program_time(&self, program: &LoweredProgram) -> f64 {
         self.program_breakdown(program).total()
+    }
+
+    /// Starts an incremental [`CostAccumulator`] over this model.
+    pub fn accumulator(&self) -> CostAccumulator<'_, 'a> {
+        CostAccumulator::new(self)
     }
 
     /// Per-step prediction for a lowered program.
@@ -495,6 +550,52 @@ mod tests {
             model.validate_program(&bad),
             Err(CostError::DeviceOutOfRange { rank: 99, .. })
         ));
+    }
+
+    #[test]
+    fn accumulator_prefixes_lower_bound_and_total_matches_bit_for_bit() {
+        let sys = a100_4();
+        let matrix =
+            ParallelismMatrix::new(vec![vec![2, 8], vec![2, 2]], vec![4, 16], vec![16, 4]).unwrap();
+        let synth = Synthesizer::new(matrix, vec![0], HierarchyKind::ReductionAxes).unwrap();
+        let programs = synth.synthesize(4).programs;
+        for algo in NcclAlgo::ALL {
+            let model = CostModel::new(&sys, algo, GIB).unwrap();
+            for p in programs.iter().take(10) {
+                let lowered = synth.lower(p).unwrap();
+                let total = model.program_time(&lowered);
+                let mut acc = model.accumulator();
+                for (i, step) in lowered.steps.iter().enumerate() {
+                    let running = acc.push(step);
+                    assert_eq!(acc.steps(), i + 1);
+                    assert_eq!(running, acc.seconds());
+                    // Every prefix is an admissible lower bound on the total.
+                    assert!(running <= total + 1e-15, "prefix {running} above {total}");
+                }
+                // The full accumulation is bit-identical to program_time.
+                assert_eq!(acc.seconds(), total);
+            }
+        }
+    }
+
+    #[test]
+    fn accumulator_exceeds_tracks_the_bound() {
+        let sys = a100_4();
+        let model = CostModel::new(&sys, NcclAlgo::Ring, GIB).unwrap();
+        let step = LoweredStep {
+            collective: Collective::AllReduce,
+            groups: vec![GroupExec {
+                devices: vec![0, 16],
+                input_fraction: 1.0,
+            }],
+        };
+        let mut acc = model.accumulator();
+        assert!(!acc.exceeds(0.0), "an empty prefix exceeds nothing");
+        let t = acc.push(&step);
+        assert!(t > 0.0);
+        assert!(acc.exceeds(t / 2.0));
+        assert!(!acc.exceeds(t));
+        assert!(!acc.exceeds(2.0 * t));
     }
 
     #[test]

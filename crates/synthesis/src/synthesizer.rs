@@ -1,7 +1,12 @@
 //! Syntax-guided enumerative synthesis of reduction programs (paper §3.5).
+//!
+//! The search engine is *streaming*: [`Synthesizer::for_each_program`] walks a
+//! memoized search DAG over interned synthesis states and emits each valid
+//! program exactly once, shortest first, without ever materializing the full
+//! program set. [`Synthesizer::synthesize`] is a thin collecting wrapper for
+//! callers that do want the whole set.
 
-use std::collections::HashMap;
-use std::rc::Rc;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::{Duration, Instant};
 
 use p2_collectives::{apply_to_groups, Collective, State};
@@ -16,13 +21,18 @@ use crate::lowered::LoweredProgram;
 /// Statistics about one synthesis run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SynthesisStats {
-    /// Distinct synthesis-space states visited during the search.
+    /// Distinct synthesis-space states expanded during the search, counted
+    /// incrementally as each state is first reached (never by a post-hoc scan).
     pub states_explored: usize,
-    /// Candidate instructions whose semantics was evaluated.
+    /// Candidate instructions whose semantics was evaluated; every distinct
+    /// state expands each candidate exactly once.
     pub instructions_tried: usize,
     /// Distinct candidate instructions available per state (after group
     /// deduplication).
     pub candidate_instructions: usize,
+    /// Programs handed to the sink (equals the program count unless the sink
+    /// stopped the enumeration early).
+    pub programs_emitted: usize,
     /// Wall-clock time of the search.
     pub duration: Duration,
 }
@@ -47,6 +57,68 @@ impl SynthesisResult {
     pub fn is_empty(&self) -> bool {
         self.programs.is_empty()
     }
+}
+
+/// Whether the synthesizer should keep streaming programs into a sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkControl {
+    /// Keep enumerating.
+    Continue,
+    /// Stop the enumeration; [`Synthesizer::for_each_program`] returns with
+    /// the statistics gathered so far.
+    Stop,
+}
+
+/// A visitor receiving synthesized programs one at a time (the worklist idiom
+/// of enumerative synthesis engines): the streaming counterpart of collecting
+/// a [`SynthesisResult`].
+///
+/// Any `FnMut(&Program) -> SinkControl` closure is a sink.
+pub trait ProgramSink {
+    /// Called once per valid program, in the same order `synthesize` sorts:
+    /// shorter programs first, ties in display order. The reference is only
+    /// valid for the duration of the call — clone the program to keep it.
+    fn accept(&mut self, program: &Program) -> SinkControl;
+}
+
+impl<F: FnMut(&Program) -> SinkControl> ProgramSink for F {
+    fn accept(&mut self, program: &Program) -> SinkControl {
+        self(program)
+    }
+}
+
+/// The memoized search DAG: every reachable synthesis state interned to a
+/// dense id, each expanded once. Memory is `O(states × candidates)` — the
+/// program *set* (worst-case exponential in the state count) is never stored.
+struct SearchGraph {
+    /// Per state: valid `(candidate index, successor id)` edges in candidate
+    /// order, or `None` for frontier states that were never expanded (reached
+    /// only at the maximum depth).
+    edges: Vec<Option<Vec<(usize, usize)>>>,
+    /// Whether each state is the goal (the goal is absorbing: programs end
+    /// there and never extend past it).
+    is_goal: Vec<bool>,
+    /// Minimal number of instructions from each state to the goal
+    /// (`usize::MAX` when the goal is unreachable from it).
+    min_steps: Vec<usize>,
+}
+
+/// Interns `states`, returning `(id, was_new)`.
+fn intern_state(
+    states: &[State],
+    goals: &[State],
+    ids: &mut HashMap<Vec<State>, usize>,
+    is_goal: &mut Vec<bool>,
+    edges: &mut Vec<Option<Vec<(usize, usize)>>>,
+) -> (usize, bool) {
+    if let Some(&id) = ids.get(states) {
+        return (id, false);
+    }
+    let id = is_goal.len();
+    ids.insert(states.to_vec(), id);
+    is_goal.push(states == goals);
+    edges.push(None);
+    (id, true)
 }
 
 /// The P² reduction-program synthesizer for one parallelism matrix and one
@@ -93,9 +165,11 @@ impl Synthesizer {
     /// `(slice, form, collective)` triples whose derived groups are
     /// non-trivial, deduplicated by the groups they derive.
     pub fn candidate_instructions(&self) -> Vec<(Instruction, Vec<Vec<usize>>)> {
+        /// Device groups (synthesis-space indices) derived by one shape.
+        type Grouping = Vec<Vec<usize>>;
         let depth = self.ctx.hierarchy().depth();
-        let mut seen_groupings: Vec<Vec<Vec<usize>>> = Vec::new();
-        let mut shapes: Vec<(usize, Form)> = Vec::new();
+        let mut seen_groupings: HashSet<Grouping> = HashSet::new();
+        let mut shapes: Vec<((usize, Form), Grouping)> = Vec::new();
         for slice in 0..depth {
             let mut forms = vec![Form::InsideGroup];
             for ancestor in 0..slice {
@@ -114,15 +188,14 @@ impl Synthesizer {
                 // Keep only the first (canonical) instruction shape per grouping:
                 // two instructions that derive the same device groups are the
                 // same program step.
-                if seen_groupings.contains(&groups) {
+                if !seen_groupings.insert(groups.clone()) {
                     continue;
                 }
-                seen_groupings.push(groups);
-                shapes.push((slice, form));
+                shapes.push(((slice, form), groups));
             }
         }
         let mut out = Vec::new();
-        for ((slice, form), groups) in shapes.into_iter().zip(seen_groupings) {
+        for ((slice, form), groups) in shapes {
             for collective in Collective::ALL {
                 out.push((Instruction::new(slice, form, collective), groups.clone()));
             }
@@ -130,81 +203,159 @@ impl Synthesizer {
         out
     }
 
-    /// Synthesizes every valid program of at most `max_size` instructions
-    /// (the paper uses a limit of 5).
-    pub fn synthesize(&self, max_size: usize) -> SynthesisResult {
+    /// Streams every valid program of at most `max_size` instructions into
+    /// `sink`, shortest first and ties in display order — exactly the order
+    /// (and set) [`Synthesizer::synthesize`] returns — without materializing
+    /// the program set. Returns the search statistics.
+    ///
+    /// The sink can abort the enumeration by returning [`SinkControl::Stop`].
+    /// Only `programs_emitted` and `duration` then reflect the early stop:
+    /// the state-graph exploration behind `states_explored` and
+    /// `instructions_tried` always runs to completion before emission starts.
+    pub fn for_each_program<S>(&self, max_size: usize, sink: &mut S) -> SynthesisStats
+    where
+        S: ProgramSink + ?Sized,
+    {
         let start = Instant::now();
-        let initial = self.ctx.initial_states();
-        let goals = self.ctx.goal_states();
-        let candidates = self.candidate_instructions();
+        let mut candidates = self.candidate_instructions();
+        // Sorting candidates by their rendered form makes the depth-first
+        // emission below produce programs in display order within each length
+        // (instruction strings are prefix-free, so per-position instruction
+        // order and whole-program string order coincide).
+        candidates.sort_by_cached_key(|(instr, _)| instr.to_string());
         let mut stats = SynthesisStats {
-            candidate_instructions: candidates.len() / Collective::ALL.len().max(1)
-                * Collective::ALL.len(),
+            candidate_instructions: candidates.len(),
             ..SynthesisStats::default()
         };
-        let mut memo: HashMap<(Vec<State>, usize), Rc<Vec<Program>>> = HashMap::new();
-        let programs = self.search(
-            &initial,
-            &goals,
-            max_size,
-            &candidates,
-            &mut memo,
-            &mut stats,
-        );
-        let mut programs = (*programs).clone();
-        programs.sort_by_key(|p| (p.len(), p.to_string()));
-        stats.states_explored = memo
-            .keys()
-            .map(|(s, _)| s.clone())
-            .collect::<std::collections::HashSet<_>>()
-            .len();
+        let (graph, init_id) = self.build_graph(&candidates, max_size, &mut stats);
+        let mut stack: Vec<Instruction> = Vec::with_capacity(max_size);
+        let mut scratch = Program::empty();
+        // Iterative deepening over exact program lengths: paths of length
+        // `target` from the initial state to the (absorbing) goal state are
+        // exactly the valid programs of that length.
+        for target in 0..=max_size {
+            if graph.min_steps[init_id] > target {
+                continue;
+            }
+            let ctrl = emit_exact(
+                &graph,
+                &candidates,
+                init_id,
+                0,
+                target,
+                &mut stack,
+                &mut scratch,
+                sink,
+                &mut stats,
+            );
+            if ctrl == SinkControl::Stop {
+                break;
+            }
+        }
         stats.duration = start.elapsed();
-        SynthesisResult { programs, stats }
+        stats
     }
 
-    fn search(
+    /// Explores the state space once (breadth-first, each state expanded a
+    /// single time) and computes per-state distances to the goal.
+    fn build_graph(
         &self,
-        states: &[State],
-        goals: &[State],
-        remaining: usize,
         candidates: &[(Instruction, Vec<Vec<usize>>)],
-        memo: &mut HashMap<(Vec<State>, usize), Rc<Vec<Program>>>,
+        max_size: usize,
         stats: &mut SynthesisStats,
-    ) -> Rc<Vec<Program>> {
-        if states == goals {
-            return Rc::new(vec![Program::empty()]);
-        }
-        if remaining == 0 {
-            return Rc::new(vec![]);
-        }
-        let key = (states.to_vec(), remaining);
-        if let Some(found) = memo.get(&key) {
-            return Rc::clone(found);
-        }
-        let mut programs = Vec::new();
-        for (instr, groups) in candidates {
-            stats.instructions_tried += 1;
-            let Ok(next) = apply_to_groups(instr.collective, states, groups) else {
-                continue;
-            };
-            // Prune states that can no longer reach the goal (Lemma B.3).
-            if !self.ctx.respects_goal(&next, goals) {
+    ) -> (SearchGraph, usize) {
+        let initial = self.ctx.initial_states();
+        let goals = self.ctx.goal_states();
+        let mut ids: HashMap<Vec<State>, usize> = HashMap::new();
+        let mut is_goal: Vec<bool> = Vec::new();
+        let mut edges: Vec<Option<Vec<(usize, usize)>>> = Vec::new();
+        let mut queue: VecDeque<(usize, usize, Vec<State>)> = VecDeque::new();
+
+        let (init_id, _) = intern_state(&initial, &goals, &mut ids, &mut is_goal, &mut edges);
+        queue.push_back((init_id, 0, initial));
+        while let Some((id, depth, states)) = queue.pop_front() {
+            // The goal is absorbing, and states first reached at the size
+            // limit can never be extended — neither is expanded.
+            if is_goal[id] || depth >= max_size {
                 continue;
             }
-            if next == states {
-                continue;
+            stats.states_explored += 1;
+            let mut out = Vec::new();
+            for (ci, (instr, groups)) in candidates.iter().enumerate() {
+                stats.instructions_tried += 1;
+                let Ok(next) = apply_to_groups(instr.collective, &states, groups) else {
+                    continue;
+                };
+                // Prune states that can no longer reach the goal (Lemma B.3).
+                if !self.ctx.respects_goal(&next, &goals) {
+                    continue;
+                }
+                if next == states {
+                    continue;
+                }
+                let (next_id, new) =
+                    intern_state(&next, &goals, &mut ids, &mut is_goal, &mut edges);
+                if new {
+                    queue.push_back((next_id, depth + 1, next));
+                }
+                out.push((ci, next_id));
             }
-            let suffixes = self.search(&next, goals, remaining - 1, candidates, memo, stats);
-            for suffix in suffixes.iter() {
-                let mut instructions = Vec::with_capacity(1 + suffix.len());
-                instructions.push(*instr);
-                instructions.extend(suffix.instructions.iter().copied());
-                programs.push(Program::new(instructions));
+            edges[id] = Some(out);
+        }
+
+        // Reverse breadth-first search from the goal: minimal steps-to-goal is
+        // the admissible pruning bound for the emission pass.
+        let n = is_goal.len();
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (id, out) in edges.iter().enumerate() {
+            if let Some(out) = out {
+                for &(_, next) in out {
+                    rev[next].push(id);
+                }
             }
         }
-        let rc = Rc::new(programs);
-        memo.insert(key, Rc::clone(&rc));
-        rc
+        let mut min_steps = vec![usize::MAX; n];
+        let mut q: VecDeque<usize> = VecDeque::new();
+        for (id, &g) in is_goal.iter().enumerate() {
+            if g {
+                min_steps[id] = 0;
+                q.push_back(id);
+            }
+        }
+        while let Some(id) = q.pop_front() {
+            for &p in &rev[id] {
+                if min_steps[p] == usize::MAX {
+                    min_steps[p] = min_steps[id] + 1;
+                    q.push_back(p);
+                }
+            }
+        }
+
+        (
+            SearchGraph {
+                edges,
+                is_goal,
+                min_steps,
+            },
+            init_id,
+        )
+    }
+
+    /// Synthesizes every valid program of at most `max_size` instructions
+    /// (the paper uses a limit of 5).
+    ///
+    /// This is a thin collecting wrapper over
+    /// [`Synthesizer::for_each_program`]; the final sort documents (and
+    /// defends) the emission-order contract at negligible cost, since the
+    /// stream already arrives sorted.
+    pub fn synthesize(&self, max_size: usize) -> SynthesisResult {
+        let mut programs: Vec<Program> = Vec::new();
+        let stats = self.for_each_program(max_size, &mut |p: &Program| {
+            programs.push(p.clone());
+            SinkControl::Continue
+        });
+        programs.sort_by_cached_key(|p| (p.len(), p.to_string()));
+        SynthesisResult { programs, stats }
     }
 
     /// Lowers a program to physical device groups.
@@ -224,6 +375,63 @@ impl Synthesizer {
     pub fn validate(&self, program: &Program) -> Result<(), SynthesisError> {
         self.ctx.trace(program).map(|_| ())
     }
+}
+
+/// Depth-first emission of every goal-reaching path of exactly `target`
+/// instructions, reusing one instruction stack and one scratch program.
+#[allow(clippy::too_many_arguments)]
+fn emit_exact<S>(
+    graph: &SearchGraph,
+    candidates: &[(Instruction, Vec<Vec<usize>>)],
+    id: usize,
+    depth: usize,
+    target: usize,
+    stack: &mut Vec<Instruction>,
+    scratch: &mut Program,
+    sink: &mut S,
+    stats: &mut SynthesisStats,
+) -> SinkControl
+where
+    S: ProgramSink + ?Sized,
+{
+    if graph.is_goal[id] {
+        if depth == target {
+            scratch.instructions.clear();
+            scratch.instructions.extend_from_slice(stack);
+            stats.programs_emitted += 1;
+            return sink.accept(scratch);
+        }
+        return SinkControl::Continue;
+    }
+    if depth == target {
+        return SinkControl::Continue;
+    }
+    let Some(edges) = &graph.edges[id] else {
+        return SinkControl::Continue;
+    };
+    let remaining = target - depth - 1;
+    for &(ci, next) in edges {
+        if graph.min_steps[next] > remaining {
+            continue;
+        }
+        stack.push(candidates[ci].0);
+        let ctrl = emit_exact(
+            graph,
+            candidates,
+            next,
+            depth + 1,
+            target,
+            stack,
+            scratch,
+            sink,
+            stats,
+        );
+        stack.pop();
+        if ctrl == SinkControl::Stop {
+            return SinkControl::Stop;
+        }
+    }
+    SinkControl::Continue
 }
 
 #[cfg(test)]
@@ -297,6 +505,44 @@ mod tests {
     }
 
     #[test]
+    fn streaming_emits_the_synthesize_order_exactly() {
+        // The visitor must produce the same programs, in the same order, as
+        // the collecting wrapper's documented (length, display) sort.
+        let s = synth_d();
+        for max_size in 1..=5 {
+            let mut streamed: Vec<Program> = Vec::new();
+            let stats = s.for_each_program(max_size, &mut |p: &Program| {
+                streamed.push(p.clone());
+                SinkControl::Continue
+            });
+            let collected = s.synthesize(max_size);
+            assert_eq!(streamed, collected.programs, "order diverged at {max_size}");
+            assert_eq!(stats.programs_emitted, streamed.len());
+            assert_eq!(stats.states_explored, collected.stats.states_explored);
+        }
+    }
+
+    #[test]
+    fn sink_stop_aborts_the_enumeration() {
+        let s = synth_d();
+        let total = s.synthesize(5).len();
+        assert!(total > 3);
+        let mut taken: Vec<Program> = Vec::new();
+        let stats = s.for_each_program(5, &mut |p: &Program| {
+            taken.push(p.clone());
+            if taken.len() == 3 {
+                SinkControl::Stop
+            } else {
+                SinkControl::Continue
+            }
+        });
+        assert_eq!(taken.len(), 3);
+        assert_eq!(stats.programs_emitted, 3);
+        // The prefix matches the full enumeration.
+        assert_eq!(taken, s.synthesize(5).programs[..3].to_vec());
+    }
+
+    #[test]
     fn reduction_hierarchy_finds_every_system_hierarchy_program() {
         // Theorem 3.2: hierarchy (d) is at least as expressive as (a). We check
         // it empirically: every *lowered* program synthesized under (a) also
@@ -361,6 +607,7 @@ mod tests {
         assert!(result.stats.instructions_tried > 0);
         assert!(result.stats.states_explored > 0);
         assert!(result.stats.candidate_instructions > 0);
+        assert_eq!(result.stats.programs_emitted, result.len());
     }
 
     #[test]

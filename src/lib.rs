@@ -46,11 +46,12 @@ pub use p2_core::{
     top_k_accuracy, ExperimentResult, P2Config, P2Error, PlacementEvaluation, ProgramEvaluation,
     TopKReport, P2,
 };
-pub use p2_cost::{CostModel, NcclAlgo};
+pub use p2_cost::{CostAccumulator, CostModel, NcclAlgo};
 pub use p2_exec::{ExecConfig, Executor};
 pub use p2_placement::{enumerate_matrices, ParallelismMatrix};
 pub use p2_synthesis::{
-    baseline_allreduce, Form, HierarchyKind, Instruction, LoweredProgram, Program, Synthesizer,
+    baseline_allreduce, Form, HierarchyKind, Instruction, LoweredProgram, Program, ProgramSink,
+    SinkControl, SynthesisStats, Synthesizer,
 };
 pub use p2_topology::presets;
 pub use p2_topology::{Hierarchy, Interconnect, Level, SystemTopology};

@@ -24,6 +24,8 @@ fn assert_identical(a: &ExperimentResult, b: &ExperimentResult) {
     for (pa, pb) in a.placements.iter().zip(&b.placements) {
         assert_eq!(pa.matrix.to_string(), pb.matrix.to_string());
         assert_eq!(pa.num_programs, pb.num_programs);
+        assert_eq!(pa.programs_pruned, pb.programs_pruned);
+        assert_eq!(pa.programs_retained, pb.programs_retained);
         assert_eq!(pa.allreduce_predicted, pb.allreduce_predicted);
         assert_eq!(pa.allreduce_measured, pb.allreduce_measured);
         for (qa, qb) in pa.programs.iter().zip(&pb.programs) {
@@ -56,6 +58,34 @@ fn shortlist_run_is_identical_across_thread_counts() {
     for threads in [2, 4] {
         let p2_parallel = P2::new(config(0xabcd).with_threads(threads)).unwrap();
         assert_identical(&serial, &p2_parallel.run_with_shortlist(10).unwrap());
+    }
+}
+
+#[test]
+fn bounded_retention_is_identical_across_thread_counts() {
+    // The streaming top-K retention and its pruning bounds are pure
+    // per-placement state, so bounded runs must stay bit-identical too.
+    let serial = P2::new(config(0x5eed).with_keep_top(5).with_threads(1))
+        .unwrap()
+        .run()
+        .unwrap();
+    for threads in [0, 2, 4] {
+        let parallel = P2::new(config(0x5eed).with_keep_top(5).with_threads(threads))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_identical(&serial, &parallel);
+    }
+    let shortlisted = P2::new(config(0x5eed).with_keep_top(5).with_threads(1))
+        .unwrap()
+        .run_with_shortlist(5)
+        .unwrap();
+    for threads in [2, 4] {
+        let parallel = P2::new(config(0x5eed).with_keep_top(5).with_threads(threads))
+            .unwrap()
+            .run_with_shortlist(5)
+            .unwrap();
+        assert_identical(&shortlisted, &parallel);
     }
 }
 

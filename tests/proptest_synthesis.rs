@@ -6,7 +6,7 @@ use proptest::prelude::*;
 use p2::cost::{CostModel, NcclAlgo};
 use p2::exec::{ExecConfig, Executor};
 use p2::placement::{enumerate_matrices, ordered_factorizations};
-use p2::synthesis::{baseline_allreduce, HierarchyKind, Synthesizer};
+use p2::synthesis::{baseline_allreduce, HierarchyKind, Program, SinkControl, Synthesizer};
 use p2::topology::{Hierarchy, Interconnect, SystemTopology};
 
 /// Strategy: a 2-level system with a fast local link and a slow global link,
@@ -63,6 +63,41 @@ proptest! {
                 prop_assert!(predicted.is_finite() && predicted > 0.0);
                 let measured = exec.measure(&lowered);
                 prop_assert!(measured.is_finite() && measured > 0.0);
+            }
+        }
+    }
+
+    /// The streaming visitor (`for_each_program`) yields exactly the same
+    /// program set, in the same order, as the materializing `synthesize`, for
+    /// random small matrices — the emission-order contract of the streaming
+    /// engine. Early termination returns a strict prefix of that order.
+    #[test]
+    fn streaming_visitor_matches_materializing_synthesis((system, axes, reduction_axis) in small_scenario()) {
+        let arities = system.hierarchy().arities();
+        for matrix in enumerate_matrices(&arities, &axes).unwrap().into_iter().take(3) {
+            prop_assume!(matrix.axis_sizes()[reduction_axis] > 1);
+            let synth =
+                Synthesizer::new(matrix, vec![reduction_axis], HierarchyKind::ReductionAxes)
+                    .unwrap();
+            let collected = synth.synthesize(3);
+            let mut streamed: Vec<Program> = Vec::new();
+            let stats = synth.for_each_program(3, &mut |p: &Program| {
+                streamed.push(p.clone());
+                SinkControl::Continue
+            });
+            prop_assert_eq!(&streamed, &collected.programs);
+            prop_assert_eq!(stats.programs_emitted, collected.programs.len());
+            prop_assert_eq!(stats.states_explored, collected.stats.states_explored);
+            prop_assert_eq!(stats.instructions_tried, collected.stats.instructions_tried);
+            // Stopping after the first program yields the head of the order.
+            if !collected.programs.is_empty() {
+                let mut first: Option<Program> = None;
+                let stats = synth.for_each_program(3, &mut |p: &Program| {
+                    first = Some(p.clone());
+                    SinkControl::Stop
+                });
+                prop_assert_eq!(stats.programs_emitted, 1);
+                prop_assert_eq!(first.as_ref(), collected.programs.first());
             }
         }
     }
