@@ -8,7 +8,7 @@
 
 #![deny(missing_docs)]
 
-use p2_core::{ExperimentResult, P2Config, P2};
+use p2_core::{ExperimentResult, P2Builder, P2Config};
 use p2_cost::NcclAlgo;
 use p2_placement::ParallelismMatrix;
 use p2_synthesis::{HierarchyKind, Program, SinkControl, Synthesizer};
@@ -97,6 +97,14 @@ impl ExperimentSpec {
         .with_seed(0xb2b2)
     }
 
+    /// Starts a session builder preloaded with this experiment's settings
+    /// (derived from [`ExperimentSpec::config`], so the two cannot drift),
+    /// for callers that want to adjust the mode, retention or thread count
+    /// before running.
+    pub fn session(&self) -> P2Builder {
+        P2Builder::from_config(self.config())
+    }
+
     /// Runs the full pipeline for this experiment.
     ///
     /// # Panics
@@ -105,10 +113,7 @@ impl ExperimentSpec {
     /// not matching the device count) — specifications in this crate are
     /// static and known-good.
     pub fn run(&self) -> ExperimentResult {
-        P2::new(self.config())
-            .expect("static experiment spec is valid")
-            .run()
-            .expect("pipeline runs")
+        self.session().run().expect("pipeline runs")
     }
 
     /// A human-readable description, e.g. `"4 nodes each with 16 A100, axes [16, 2, 2]"`.
@@ -134,14 +139,11 @@ impl ExperimentSpec {
 /// the exhaustive, keep-everything pipeline).
 pub fn run_specs(specs: &[ExperimentSpec], keep_top: Option<usize>) -> Vec<ExperimentResult> {
     p2_par::par_map(specs, |_, spec| {
-        let mut config = spec.config().with_threads(1);
+        let mut session = spec.session().threads(1);
         if let Some(k) = keep_top {
-            config = config.with_keep_top(k);
+            session = session.keep_top(k);
         }
-        P2::new(config)
-            .expect("static experiment spec is valid")
-            .run()
-            .expect("pipeline runs")
+        session.run().expect("pipeline runs")
     })
 }
 
@@ -341,6 +343,7 @@ impl std::fmt::Display for SpeedupSummary {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use p2_core::P2;
 
     #[test]
     fn specs_are_consistent_with_their_systems() {

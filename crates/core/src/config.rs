@@ -11,7 +11,15 @@ use crate::error::P2Error;
 /// of 5, the reduction-axis synthesis hierarchy, and a per-device buffer of
 /// `2^29 × nodes` float32 elements where "nodes" is the cardinality of the
 /// system's outermost level.
+///
+/// Prefer assembling experiments through [`P2::builder`], which validates on
+/// `build()` and also carries the run mode; this struct remains the validated
+/// value the builder produces. It is `#[non_exhaustive]`: construct it via
+/// [`P2Config::new`] (fields may be added in later revisions).
+///
+/// [`P2::builder`]: crate::P2::builder
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct P2Config {
     /// The hierarchical system to place and reduce on.
     pub system: SystemTopology,
@@ -60,12 +68,28 @@ pub struct P2Config {
 
 impl P2Config {
     /// Creates a configuration with the paper's default settings.
+    ///
+    /// The default `bytes_per_device` is `2^29 × nodes` float32 elements,
+    /// where "nodes" is the cardinality of the system's *outermost* hierarchy
+    /// level — the paper's §4 setup scales the buffer with the node count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system's hierarchy has no levels. [`p2_topology::Hierarchy`]
+    /// rejects empty level lists at construction, so this assertion documents
+    /// an invariant rather than a reachable failure.
     pub fn new(
         system: SystemTopology,
         parallelism_axes: Vec<usize>,
         reduction_axes: Vec<usize>,
     ) -> Self {
-        let nodes = system.hierarchy().arities().first().copied().unwrap_or(1);
+        let arities = system.hierarchy().arities();
+        assert!(
+            !arities.is_empty(),
+            "the bytes_per_device default scales with the outermost-level \
+             cardinality, which requires a non-empty hierarchy"
+        );
+        let nodes = arities[0];
         let bytes_per_device = (1u64 << 29) as f64 * nodes as f64 * 4.0;
         P2Config {
             system,

@@ -9,15 +9,24 @@
 //!
 //! # Example
 //!
+//! Experiments are assembled with [`P2::builder`]: axes and overrides are set
+//! field by field, validation happens once at `build()`, and the session's
+//! [`RunMode`] decides what gets measured.
+//!
 //! ```
-//! use p2_core::{P2, P2Config};
+//! use p2_core::{RunMode, P2};
 //! use p2_cost::NcclAlgo;
 //! use p2_topology::presets;
 //!
-//! let config = P2Config::new(presets::a100_system(2), vec![8, 4], vec![0])
-//!     .with_algo(NcclAlgo::Ring)
-//!     .with_bytes_per_device(1.0e9);
-//! let result = P2::new(config).unwrap().run().unwrap();
+//! let result = P2::builder(presets::a100_system(2))
+//!     .parallelism_axes([8, 4])
+//!     .reduction_axes([0])
+//!     .algo(NcclAlgo::Ring)
+//!     .bytes_per_device(1.0e9)
+//!     .build()
+//!     .unwrap()
+//!     .run()
+//!     .unwrap();
 //! // Every placement has an AllReduce baseline and at least one synthesized program.
 //! assert!(!result.placements.is_empty());
 //! let best = result.best_overall().unwrap();
@@ -27,13 +36,17 @@
 #![deny(missing_docs)]
 
 mod accuracy;
+mod builder;
 mod config;
 mod error;
+mod observer;
 mod pipeline;
 mod result;
 
 pub use accuracy::{top_k_accuracy, TopKReport};
+pub use builder::P2Builder;
 pub use config::P2Config;
 pub use error::P2Error;
-pub use pipeline::P2;
+pub use observer::{RunObserver, SharedBoundObserver};
+pub use pipeline::{RunMode, P2};
 pub use result::{ExperimentResult, PlacementEvaluation, ProgramEvaluation};

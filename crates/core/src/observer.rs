@@ -1,0 +1,210 @@
+//! Run observers: streaming visibility into the placement × synthesis sweep,
+//! plus the bundled [`SharedBoundObserver`] implementing deterministic
+//! cross-placement pruning as a two-pass run.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use p2_placement::ParallelismMatrix;
+use p2_synthesis::Program;
+
+use crate::error::P2Error;
+use crate::pipeline::{RunMode, P2};
+use crate::result::{ExperimentResult, PlacementEvaluation};
+
+/// Observes the progress of one experiment run ([`P2::run_observed`]).
+///
+/// Every method has a no-op default, so implementations override only what
+/// they need. The sweep fans placements out across worker threads, so the
+/// observer is shared (`&self`, `Sync` supertrait) and events from *different*
+/// placements interleave nondeterministically; events *within* one placement
+/// are strictly ordered and deterministic:
+/// [`on_placement_start`](RunObserver::on_placement_start), then
+/// [`on_program_retained`](RunObserver::on_program_retained) in program-stream
+/// order, then [`on_placement_done`](RunObserver::on_placement_done). The
+/// `index` passed to each hook is the placement's position in enumeration
+/// order — the same index its [`PlacementEvaluation`] ends up at in
+/// [`ExperimentResult::placements`].
+pub trait RunObserver: Sync {
+    /// Called once per placement, before its synthesis stream starts.
+    ///
+    /// Returning `Some(bound)` seeds the placement's predicted-time pruning
+    /// bound with `bound` (in seconds, predicted domain): candidates whose
+    /// accumulated predicted prefix exceeds
+    /// `min(bound, allreduce_predicted) × (1 + prune_slack)` are dropped
+    /// before they are fully costed or measured. Returning a bound activates
+    /// prefix pruning even when `keep_top` is unset; returning `None` (the
+    /// default) leaves the run's pruning behaviour untouched.
+    fn on_placement_start(&self, index: usize, matrix: &ParallelismMatrix) -> Option<f64> {
+        let _ = (index, matrix);
+        None
+    }
+
+    /// Called for each program entering the placement's retention set, in
+    /// stream order. Under bounded retention (`keep_top`) a retained program
+    /// may later be displaced by a better one; displaced programs do not
+    /// produce another event. In predict-only and shortlist sweeps
+    /// `measured_seconds` equals `predicted_seconds`.
+    fn on_program_retained(
+        &self,
+        index: usize,
+        program: &Program,
+        predicted_seconds: f64,
+        measured_seconds: f64,
+    ) {
+        let _ = (index, program, predicted_seconds, measured_seconds);
+    }
+
+    /// Called once per placement, after its evaluation is complete (programs
+    /// sorted, counters final).
+    fn on_placement_done(&self, index: usize, evaluation: &PlacementEvaluation) {
+        let _ = (index, evaluation);
+    }
+}
+
+/// The no-op observer: every hook keeps its default.
+impl RunObserver for () {}
+
+/// Cross-placement pruning as a deterministic two-pass run (the ROADMAP's
+/// "shared bound" item).
+///
+/// The per-placement pruning bound of the streaming engine is deliberately
+/// local so results stay bit-identical across worker-thread counts — but that
+/// locality means a cheap placement can never prune an expensive one. This
+/// observer restores cross-placement pruning without giving up determinism by
+/// splitting the run in two:
+///
+/// 1. **Seeding pass** ([`RunMode::PredictOnly`]): every placement is swept
+///    with the analytic cost model only; the observer records the global
+///    minimum predicted time across all placements. A minimum is
+///    order-independent, so the recorded bound is identical for any thread
+///    count or interleaving.
+/// 2. **Pruned pass** (the session's own mode): the frozen global bound seeds
+///    every placement's pruning bound via
+///    [`RunObserver::on_placement_start`], so placements whose programs all
+///    predict worse than `global_best × (1 + prune_slack)` retain little or
+///    nothing — cheap placements prune expensive ones.
+///
+/// Both passes are deterministic, so the overall result is too
+/// (`tests/observer.rs` pins this).
+///
+/// # Examples
+///
+/// ```
+/// use p2_core::{RunMode, SharedBoundObserver, P2};
+/// use p2_topology::presets;
+///
+/// let session = P2::builder(presets::a100_system(2))
+///     .parallelism_axes([8, 4])
+///     .reduction_axes([0])
+///     .bytes_per_device(1.0e9)
+///     .repeats(2)
+///     .build()?;
+/// let mut observer = SharedBoundObserver::new();
+/// let pruned = observer.run(&session)?;
+/// let exhaustive = session.run()?;
+/// assert!(pruned.total_programs_retained() <= exhaustive.total_programs_retained());
+/// # Ok::<(), p2_core::P2Error>(())
+/// ```
+#[derive(Debug)]
+pub struct SharedBoundObserver {
+    /// `true` while the predict-only pass is recording the bound.
+    seeding: AtomicBool,
+    /// Bit pattern of the global minimum predicted time. Predicted times are
+    /// positive finite floats, whose IEEE-754 bit patterns order exactly like
+    /// the values — `fetch_min` on the bits is `min` on the seconds.
+    bound_bits: AtomicU64,
+}
+
+impl Default for SharedBoundObserver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedBoundObserver {
+    /// Creates an observer with no recorded bound, ready for a seeding pass.
+    pub fn new() -> Self {
+        SharedBoundObserver {
+            seeding: AtomicBool::new(true),
+            bound_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+        }
+    }
+
+    /// The global best predicted time recorded so far, if any.
+    pub fn bound(&self) -> Option<f64> {
+        let bound = f64::from_bits(self.bound_bits.load(Ordering::SeqCst));
+        bound.is_finite().then_some(bound)
+    }
+
+    /// Runs the two passes on `session`: a [`RunMode::PredictOnly`] pass that
+    /// seeds the global bound, then the session's own mode pruned against it.
+    /// Returns the pruned pass's result.
+    ///
+    /// Takes `&mut self` so one observer cannot drive two overlapping runs —
+    /// the seeding/bound state is per-run, and interleaving two runs would
+    /// hand a partially-collected bound to the other's sweep.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from either pass.
+    pub fn run(&mut self, session: &P2) -> Result<ExperimentResult, P2Error> {
+        self.seeding.store(true, Ordering::SeqCst);
+        self.bound_bits
+            .store(f64::INFINITY.to_bits(), Ordering::SeqCst);
+        session
+            .clone()
+            .with_mode(RunMode::PredictOnly)
+            .run_observed(self)?;
+        self.seeding.store(false, Ordering::SeqCst);
+        session.run_observed(self)
+    }
+}
+
+impl RunObserver for SharedBoundObserver {
+    fn on_placement_start(&self, _index: usize, _matrix: &ParallelismMatrix) -> Option<f64> {
+        if self.seeding.load(Ordering::SeqCst) {
+            // The bound is still being collected; handing out a partial bound
+            // here would make pruning depend on sweep interleaving.
+            None
+        } else {
+            self.bound()
+        }
+    }
+
+    fn on_placement_done(&self, _index: usize, evaluation: &PlacementEvaluation) {
+        if !self.seeding.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut best = evaluation.allreduce_predicted;
+        for program in &evaluation.programs {
+            best = best.min(program.predicted_seconds);
+        }
+        if best.is_finite() && best > 0.0 {
+            self.bound_bits.fetch_min(best.to_bits(), Ordering::SeqCst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_is_none_until_seeded() {
+        let observer = SharedBoundObserver::new();
+        assert_eq!(observer.bound(), None);
+        let eval_bound = observer.on_placement_start(
+            0,
+            &ParallelismMatrix::new(vec![vec![2, 2]], vec![2, 2], vec![4]).unwrap(),
+        );
+        assert_eq!(eval_bound, None);
+    }
+
+    #[test]
+    fn positive_float_bits_order_like_the_floats() {
+        // The invariant `fetch_min` relies on.
+        for (a, b) in [(0.1f64, 0.2), (1.0, 1.0 + f64::EPSILON), (1e-300, 1e300)] {
+            assert_eq!(a < b, a.to_bits() < b.to_bits());
+        }
+    }
+}

@@ -1,17 +1,43 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Mutex;
 use std::time::Instant;
 
 use p2_cost::CostModel;
 use p2_exec::{ExecConfig, Executor};
-use p2_placement::{enumerate_matrices, ParallelismMatrix};
+use p2_placement::{
+    enumerate_matrices, for_each_matrix, MatrixControl, MatrixSink, ParallelismMatrix,
+    PlacementError,
+};
 use p2_synthesis::{
     baseline_allreduce, LoweredProgram, Program, SinkControl, SynthesisError, Synthesizer,
 };
 
+use crate::builder::P2Builder;
 use crate::config::P2Config;
 use crate::error::P2Error;
+use crate::observer::RunObserver;
 use crate::result::{ExperimentResult, PlacementEvaluation, ProgramEvaluation};
+
+/// How [`P2::run`] drives the synthesized programs through prediction and
+/// measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RunMode {
+    /// Measure every synthesized program on the execution substrate (the
+    /// exhaustive evaluation behind the paper's tables). The default.
+    #[default]
+    Measure,
+    /// Predict every program with the analytic simulator, then measure only
+    /// the globally best `n` predictions — the paper's intended deployment
+    /// mode (§5). Unmeasured programs report their prediction as their
+    /// measured time.
+    Shortlist(usize),
+    /// Predict every program and measure nothing; every program's measured
+    /// time is its prediction. (The AllReduce baseline is still measured to
+    /// anchor the tables.) This is the seeding pass of
+    /// [`SharedBoundObserver`](crate::SharedBoundObserver).
+    PredictOnly,
+}
 
 /// One retained candidate in the bounded top-K retention heap, ordered so the
 /// heap's maximum is the *worst* retained program: highest measured time, ties
@@ -58,20 +84,56 @@ impl Ord for HeapEntry {
 
 /// The P² tool: parallelism placement synthesis, placement-aware reduction
 /// strategy synthesis, prediction, and evaluation.
+///
+/// A `P2` is an experiment *session*: a validated [`P2Config`] plus the
+/// [`RunMode`] that [`P2::run`] executes. Sessions are assembled with
+/// [`P2::builder`] (or [`P2::new`] from an existing config, which defaults to
+/// [`RunMode::Measure`]).
 #[derive(Debug, Clone)]
 pub struct P2 {
     config: P2Config,
+    mode: RunMode,
 }
 
 impl P2 {
-    /// Creates the tool from a validated configuration.
+    /// Creates the tool from a validated configuration, with the default
+    /// [`RunMode::Measure`].
     ///
     /// # Errors
     ///
     /// Returns [`P2Error::InvalidConfig`] for inconsistent configurations.
     pub fn new(config: P2Config) -> Result<Self, P2Error> {
         config.validate()?;
-        Ok(P2 { config })
+        Ok(P2 {
+            config,
+            mode: RunMode::Measure,
+        })
+    }
+
+    /// Starts a typed builder for an experiment session on `system`.
+    /// Validation happens at [`P2Builder::build`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use p2_core::{RunMode, P2};
+    /// use p2_topology::presets;
+    ///
+    /// // The paper's deployment mode: predict everything, measure the best
+    /// // ten predictions across all placements.
+    /// let result = P2::builder(presets::a100_system(2))
+    ///     .parallelism_axes([8, 4])
+    ///     .reduction_axes([0])
+    ///     .bytes_per_device(1.0e9)
+    ///     .repeats(2)
+    ///     .mode(RunMode::Shortlist(10))
+    ///     .build()?
+    ///     .run()?;
+    /// assert!(result.best_overall().is_some());
+    /// # Ok::<(), p2_core::P2Error>(())
+    /// ```
+    pub fn builder(system: p2_topology::SystemTopology) -> P2Builder {
+        P2Builder::new(system)
     }
 
     /// The configuration in use.
@@ -79,44 +141,132 @@ impl P2 {
         &self.config
     }
 
+    /// The run mode [`P2::run`] executes.
+    pub fn mode(&self) -> RunMode {
+        self.mode
+    }
+
+    /// Returns the session with a different run mode, leaving the
+    /// configuration untouched.
+    pub fn with_mode(mut self, mode: RunMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
     /// Enumerates every parallelism matrix for the configured system and axes.
+    ///
+    /// This materializes the full list; the sweep itself streams matrices via
+    /// [`P2::for_each_placement`] and never holds them all.
     ///
     /// # Errors
     ///
     /// Propagates placement errors.
-    pub fn placements(&self) -> Result<Vec<p2_placement::ParallelismMatrix>, P2Error> {
+    pub fn placements(&self) -> Result<Vec<ParallelismMatrix>, P2Error> {
         Ok(enumerate_matrices(
             &self.config.system.hierarchy().arities(),
             &self.config.parallelism_axes,
         )?)
     }
 
-    /// Runs the pipeline in the paper's intended deployment mode (§5): every
-    /// synthesized program is *predicted* with the analytic simulator, but
-    /// only the `shortlist` programs with the best predictions — across all
-    /// placements — are actually measured on the execution substrate. The
-    /// measured time of unmeasured programs is reported as their prediction.
+    /// Streams every parallelism matrix for the configured system and axes
+    /// into `sink`, in enumeration order, without materializing the list.
+    /// Returns the number of matrices delivered.
     ///
-    /// This is how P² avoids "massive evaluations of synthesis results": with
-    /// the simulator's top-10 accuracy, a shortlist of 10 almost always
-    /// contains the true optimum at a fraction of the evaluation cost.
+    /// # Errors
     ///
-    /// Combined with [`P2Config::with_keep_top`] the prediction pass itself
-    /// becomes bounded: each placement streams its programs through a top-K
-    /// heap, and candidates whose predicted prefix already exceeds the
-    /// pruning bound are dropped without ever being retained. With
-    /// K ≥ `shortlist`, top-K displacement alone cannot change the measured
-    /// shortlist (every globally top-`shortlist` prediction is by definition
-    /// within its own placement's top-K); cost-bound pruning can still drop a
-    /// candidate predicting worse than `1 + prune_slack` times its
-    /// placement's best, so the shortlist is only guaranteed identical to the
-    /// exhaustive one up to such far-from-optimal entries.
+    /// Propagates placement errors (all raised before the first matrix).
+    pub fn for_each_placement<S>(&self, sink: &mut S) -> Result<usize, P2Error>
+    where
+        S: MatrixSink + ?Sized,
+    {
+        Ok(for_each_matrix(
+            &self.config.system.hierarchy().arities(),
+            &self.config.parallelism_axes,
+            sink,
+        )?)
+    }
+
+    /// Runs the pipeline in the session's [`RunMode`]: enumerate placements
+    /// (streaming), synthesize reduction programs for each, predict every
+    /// program with the analytic cost model, and measure on the execution
+    /// substrate whatever the mode calls for — everything under
+    /// [`RunMode::Measure`], the best `n` predictions under
+    /// [`RunMode::Shortlist`], nothing under [`RunMode::PredictOnly`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from any stage; synthesis itself cannot fail, so an
+    /// error indicates an inconsistent configuration.
+    pub fn run(&self) -> Result<ExperimentResult, P2Error> {
+        self.run_observed(&())
+    }
+
+    /// [`P2::run`] with a [`RunObserver`] receiving progress events from the
+    /// parallel sweep: per placement, `on_placement_start`, then
+    /// `on_program_retained` in stream order, then `on_placement_done`.
+    /// Events from different placements interleave when the sweep runs on
+    /// more than one thread; the per-placement sequences are deterministic.
     ///
     /// # Errors
     ///
     /// Same as [`P2::run`].
+    pub fn run_observed(&self, observer: &dyn RunObserver) -> Result<ExperimentResult, P2Error> {
+        match self.mode {
+            RunMode::Measure => self.sweep(true, observer),
+            RunMode::PredictOnly => self.sweep(false, observer),
+            // Rejected here as well as in the builder so sessions assembled
+            // via `with_mode` get the same error instead of silently
+            // degrading to a predict-only run.
+            RunMode::Shortlist(0) => Err(P2Error::InvalidConfig {
+                reason: "shortlist length must be positive (use RunMode::PredictOnly to \
+                         measure nothing)"
+                    .into(),
+            }),
+            RunMode::Shortlist(n) => {
+                let mut result = self.sweep(false, observer)?;
+                self.measure_shortlist(&mut result, n)?;
+                Ok(result)
+            }
+        }
+    }
+
+    /// Runs the paper's deployment mode with a shortlist of `shortlist`
+    /// measured programs. A `shortlist` of `0` keeps this entry point's
+    /// historical behaviour — predict everything, measure nothing — which the
+    /// session API spells [`RunMode::PredictOnly`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use P2::builder(...).mode(RunMode::Shortlist(n)) — or \
+                with_mode(RunMode::Shortlist(n)) — and run()"
+    )]
     pub fn run_with_shortlist(&self, shortlist: usize) -> Result<ExperimentResult, P2Error> {
-        let mut result = self.run_internal(false)?;
+        let mode = if shortlist == 0 {
+            RunMode::PredictOnly
+        } else {
+            RunMode::Shortlist(shortlist)
+        };
+        self.clone().with_mode(mode).run()
+    }
+
+    /// Ranks all programs of a predict-only sweep by predicted time and
+    /// measures only the best `shortlist` of them — the post-pass of
+    /// [`RunMode::Shortlist`]. With the simulator's top-10 accuracy, a
+    /// shortlist of 10 almost always contains the true optimum at a fraction
+    /// of the evaluation cost; this is how P² avoids "massive evaluations of
+    /// synthesis results".
+    ///
+    /// Combined with [`P2Config::keep_top`] the prediction pass itself is
+    /// bounded. With K ≥ `shortlist`, top-K displacement alone cannot change
+    /// the measured shortlist (every globally top-`shortlist` prediction is
+    /// by definition within its own placement's top-K); cost-bound pruning
+    /// can still drop a candidate predicting worse than `1 + prune_slack`
+    /// times its placement's best, so the shortlist is only guaranteed
+    /// identical to the exhaustive one up to such far-from-optimal entries.
+    fn measure_shortlist(
+        &self,
+        result: &mut ExperimentResult,
+        shortlist: usize,
+    ) -> Result<(), P2Error> {
         // Rank all programs by predicted time and measure only the shortlist.
         let mut order: Vec<(usize, usize, f64)> = result
             .placements
@@ -149,19 +299,7 @@ impl P2 {
                 .programs
                 .sort_by(|a, b| a.measured_seconds.total_cmp(&b.measured_seconds));
         }
-        Ok(result)
-    }
-
-    /// Runs the full pipeline: enumerate placements, synthesize reduction
-    /// programs for each, predict every program with the analytic cost model
-    /// and measure it on the execution substrate.
-    ///
-    /// # Errors
-    ///
-    /// Propagates errors from any stage; synthesis itself cannot fail, so an
-    /// error indicates an inconsistent configuration.
-    pub fn run(&self) -> Result<ExperimentResult, P2Error> {
-        self.run_internal(true)
+        Ok(())
     }
 
     /// Synthesizes, predicts and optionally measures every program of one
@@ -170,22 +308,28 @@ impl P2 {
     /// Programs are consumed *streaming*: the synthesizer's visitor emits one
     /// program at a time, which is lowered, costed incrementally and either
     /// retained or dropped on the spot. With the default configuration
-    /// (`keep_top = None`) every program is retained and the results are
-    /// bit-compatible with the old materializing pipeline; with
-    /// [`P2Config::with_keep_top`] only a bounded top-K heap survives, ranked
+    /// (`keep_top = None`, no observer bound) every program is retained and
+    /// the results are bit-compatible with the old materializing pipeline;
+    /// with [`P2Config::keep_top`] only a bounded top-K heap survives, ranked
     /// by the same key the final result ranking uses (measured time when
-    /// measuring eagerly, predicted time in shortlist mode), and candidates
-    /// whose accumulated predicted prefix already exceeds the placement's
-    /// best prediction so far times `1 + prune_slack` (or the heap's worst
-    /// retained prediction once it is full, in shortlist mode) are pruned
-    /// before they are fully costed or measured.
+    /// measuring eagerly, predicted time otherwise), and candidates whose
+    /// accumulated predicted prefix already exceeds the placement's best
+    /// prediction so far times `1 + prune_slack` (or the heap's worst
+    /// retained prediction once it is full, in predict-first modes) are
+    /// pruned before they are fully costed or measured. An observer-supplied
+    /// bound ([`RunObserver::on_placement_start`]) tightens the best
+    /// prediction's seed — normally the placement's own AllReduce baseline —
+    /// and activates prefix pruning even without `keep_top`.
     fn evaluate_placement(
         &self,
+        index: usize,
         matrix: &ParallelismMatrix,
         cost: &CostModel<'_>,
         executor: &Executor<'_>,
         measure_programs: bool,
+        observer: &dyn RunObserver,
     ) -> Result<PlacementEvaluation, P2Error> {
+        let bound_seed = observer.on_placement_start(index, matrix);
         let synthesizer = Synthesizer::new(
             matrix.clone(),
             self.config.reduction_axes.clone(),
@@ -197,15 +341,21 @@ impl P2 {
 
         let keep_top = self.config.keep_top;
         let prune_slack = self.config.prune_slack;
+        let prune = keep_top.is_some() || bound_seed.is_some();
         let mut programs: Vec<ProgramEvaluation> = Vec::new();
         let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
         let mut num_programs = 0usize;
         let mut seq = 0usize;
         // The pruning bound tracks the best prediction seen in this placement,
-        // seeded by the AllReduce baseline the sweep always evaluates anyway.
-        // All of this is per-placement state, so the sweep stays bit-identical
-        // across worker-thread counts.
+        // seeded by the AllReduce baseline the sweep always evaluates anyway —
+        // tightened up front by the observer's cross-placement bound when one
+        // is supplied. Either way the bound is fixed before the stream starts
+        // and then only shrinks with this placement's own predictions, so the
+        // sweep stays bit-identical across worker-thread counts.
         let mut best_predicted = allreduce_predicted;
+        if let Some(seed) = bound_seed {
+            best_predicted = best_predicted.min(seed);
+        }
         let mut lower_error: Option<SynthesisError> = None;
         // Evaluation work (lowering, costing, measuring) is interleaved with
         // the search on the stream; subtracting it from the pass's wall-clock
@@ -225,7 +375,7 @@ impl P2 {
                             return SinkControl::Stop;
                         }
                     };
-                    let Some(k) = keep_top else {
+                    if !prune {
                         // Exhaustive mode (the default): evaluate and retain every
                         // program, bit-compatible with the materializing pipeline.
                         let predicted_seconds = cost.program_time(&lowered);
@@ -234,6 +384,12 @@ impl P2 {
                         } else {
                             predicted_seconds
                         };
+                        observer.on_program_retained(
+                            index,
+                            program,
+                            predicted_seconds,
+                            measured_seconds,
+                        );
                         programs.push(ProgramEvaluation {
                             program: program.clone(),
                             lowered,
@@ -241,15 +397,18 @@ impl P2 {
                             measured_seconds,
                         });
                         return SinkControl::Continue;
-                    };
-                    // Bounded mode: incremental prefix costing with pruning. The
-                    // prefix bound lives in the *predicted* domain, so the heap's
-                    // worst retained time may only tighten it in shortlist mode,
-                    // where ranking time and prediction coincide.
+                    }
+                    // Pruned mode: incremental prefix costing against the bound.
+                    // The prefix bound lives in the *predicted* domain, so the
+                    // heap's worst retained time may only tighten it in
+                    // predict-first modes, where ranking time and prediction
+                    // coincide.
                     let mut bound = best_predicted * (1.0 + prune_slack);
-                    if !measure_programs && heap.len() == k {
-                        if let Some(worst) = heap.peek() {
-                            bound = bound.min(worst.measured);
+                    if let Some(k) = keep_top {
+                        if !measure_programs && heap.len() == k {
+                            if let Some(worst) = heap.peek() {
+                                bound = bound.min(worst.measured);
+                            }
                         }
                     }
                     let mut acc = cost.accumulator();
@@ -266,6 +425,18 @@ impl P2 {
                     } else {
                         predicted
                     };
+                    let Some(k) = keep_top else {
+                        // Bound-only pruning (observer-supplied bound, no
+                        // retention limit): keep every survivor.
+                        observer.on_program_retained(index, program, predicted, measured);
+                        programs.push(ProgramEvaluation {
+                            program: program.clone(),
+                            lowered,
+                            predicted_seconds: predicted,
+                            measured_seconds: measured,
+                        });
+                        return SinkControl::Continue;
+                    };
                     let entry = HeapEntry {
                         predicted,
                         measured,
@@ -275,9 +446,11 @@ impl P2 {
                     };
                     seq += 1;
                     if heap.len() < k {
+                        observer.on_program_retained(index, program, predicted, measured);
                         heap.push(entry);
                     } else if let Some(worst) = heap.peek() {
                         if entry.rank() < worst.rank() {
+                            observer.on_program_retained(index, program, predicted, measured);
                             heap.pop();
                             heap.push(entry);
                         }
@@ -308,7 +481,7 @@ impl P2 {
         }
         programs.sort_by(|a, b| a.measured_seconds.total_cmp(&b.measured_seconds));
 
-        Ok(PlacementEvaluation {
+        let evaluation = PlacementEvaluation {
             matrix: matrix.clone(),
             synthesis_time,
             num_programs,
@@ -317,10 +490,22 @@ impl P2 {
             allreduce_predicted,
             allreduce_measured,
             programs,
-        })
+        };
+        observer.on_placement_done(index, &evaluation);
+        Ok(evaluation)
     }
 
-    fn run_internal(&self, measure_programs: bool) -> Result<ExperimentResult, P2Error> {
+    /// The placement × synthesis sweep: placements stream from the enumerator
+    /// into worker threads through a bounded channel, so the full matrix list
+    /// is never materialized. `p2_par::par_map_stream` returns results in
+    /// enumeration order, and measurement noise is a pure function of (seed,
+    /// program content), so any thread count — including a serial run —
+    /// produces bit-identical results.
+    fn sweep(
+        &self,
+        measure_programs: bool,
+        observer: &dyn RunObserver,
+    ) -> Result<ExperimentResult, P2Error> {
         let cost = CostModel::new(
             &self.config.system,
             self.config.algo,
@@ -332,15 +517,42 @@ impl P2 {
             .with_repeats(self.config.repeats);
         let executor = Executor::new(&self.config.system, exec_config)?;
 
-        // The sweep is embarrassingly parallel: each placement synthesizes,
-        // predicts and measures independently. `par_map_threads` returns
-        // results in enumeration order, and measurement noise is a pure
-        // function of (seed, program content), so any thread count — including
-        // a serial run — produces bit-identical results.
-        let matrices = self.placements()?;
-        let evaluations = p2_par::par_map_threads(self.config.threads, &matrices, |_, matrix| {
-            self.evaluate_placement(matrix, &cost, &executor, measure_programs)
-        });
+        let arities = self.config.system.hierarchy().arities();
+        // `for_each_matrix` raises its errors before emitting anything, so a
+        // recorded error always means zero placements were evaluated.
+        let enumeration_error: Mutex<Option<PlacementError>> = Mutex::new(None);
+        let evaluations = p2_par::par_map_stream(
+            self.config.threads,
+            |emit| {
+                let outcome = for_each_matrix(
+                    &arities,
+                    &self.config.parallelism_axes,
+                    &mut |matrix: &ParallelismMatrix| {
+                        emit(matrix.clone());
+                        MatrixControl::Continue
+                    },
+                );
+                if let Err(e) = outcome {
+                    *enumeration_error.lock().expect("enumeration error mutex") = Some(e);
+                }
+            },
+            |index, matrix| {
+                self.evaluate_placement(
+                    index,
+                    &matrix,
+                    &cost,
+                    &executor,
+                    measure_programs,
+                    observer,
+                )
+            },
+        );
+        if let Some(e) = enumeration_error
+            .into_inner()
+            .expect("enumeration error mutex")
+        {
+            return Err(e.into());
+        }
 
         let mut placements = Vec::with_capacity(evaluations.len());
         let mut total_synthesis = std::time::Duration::ZERO;
@@ -373,9 +585,18 @@ mod tests {
             .with_repeats(2)
     }
 
+    /// The same experiment through the new builder API.
+    fn small_builder() -> P2Builder {
+        P2::builder(presets::a100_system(2))
+            .parallelism_axes([8, 4])
+            .reduction_axes([0])
+            .bytes_per_device(1.0e9)
+            .repeats(2)
+    }
+
     #[test]
     fn pipeline_produces_consistent_results() {
-        let result = P2::new(small_config()).unwrap().run().unwrap();
+        let result = small_builder().run().unwrap();
         assert!(!result.placements.is_empty());
         for pl in &result.placements {
             assert!(pl.num_programs >= 1);
@@ -398,10 +619,26 @@ mod tests {
     }
 
     #[test]
+    fn builder_session_matches_config_session() {
+        let from_config = P2::new(small_config()).unwrap().run().unwrap();
+        let from_builder = small_builder().run().unwrap();
+        assert_eq!(from_config.label, from_builder.label);
+        assert_eq!(from_config.placements.len(), from_builder.placements.len());
+        for (a, b) in from_config.placements.iter().zip(&from_builder.placements) {
+            assert_eq!(a.matrix, b.matrix);
+            assert_eq!(a.allreduce_measured, b.allreduce_measured);
+            for (pa, pb) in a.programs.iter().zip(&b.programs) {
+                assert_eq!(pa.signature(), pb.signature());
+                assert_eq!(pa.measured_seconds, pb.measured_seconds);
+            }
+        }
+    }
+
+    #[test]
     fn cross_node_placements_benefit_from_synthesis() {
         // Result 5 of the paper, end to end: for the placement that forces
         // cross-node reduction, some synthesized program beats AllReduce.
-        let result = P2::new(small_config()).unwrap().run().unwrap();
+        let result = small_builder().run().unwrap();
         let cross_node = result
             .placements
             .iter()
@@ -417,9 +654,8 @@ mod tests {
 
     #[test]
     fn shortlist_run_measures_only_the_best_predictions() {
-        let p2 = P2::new(small_config()).unwrap();
-        let full = p2.run().unwrap();
-        let shortlisted = p2.run_with_shortlist(10).unwrap();
+        let full = small_builder().run().unwrap();
+        let shortlisted = small_builder().mode(RunMode::Shortlist(10)).run().unwrap();
         assert_eq!(full.total_programs(), shortlisted.total_programs());
         // Exactly `shortlist` programs carry a real measurement (measured !=
         // predicted is not guaranteed under zero noise, so count programs whose
@@ -443,14 +679,24 @@ mod tests {
     }
 
     #[test]
+    fn predict_only_reports_predictions_as_measurements() {
+        let predicted = small_builder().mode(RunMode::PredictOnly).run().unwrap();
+        assert!(predicted.total_programs() > 0);
+        for pl in &predicted.placements {
+            // The AllReduce baseline is still measured.
+            assert!(pl.allreduce_measured > 0.0);
+            for p in &pl.programs {
+                assert_eq!(p.measured_seconds, p.predicted_seconds);
+            }
+        }
+    }
+
+    #[test]
     fn keep_top_bounds_retention_and_preserves_the_best_program() {
-        let unbounded = P2::new(small_config()).unwrap().run().unwrap();
+        let unbounded = small_builder().run().unwrap();
         let best = unbounded.best_overall().unwrap();
         for k in [1usize, 2, 5] {
-            let bounded = P2::new(small_config().with_keep_top(k))
-                .unwrap()
-                .run()
-                .unwrap();
+            let bounded = small_builder().keep_top(k).run().unwrap();
             // Same synthesis space, strictly bounded retention.
             assert_eq!(bounded.total_programs(), unbounded.total_programs());
             assert!(bounded.total_programs_retained() < unbounded.total_programs_retained());
@@ -473,6 +719,67 @@ mod tests {
     }
 
     #[test]
+    fn deprecated_shortlist_shim_matches_the_mode() {
+        let via_mode = small_builder().mode(RunMode::Shortlist(5)).run().unwrap();
+        #[allow(deprecated)]
+        let via_shim = P2::new(small_config())
+            .unwrap()
+            .run_with_shortlist(5)
+            .unwrap();
+        assert_eq!(via_mode.placements.len(), via_shim.placements.len());
+        for (a, b) in via_mode.placements.iter().zip(&via_shim.placements) {
+            assert_eq!(a.matrix, b.matrix);
+            for (pa, pb) in a.programs.iter().zip(&b.programs) {
+                assert_eq!(pa.signature(), pb.signature());
+                assert_eq!(pa.predicted_seconds, pb.predicted_seconds);
+                assert_eq!(pa.measured_seconds, pb.measured_seconds);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_length_shortlist_is_rejected_consistently() {
+        // Both session entry points refuse Shortlist(0) instead of silently
+        // degrading to a predict-only run...
+        assert!(small_builder().mode(RunMode::Shortlist(0)).run().is_err());
+        assert!(P2::new(small_config())
+            .unwrap()
+            .with_mode(RunMode::Shortlist(0))
+            .run()
+            .is_err());
+        // ...while the deprecated shim keeps its historical degenerate
+        // behaviour: predict everything, measure nothing.
+        #[allow(deprecated)]
+        let old = P2::new(small_config())
+            .unwrap()
+            .run_with_shortlist(0)
+            .unwrap();
+        let predict_only = small_builder().mode(RunMode::PredictOnly).run().unwrap();
+        assert_eq!(old.total_programs(), predict_only.total_programs());
+        for (a, b) in old.placements.iter().zip(&predict_only.placements) {
+            for (pa, pb) in a.programs.iter().zip(&b.programs) {
+                assert_eq!(pa.measured_seconds, pb.measured_seconds);
+                assert_eq!(pa.measured_seconds, pa.predicted_seconds);
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_placements_match_the_materialized_list() {
+        let session = small_builder().build().unwrap();
+        let materialized = session.placements().unwrap();
+        let mut streamed = Vec::new();
+        let emitted = session
+            .for_each_placement(&mut |m: &ParallelismMatrix| {
+                streamed.push(m.clone());
+                MatrixControl::Continue
+            })
+            .unwrap();
+        assert_eq!(emitted, materialized.len());
+        assert_eq!(streamed, materialized);
+    }
+
+    #[test]
     fn invalid_config_rejected_at_construction() {
         let bad = P2Config::new(presets::a100_system(2), vec![7], vec![0]);
         assert!(P2::new(bad).is_err());
@@ -481,8 +788,7 @@ mod tests {
     #[test]
     fn tree_and_ring_runs_both_work() {
         for algo in NcclAlgo::ALL {
-            let config = small_config().with_algo(algo);
-            let result = P2::new(config).unwrap().run().unwrap();
+            let result = small_builder().algo(algo).run().unwrap();
             assert!(result.total_programs() > 0);
         }
     }

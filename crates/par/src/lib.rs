@@ -19,7 +19,7 @@
 #![deny(missing_docs)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc, Mutex};
 
 /// Number of worker threads `par_map` uses by default: the machine's available
 /// parallelism, or 1 when it cannot be queried.
@@ -89,6 +89,104 @@ where
     })
 }
 
+/// Maps `f` over a *streamed* sequence of items on worker threads, returning
+/// results in production order without ever materializing the input.
+///
+/// `produce` runs on the calling thread and pushes items one at a time into
+/// the closure it is given; workers pull them from a bounded channel (capacity
+/// `2 × workers`), so at most `O(threads)` items are in flight at any moment —
+/// this is what lets the placement sweep consume
+/// `p2_placement::for_each_matrix` without collecting the matrices first.
+/// `f` receives each item's production index alongside the item.
+///
+/// `threads` follows the [`par_map_threads`] convention: `0` resolves to
+/// [`default_threads()`], `1` runs everything serially on the calling thread.
+/// The output is identical for any value whenever `f` is a pure function of
+/// `(index, item)`.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+///
+/// # Examples
+///
+/// ```
+/// let squares = p2_par::par_map_stream(
+///     0,
+///     |emit| (1usize..=4).for_each(emit),
+///     |_, x| x * x,
+/// );
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn par_map_stream<T, R, P, F>(threads: usize, produce: P, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    P: FnOnce(&mut dyn FnMut(T)),
+    F: Fn(usize, T) -> R + Sync,
+{
+    let threads = if threads == 0 {
+        default_threads()
+    } else {
+        threads
+    };
+    if threads <= 1 {
+        let mut out = Vec::new();
+        let mut index = 0usize;
+        let mut emit = |item: T| {
+            out.push(f(index, item));
+            index += 1;
+        };
+        produce(&mut emit);
+        return out;
+    }
+
+    let (work_tx, work_rx) = mpsc::sync_channel::<(usize, T)>(threads * 2);
+    let work_rx = Arc::new(Mutex::new(work_rx));
+    let (result_tx, result_rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let work_rx = Arc::clone(&work_rx);
+            let result_tx = result_tx.clone();
+            let f = &f;
+            scope.spawn(move || loop {
+                // Holding the lock only for the blocking recv serializes the
+                // *waiting*, not the work; items are coarse-grained.
+                let item = work_rx.lock().expect("work queue poisoned").recv();
+                let Ok((i, item)) = item else { break };
+                let _ = result_tx.send((i, f(i, item)));
+            });
+        }
+        drop(result_tx);
+        // Workers hold the only receiver handles: if they all die, the send
+        // below fails instead of blocking forever on a full channel.
+        drop(work_rx);
+
+        let mut produced = 0usize;
+        let mut emit = |item: T| {
+            work_tx
+                .send((produced, item))
+                .expect("a parallel worker panicked");
+            produced += 1;
+        };
+        produce(&mut emit);
+        drop(work_tx);
+
+        let mut slots: Vec<Option<R>> = Vec::new();
+        slots.resize_with(produced, || None);
+        let mut received = 0usize;
+        for (i, r) in result_rx {
+            slots[i] = Some(r);
+            received += 1;
+        }
+        assert_eq!(received, produced, "a parallel worker panicked");
+        slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,6 +227,49 @@ mod tests {
     #[test]
     fn more_threads_than_items_is_fine() {
         let out = par_map_threads(64, &[1u8, 2], |_, &x| x);
+        assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn stream_preserves_production_order() {
+        for threads in [0usize, 1, 2, 4, 8] {
+            let out = par_map_stream(
+                threads,
+                |emit| (0usize..257).for_each(emit),
+                |i, x| {
+                    assert_eq!(i, x);
+                    x * 2
+                },
+            );
+            assert_eq!(out, (0..257).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn stream_and_slice_map_agree() {
+        let input: Vec<u64> = (0..100).collect();
+        let slice = par_map_threads(1, &input, |i, &x| x.wrapping_mul(i as u64 + 3));
+        for threads in [1, 2, 4] {
+            let stream = par_map_stream(
+                threads,
+                |emit| input.iter().copied().for_each(emit),
+                |i, x| x.wrapping_mul(i as u64 + 3),
+            );
+            assert_eq!(slice, stream);
+        }
+    }
+
+    #[test]
+    fn stream_with_no_items_returns_empty() {
+        for threads in [1usize, 4] {
+            let out = par_map_stream(threads, |_emit| {}, |_, x: usize| x);
+            assert!(out.is_empty());
+        }
+    }
+
+    #[test]
+    fn stream_with_more_threads_than_items_is_fine() {
+        let out = par_map_stream(64, |emit| [1u8, 2].into_iter().for_each(emit), |_, x| x);
         assert_eq!(out, vec![1, 2]);
     }
 }

@@ -1,7 +1,39 @@
 //! Exhaustive, pruned enumeration of parallelism matrices (paper §3.1).
+//!
+//! The enumeration is *streaming*: [`for_each_matrix`] walks the search tree
+//! and hands each valid [`ParallelismMatrix`] to a [`MatrixSink`] the moment
+//! it is completed, so huge axis/hierarchy combinations never hold the full
+//! matrix list in memory. [`enumerate_matrices`] is a thin collecting wrapper
+//! for callers that want the materialized list.
 
 use crate::error::PlacementError;
 use crate::matrix::ParallelismMatrix;
+
+/// Tells [`for_each_matrix`] whether to keep enumerating after a matrix has
+/// been delivered to the sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatrixControl {
+    /// Keep enumerating.
+    Continue,
+    /// Stop the enumeration; [`for_each_matrix`] returns with the matrices
+    /// emitted so far counted.
+    Stop,
+}
+
+/// A consumer of streamed parallelism matrices.
+///
+/// Any `FnMut(&ParallelismMatrix) -> MatrixControl` closure is a sink.
+pub trait MatrixSink {
+    /// Receives one enumerated matrix. Matrices arrive in the same order
+    /// [`enumerate_matrices`] returns them.
+    fn accept(&mut self, matrix: &ParallelismMatrix) -> MatrixControl;
+}
+
+impl<F: FnMut(&ParallelismMatrix) -> MatrixControl> MatrixSink for F {
+    fn accept(&mut self, matrix: &ParallelismMatrix) -> MatrixControl {
+        self(matrix)
+    }
+}
 
 /// All ordered factorizations of `n` into exactly `parts` positive factors.
 ///
@@ -72,6 +104,49 @@ pub fn enumerate_matrices(
     arities: &[usize],
     axes: &[usize],
 ) -> Result<Vec<ParallelismMatrix>, PlacementError> {
+    let mut out = Vec::new();
+    for_each_matrix(arities, axes, &mut |m: &ParallelismMatrix| {
+        out.push(m.clone());
+        MatrixControl::Continue
+    })?;
+    Ok(out)
+}
+
+/// Streams every parallelism matrix for the given hierarchy cardinalities and
+/// parallelism axis sizes into `sink`, in exactly the order
+/// [`enumerate_matrices`] returns them, without ever materializing the list.
+/// Returns the number of matrices delivered to the sink.
+///
+/// The sink can abort the enumeration by returning [`MatrixControl::Stop`];
+/// the matrix that triggered the stop is included in the returned count.
+///
+/// # Errors
+///
+/// Same as [`enumerate_matrices`]; all argument checks happen before the
+/// first matrix is emitted.
+///
+/// # Examples
+///
+/// ```
+/// use p2_placement::{enumerate_matrices, for_each_matrix, MatrixControl, ParallelismMatrix};
+///
+/// let mut streamed = Vec::new();
+/// let emitted = for_each_matrix(&[1, 2, 2, 4], &[4, 4], &mut |m: &ParallelismMatrix| {
+///     streamed.push(m.clone());
+///     MatrixControl::Continue
+/// })
+/// .unwrap();
+/// assert_eq!(emitted, streamed.len());
+/// assert_eq!(streamed, enumerate_matrices(&[1, 2, 2, 4], &[4, 4]).unwrap());
+/// ```
+pub fn for_each_matrix<S>(
+    arities: &[usize],
+    axes: &[usize],
+    sink: &mut S,
+) -> Result<usize, PlacementError>
+where
+    S: MatrixSink + ?Sized,
+{
     if axes.is_empty() {
         return Err(PlacementError::EmptyAxes);
     }
@@ -90,20 +165,21 @@ pub fn enumerate_matrices(
         });
     }
 
-    let mut out = Vec::new();
     // columns[j] will hold the chosen factorization of arities[j].
     let mut columns: Vec<Vec<usize>> = Vec::with_capacity(arities.len());
     // remaining[i] = axis budget still to be assigned to axis i.
     let mut remaining: Vec<usize> = axes.to_vec();
+    let mut emitted = 0usize;
 
-    fn rec(
+    fn rec<S: MatrixSink + ?Sized>(
         level: usize,
         arities: &[usize],
         axes: &[usize],
         columns: &mut Vec<Vec<usize>>,
         remaining: &mut Vec<usize>,
-        out: &mut Vec<ParallelismMatrix>,
-    ) {
+        emitted: &mut usize,
+        sink: &mut S,
+    ) -> MatrixControl {
         if level == arities.len() {
             if remaining.iter().all(|&r| r == 1) {
                 let rows: Vec<Vec<usize>> = (0..axes.len())
@@ -111,9 +187,10 @@ pub fn enumerate_matrices(
                     .collect();
                 let matrix = ParallelismMatrix::new(rows, arities.to_vec(), axes.to_vec())
                     .expect("enumeration only constructs valid matrices");
-                out.push(matrix);
+                *emitted += 1;
+                return sink.accept(&matrix);
             }
-            return;
+            return MatrixControl::Continue;
         }
         for factorization in ordered_factorizations(arities[level], axes.len()) {
             // Prune: each factor must divide the axis budget that remains.
@@ -128,16 +205,28 @@ pub fn enumerate_matrices(
                 remaining[i] /= f;
             }
             columns.push(factorization.clone());
-            rec(level + 1, arities, axes, columns, remaining, out);
+            let ctrl = rec(level + 1, arities, axes, columns, remaining, emitted, sink);
             columns.pop();
             for (i, f) in factorization.iter().enumerate() {
                 remaining[i] *= f;
             }
+            if ctrl == MatrixControl::Stop {
+                return MatrixControl::Stop;
+            }
         }
+        MatrixControl::Continue
     }
 
-    rec(0, arities, axes, &mut columns, &mut remaining, &mut out);
-    Ok(out)
+    rec(
+        0,
+        arities,
+        axes,
+        &mut columns,
+        &mut remaining,
+        &mut emitted,
+        sink,
+    );
+    Ok(emitted)
 }
 
 #[cfg(test)]
@@ -228,5 +317,63 @@ mod tests {
     fn three_axis_enumeration_is_nontrivial() {
         let matrices = enumerate_matrices(&[4, 16], &[16, 2, 2]).unwrap();
         assert!(matrices.len() >= 4);
+    }
+
+    #[test]
+    fn streaming_matches_materializing_in_content_and_order() {
+        for (arities, axes) in [
+            (vec![1usize, 2, 2, 4], vec![4usize, 4]),
+            (vec![4, 16], vec![16, 2, 2]),
+            (vec![2, 2, 8], vec![4, 2, 4]),
+        ] {
+            let materialized = enumerate_matrices(&arities, &axes).unwrap();
+            let mut streamed = Vec::new();
+            let emitted = for_each_matrix(&arities, &axes, &mut |m: &ParallelismMatrix| {
+                streamed.push(m.clone());
+                MatrixControl::Continue
+            })
+            .unwrap();
+            assert_eq!(emitted, materialized.len());
+            assert_eq!(streamed, materialized);
+        }
+    }
+
+    #[test]
+    fn stop_aborts_after_a_prefix() {
+        let all = enumerate_matrices(&[4, 16], &[8, 8]).unwrap();
+        assert!(all.len() >= 3);
+        let mut streamed = Vec::new();
+        let emitted = for_each_matrix(&[4, 16], &[8, 8], &mut |m: &ParallelismMatrix| {
+            streamed.push(m.clone());
+            if streamed.len() == 2 {
+                MatrixControl::Stop
+            } else {
+                MatrixControl::Continue
+            }
+        })
+        .unwrap();
+        assert_eq!(emitted, 2);
+        assert_eq!(streamed, all[..2]);
+    }
+
+    #[test]
+    fn streaming_rejects_invalid_arguments_before_emitting() {
+        let mut sink = |_: &ParallelismMatrix| panic!("nothing must be emitted");
+        assert!(matches!(
+            for_each_matrix(&[], &[4], &mut sink),
+            Err(PlacementError::EmptyHierarchy)
+        ));
+        assert!(matches!(
+            for_each_matrix(&[4], &[], &mut sink),
+            Err(PlacementError::EmptyAxes)
+        ));
+        assert!(matches!(
+            for_each_matrix(&[4, 0], &[4], &mut sink),
+            Err(PlacementError::ZeroSize)
+        ));
+        assert!(matches!(
+            for_each_matrix(&[4], &[8], &mut sink),
+            Err(PlacementError::ProductMismatch { .. })
+        ));
     }
 }

@@ -28,6 +28,8 @@ mod enumerate;
 mod error;
 mod matrix;
 
-pub use enumerate::{enumerate_matrices, ordered_factorizations};
+pub use enumerate::{
+    enumerate_matrices, for_each_matrix, ordered_factorizations, MatrixControl, MatrixSink,
+};
 pub use error::PlacementError;
 pub use matrix::ParallelismMatrix;

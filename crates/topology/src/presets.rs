@@ -18,8 +18,16 @@ pub const V100_NVLINK_BANDWIDTH: f64 = 135.0 * GB_PER_S;
 /// A100 NVSwitch bandwidth assumed by the paper (bytes/s).
 pub const A100_NVSWITCH_BANDWIDTH: f64 = 270.0 * GB_PER_S;
 
+/// Effective cross-rack bandwidth of an oversubscribed core switch (bytes/s):
+/// a 2:1 oversubscription of the per-node NIC bandwidth, the common
+/// leaf-spine datacentre shape.
+pub const RACK_BANDWIDTH: f64 = 4.0 * GB_PER_S;
+
 /// Per-message latency assumed for the data-centre network.
 pub const DCN_LATENCY: f64 = 25.0 * MICROSECOND;
+/// Per-message latency assumed for cross-rack traffic through the core
+/// switch (an extra hop over [`DCN_LATENCY`]).
+pub const RACK_LATENCY: f64 = 50.0 * MICROSECOND;
 /// Per-message latency assumed for intra-node interconnects.
 pub const LOCAL_LATENCY: f64 = 5.0 * MICROSECOND;
 
@@ -83,6 +91,54 @@ pub fn v100_pcie_system(nodes: usize) -> SystemTopology {
         .expect("hierarchy and links are consistent")
 }
 
+/// A 3-level rack / node / GPU system with heterogeneous uplinks: `racks`
+/// racks behind an oversubscribed core switch ([`RACK_BANDWIDTH`],
+/// [`RACK_LATENCY`]), each holding `nodes_per_rack` A100-style nodes joined
+/// by the data-centre network ([`NIC_BANDWIDTH`], [`DCN_LATENCY`]), each node
+/// with `gpus_per_node` GPUs sharing one NVSwitch. System hierarchy
+/// `[racks, nodes_per_rack, gpus_per_node]`.
+///
+/// The bandwidth *decreases* level by level (NVSwitch ≫ NIC > core switch),
+/// so placements that spill a frequently-reduced axis across racks pay
+/// double: the slowest link and the extra hop. This is the multi-node shape
+/// the paper's two-level presets cannot express.
+///
+/// # Panics
+///
+/// Panics if any argument is zero.
+pub fn rack_node_gpu_system(
+    racks: usize,
+    nodes_per_rack: usize,
+    gpus_per_node: usize,
+) -> SystemTopology {
+    assert!(racks > 0, "rack_node_gpu_system requires at least one rack");
+    assert!(
+        nodes_per_rack > 0,
+        "rack_node_gpu_system requires at least one node per rack"
+    );
+    assert!(
+        gpus_per_node > 0,
+        "rack_node_gpu_system requires at least one GPU per node"
+    );
+    let hierarchy = Hierarchy::from_pairs([
+        ("rack", racks),
+        ("node", nodes_per_rack),
+        ("gpu", gpus_per_node),
+    ])
+    .expect("static hierarchy is valid");
+    let links = vec![
+        Interconnect::new("core-switch", RACK_BANDWIDTH, RACK_LATENCY).expect("valid link"),
+        Interconnect::new("NIC/DCN", NIC_BANDWIDTH, DCN_LATENCY).expect("valid link"),
+        Interconnect::new("NVSwitch", A100_NVSWITCH_BANDWIDTH, LOCAL_LATENCY).expect("valid link"),
+    ];
+    SystemTopology::with_name(
+        format!("rack{racks}x{nodes_per_rack}x{gpus_per_node}"),
+        hierarchy,
+        links,
+    )
+    .expect("hierarchy and links are consistent")
+}
+
 /// The 16-GPU example system of Figure 2a: one rack with 2 servers, each with
 /// 2 CPUs connecting 4 GPUs.
 pub fn figure2a_system() -> SystemTopology {
@@ -122,6 +178,29 @@ mod tests {
         let sys = figure2a_system();
         assert_eq!(sys.num_devices(), 16);
         assert_eq!(sys.hierarchy().arities(), vec![1, 2, 2, 4]);
+    }
+
+    #[test]
+    fn rack_node_gpu_shape_and_uplinks() {
+        let sys = rack_node_gpu_system(2, 2, 8);
+        assert_eq!(sys.num_devices(), 32);
+        assert_eq!(sys.hierarchy().arities(), vec![2, 2, 8]);
+        assert_eq!(sys.hierarchy().depth(), 3);
+        // Heterogeneous uplinks: the bottleneck degrades level by level.
+        // Devices 0 and 16 sit in different racks, 0 and 8 in different nodes
+        // of the same rack, 0 and 1 on the same NVSwitch.
+        assert_eq!(sys.bottleneck_bandwidth(&[0, 16]), Some(RACK_BANDWIDTH));
+        assert_eq!(sys.bottleneck_bandwidth(&[0, 8]), Some(NIC_BANDWIDTH));
+        assert_eq!(
+            sys.bottleneck_bandwidth(&[0, 1]),
+            Some(A100_NVSWITCH_BANDWIDTH)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rack")]
+    fn rack_node_gpu_rejects_zero_racks() {
+        rack_node_gpu_system(0, 2, 8);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //!
 //! Run with `cargo run --release --example megatron_two_axis`.
 
-use p2::{presets, NcclAlgo, P2Config, P2};
+use p2::{presets, NcclAlgo, P2};
 
 fn main() -> Result<(), p2::P2Error> {
     let system = presets::a100_system(4);
@@ -35,11 +35,13 @@ fn main() -> Result<(), p2::P2Error> {
     println!();
 
     let run_axis = |reduction: Vec<usize>| -> Result<p2::ExperimentResult, p2::P2Error> {
-        let config = P2Config::new(system.clone(), axes.clone(), reduction)
-            .with_algo(NcclAlgo::Ring)
-            .with_bytes_per_device(bytes)
-            .with_repeats(3);
-        P2::new(config)?.run()
+        P2::builder(system.clone())
+            .parallelism_axes(axes.clone())
+            .reduction_axes(reduction)
+            .algo(NcclAlgo::Ring)
+            .bytes_per_device(bytes)
+            .repeats(3)
+            .run()
     };
 
     let sharding_results = run_axis(vec![0])?;

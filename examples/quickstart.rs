@@ -6,7 +6,7 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use p2::{presets, NcclAlgo, P2Config, P2};
+use p2::{presets, NcclAlgo, P2};
 
 fn main() -> Result<(), p2::P2Error> {
     let system = presets::figure2a_system();
@@ -16,11 +16,13 @@ fn main() -> Result<(), p2::P2Error> {
 
     // Data parallelism of size 4 (axis 0) and 4 parameter shards (axis 1);
     // the reduction of interest runs along the parameter shards.
-    let config = P2Config::new(system, vec![4, 4], vec![1])
-        .with_algo(NcclAlgo::Ring)
-        .with_bytes_per_device(100.0e6) // 100 MB of gradients per GPU
-        .with_repeats(3);
-    let result = P2::new(config)?.run()?;
+    let result = P2::builder(system)
+        .parallelism_axes([4, 4])
+        .reduction_axes([1])
+        .algo(NcclAlgo::Ring)
+        .bytes_per_device(100.0e6) // 100 MB of gradients per GPU
+        .repeats(3)
+        .run()?;
 
     println!(
         "{} parallelism placements synthesized (Figure 2 shows three of them):",

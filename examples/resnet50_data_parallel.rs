@@ -9,7 +9,7 @@
 //!
 //! Run with `cargo run --release --example resnet50_data_parallel`.
 
-use p2::{presets, NcclAlgo, P2Config, P2};
+use p2::{presets, NcclAlgo, P2};
 
 /// ResNet-50 has ~25.56 million parameters; gradients are float32.
 const RESNET50_PARAMETERS: f64 = 25_557_032.0;
@@ -26,11 +26,13 @@ fn main() -> Result<(), p2::P2Error> {
     println!();
 
     for algo in NcclAlgo::ALL {
-        let config = P2Config::new(system.clone(), vec![32], vec![0])
-            .with_algo(algo)
-            .with_bytes_per_device(gradient_bytes)
-            .with_repeats(5);
-        let result = P2::new(config)?.run()?;
+        let result = P2::builder(system.clone())
+            .parallelism_axes([32])
+            .reduction_axes([0])
+            .algo(algo)
+            .bytes_per_device(gradient_bytes)
+            .repeats(5)
+            .run()?;
         // Pure data parallelism has a single placement: the hierarchy itself.
         let placement = &result.placements[0];
         let best = placement.best_measured().expect("programs synthesized");

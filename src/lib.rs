@@ -18,14 +18,16 @@
 //! # Quickstart
 //!
 //! ```
-//! use p2::{P2, P2Config, presets, NcclAlgo};
+//! use p2::{P2, presets, NcclAlgo};
 //!
 //! // The 16-GPU system of Figure 2a with data parallelism 4 and 4 parameter
 //! // shards, reducing along the parameter-sharding axis.
-//! let config = P2Config::new(presets::figure2a_system(), vec![4, 4], vec![1])
-//!     .with_algo(NcclAlgo::Ring)
-//!     .with_bytes_per_device(1.0e8);
-//! let result = P2::new(config)?.run()?;
+//! let result = P2::builder(presets::figure2a_system())
+//!     .parallelism_axes([4, 4])
+//!     .reduction_axes([1])
+//!     .algo(NcclAlgo::Ring)
+//!     .bytes_per_device(1.0e8)
+//!     .run()?;
 //! let best = result.best_overall().expect("at least one program");
 //! println!("best placement/program: {} in {:.3}s", best.signature(), best.measured_seconds);
 //! # Ok::<(), p2::P2Error>(())
@@ -43,12 +45,14 @@ pub use p2_topology as topology;
 
 pub use p2_collectives::{Collective, State};
 pub use p2_core::{
-    top_k_accuracy, ExperimentResult, P2Config, P2Error, PlacementEvaluation, ProgramEvaluation,
-    TopKReport, P2,
+    top_k_accuracy, ExperimentResult, P2Builder, P2Config, P2Error, PlacementEvaluation,
+    ProgramEvaluation, RunMode, RunObserver, SharedBoundObserver, TopKReport, P2,
 };
 pub use p2_cost::{CostAccumulator, CostModel, NcclAlgo};
 pub use p2_exec::{ExecConfig, Executor};
-pub use p2_placement::{enumerate_matrices, ParallelismMatrix};
+pub use p2_placement::{
+    enumerate_matrices, for_each_matrix, MatrixControl, MatrixSink, ParallelismMatrix,
+};
 pub use p2_synthesis::{
     baseline_allreduce, Form, HierarchyKind, Instruction, LoweredProgram, Program, ProgramSink,
     SinkControl, SynthesisStats, Synthesizer,

@@ -4,7 +4,7 @@
 //! same way. This pins down the `--seed` reproducibility contract: noise is a
 //! pure function of (seed, program content), never of evaluation order.
 
-use p2::{presets, ExperimentResult, NcclAlgo, P2Config, P2};
+use p2::{presets, ExperimentResult, NcclAlgo, P2Config, RunMode, SystemTopology, P2};
 
 fn config(seed: u64) -> P2Config {
     P2Config::new(presets::a100_system(2), vec![8, 4], vec![0])
@@ -53,11 +53,47 @@ fn full_run_is_identical_across_thread_counts() {
 
 #[test]
 fn shortlist_run_is_identical_across_thread_counts() {
-    let p2_serial = P2::new(config(0xabcd).with_threads(1)).unwrap();
-    let serial = p2_serial.run_with_shortlist(10).unwrap();
+    let p2_serial = P2::new(config(0xabcd).with_threads(1))
+        .unwrap()
+        .with_mode(RunMode::Shortlist(10));
+    let serial = p2_serial.run().unwrap();
     for threads in [2, 4] {
-        let p2_parallel = P2::new(config(0xabcd).with_threads(threads)).unwrap();
-        assert_identical(&serial, &p2_parallel.run_with_shortlist(10).unwrap());
+        let p2_parallel = P2::new(config(0xabcd).with_threads(threads))
+            .unwrap()
+            .with_mode(RunMode::Shortlist(10));
+        assert_identical(&serial, &p2_parallel.run().unwrap());
+    }
+}
+
+/// The api_redesign acceptance criterion: the builder + `RunMode::Shortlist`
+/// session is bit-identical to the deprecated `run_with_shortlist` entry
+/// point, pinned on the paper's presets (an A100 and a V100 system).
+#[test]
+fn builder_shortlist_is_bit_identical_to_deprecated_run_with_shortlist() {
+    let cases: [(SystemTopology, Vec<usize>, Vec<usize>); 3] = [
+        (presets::a100_system(2), vec![8, 4], vec![0]),
+        (presets::v100_system(2), vec![4, 4], vec![1]),
+        (presets::a100_system(2), vec![16, 2], vec![0, 1]),
+    ];
+    for (system, axes, reduction) in cases {
+        let new_api = P2::builder(system.clone())
+            .parallelism_axes(axes.clone())
+            .reduction_axes(reduction.clone())
+            .algo(NcclAlgo::Ring)
+            .bytes_per_device(1.0e9)
+            .repeats(2)
+            .seed(0x5eed)
+            .mode(RunMode::Shortlist(10))
+            .run()
+            .unwrap();
+        let old_config = P2Config::new(system, axes, reduction)
+            .with_algo(NcclAlgo::Ring)
+            .with_bytes_per_device(1.0e9)
+            .with_repeats(2)
+            .with_seed(0x5eed);
+        #[allow(deprecated)]
+        let old_api = P2::new(old_config).unwrap().run_with_shortlist(10).unwrap();
+        assert_identical(&new_api, &old_api);
     }
 }
 
@@ -78,12 +114,14 @@ fn bounded_retention_is_identical_across_thread_counts() {
     }
     let shortlisted = P2::new(config(0x5eed).with_keep_top(5).with_threads(1))
         .unwrap()
-        .run_with_shortlist(5)
+        .with_mode(RunMode::Shortlist(5))
+        .run()
         .unwrap();
     for threads in [2, 4] {
         let parallel = P2::new(config(0x5eed).with_keep_top(5).with_threads(threads))
             .unwrap()
-            .run_with_shortlist(5)
+            .with_mode(RunMode::Shortlist(5))
+            .run()
             .unwrap();
         assert_identical(&shortlisted, &parallel);
     }

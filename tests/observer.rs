@@ -1,0 +1,184 @@
+//! The run-observer contract: per-placement event sequences are complete and
+//! deterministic, and the bundled `SharedBoundObserver` implements
+//! cross-placement pruning as a deterministic two-pass run that still lands
+//! on the exhaustive sweep's best program.
+
+use std::sync::Mutex;
+
+use p2::{
+    presets, ExperimentResult, NcclAlgo, ParallelismMatrix, PlacementEvaluation, Program,
+    RunObserver, SharedBoundObserver, P2,
+};
+
+fn session(threads: usize) -> P2 {
+    P2::builder(presets::a100_system(2))
+        .parallelism_axes([8, 4])
+        .reduction_axes([0])
+        .algo(NcclAlgo::Ring)
+        .bytes_per_device(1.0e9)
+        .repeats(2)
+        .seed(0x5eed)
+        .threads(threads)
+        .build()
+        .unwrap()
+}
+
+/// Records every event, bucketed per placement index so the parallel sweep's
+/// cross-placement interleaving cannot blur the per-placement sequences.
+#[derive(Default)]
+struct Recorder {
+    /// Per placement index: (started, retained count, done count, retained
+    /// events seen after done).
+    events: Mutex<Vec<(usize, usize, usize, usize)>>,
+}
+
+impl Recorder {
+    fn slot(
+        events: &mut Vec<(usize, usize, usize, usize)>,
+        index: usize,
+    ) -> &mut (usize, usize, usize, usize) {
+        if events.len() <= index {
+            events.resize(index + 1, (0, 0, 0, 0));
+        }
+        &mut events[index]
+    }
+}
+
+impl RunObserver for Recorder {
+    fn on_placement_start(&self, index: usize, _matrix: &ParallelismMatrix) -> Option<f64> {
+        let mut events = self.events.lock().unwrap();
+        Self::slot(&mut events, index).0 += 1;
+        None
+    }
+
+    fn on_program_retained(
+        &self,
+        index: usize,
+        _program: &Program,
+        predicted_seconds: f64,
+        measured_seconds: f64,
+    ) {
+        assert!(predicted_seconds > 0.0 && measured_seconds > 0.0);
+        let mut events = self.events.lock().unwrap();
+        let slot = Self::slot(&mut events, index);
+        slot.1 += 1;
+        if slot.2 > 0 {
+            slot.3 += 1;
+        }
+    }
+
+    fn on_placement_done(&self, index: usize, evaluation: &PlacementEvaluation) {
+        let mut events = self.events.lock().unwrap();
+        let slot = Self::slot(&mut events, index);
+        assert_eq!(
+            slot.0, 1,
+            "placement {index} finished without exactly one start event"
+        );
+        assert!(
+            evaluation.programs_retained <= slot.1,
+            "placement {index} reports more retained programs than events"
+        );
+        slot.2 += 1;
+    }
+}
+
+#[test]
+fn observer_sees_a_complete_deterministic_sequence_per_placement() {
+    for threads in [1usize, 4] {
+        let recorder = Recorder::default();
+        let result = session(threads).run_observed(&recorder).unwrap();
+        let events = recorder.events.into_inner().unwrap();
+        assert_eq!(events.len(), result.placements.len());
+        for (index, &(started, retained, done, after_done)) in events.iter().enumerate() {
+            assert_eq!(started, 1, "placement {index} started {started} times");
+            assert_eq!(done, 1, "placement {index} finished {done} times");
+            assert_eq!(after_done, 0, "placement {index} retained after done");
+            // The exhaustive default retains everything, so events and final
+            // retention agree exactly.
+            assert_eq!(retained, result.placements[index].programs_retained);
+        }
+    }
+}
+
+fn assert_identical(a: &ExperimentResult, b: &ExperimentResult) {
+    assert_eq!(a.placements.len(), b.placements.len());
+    for (pa, pb) in a.placements.iter().zip(&b.placements) {
+        assert_eq!(pa.matrix, pb.matrix);
+        assert_eq!(pa.num_programs, pb.num_programs);
+        assert_eq!(pa.programs_pruned, pb.programs_pruned);
+        assert_eq!(pa.programs_retained, pb.programs_retained);
+        for (qa, qb) in pa.programs.iter().zip(&pb.programs) {
+            assert_eq!(qa.signature(), qb.signature());
+            assert_eq!(qa.predicted_seconds, qb.predicted_seconds);
+            assert_eq!(qa.measured_seconds, qb.measured_seconds);
+        }
+    }
+}
+
+#[test]
+fn shared_bound_two_pass_is_deterministic_across_thread_counts() {
+    let mut serial_observer = SharedBoundObserver::new();
+    let serial = serial_observer.run(&session(1)).unwrap();
+    let serial_bound = serial_observer.bound().unwrap();
+    for threads in [0usize, 2, 4] {
+        let mut observer = SharedBoundObserver::new();
+        let parallel = observer.run(&session(threads)).unwrap();
+        assert_eq!(observer.bound().unwrap(), serial_bound);
+        assert_identical(&serial, &parallel);
+    }
+}
+
+#[test]
+fn shared_bound_prunes_across_placements_and_keeps_the_best_program() {
+    let exhaustive = session(1).run().unwrap();
+    let mut observer = SharedBoundObserver::new();
+    let pruned = observer.run(&session(1)).unwrap();
+
+    // Same search space, fewer retained evaluations: placements whose
+    // programs all predict worse than the global bound retain nothing — the
+    // cross-placement pruning the per-placement bound cannot do.
+    assert_eq!(pruned.total_programs(), exhaustive.total_programs());
+    assert!(pruned.total_programs_retained() < exhaustive.total_programs_retained());
+    assert!(pruned.total_programs_pruned() > 0);
+    assert!(
+        pruned.placements.iter().any(|pl| pl.programs_retained == 0),
+        "expected at least one placement to be pruned away entirely"
+    );
+
+    // The globally best program survives (its prediction *is* the bound's
+    // neighbourhood) and its measurement is bit-identical.
+    let a = exhaustive.best_overall().unwrap();
+    let b = pruned.best_overall().unwrap();
+    assert_eq!(a.signature(), b.signature());
+    assert_eq!(a.measured_seconds, b.measured_seconds);
+}
+
+#[test]
+fn observer_bound_alone_activates_pruning_without_keep_top() {
+    // An observer returning a tight bound prunes even in the default
+    // keep-everything configuration.
+    struct TightBound(f64);
+    impl RunObserver for TightBound {
+        fn on_placement_start(&self, _index: usize, _matrix: &ParallelismMatrix) -> Option<f64> {
+            Some(self.0)
+        }
+    }
+    let exhaustive = session(1).run().unwrap();
+    let global_best_predicted = exhaustive
+        .placements
+        .iter()
+        .flat_map(|pl| pl.programs.iter().map(|p| p.predicted_seconds))
+        .fold(f64::INFINITY, f64::min);
+    let pruned = session(1)
+        .run_observed(&TightBound(global_best_predicted))
+        .unwrap();
+    assert_eq!(pruned.total_programs(), exhaustive.total_programs());
+    assert!(pruned.total_programs_retained() < exhaustive.total_programs_retained());
+    // Survivors are exactly the programs within the slack envelope.
+    let slack = session(1).config().prune_slack;
+    for pl in &pruned.placements {
+        for p in &pl.programs {
+            assert!(p.predicted_seconds <= global_best_predicted * (1.0 + slack) * (1.0 + 1e-12));
+        }
+    }
+}

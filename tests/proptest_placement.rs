@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 
-use p2::placement::{enumerate_matrices, ordered_factorizations};
+use p2::placement::{
+    enumerate_matrices, for_each_matrix, ordered_factorizations, MatrixControl, ParallelismMatrix,
+};
 
 /// Strategy: a small hierarchy (2–3 levels of cardinality 1–4) plus a split of
 /// the device count into 1–3 parallelism axes.
@@ -89,6 +91,39 @@ proptest! {
             all.sort_unstable();
             prop_assert_eq!(all, (0..m.num_devices()).collect::<Vec<_>>());
         }
+    }
+
+    /// The streaming enumeration visits exactly `enumerate_matrices()`'s
+    /// matrices, in the same order, and an early stop sees a strict prefix.
+    #[test]
+    fn streaming_enumeration_matches_materializing(
+        (arities, axes) in hierarchy_and_axes(),
+        stop_selector in any::<proptest::sample::Index>(),
+    ) {
+        let materialized = enumerate_matrices(&arities, &axes).unwrap();
+        let mut streamed: Vec<ParallelismMatrix> = Vec::new();
+        let emitted = for_each_matrix(&arities, &axes, &mut |m: &ParallelismMatrix| {
+            streamed.push(m.clone());
+            MatrixControl::Continue
+        })
+        .unwrap();
+        prop_assert_eq!(emitted, materialized.len());
+        prop_assert_eq!(&streamed, &materialized);
+
+        // Stopping after the n-th matrix yields exactly the first n.
+        let stop_after = stop_selector.index(materialized.len()) + 1;
+        let mut prefix: Vec<ParallelismMatrix> = Vec::new();
+        let emitted = for_each_matrix(&arities, &axes, &mut |m: &ParallelismMatrix| {
+            prefix.push(m.clone());
+            if prefix.len() == stop_after {
+                MatrixControl::Stop
+            } else {
+                MatrixControl::Continue
+            }
+        })
+        .unwrap();
+        prop_assert_eq!(emitted, stop_after);
+        prop_assert_eq!(&prefix[..], &materialized[..stop_after]);
     }
 
     /// Ordered factorizations multiply back to the original number.

@@ -4,7 +4,7 @@
 //! retaining strictly fewer `ProgramEvaluation`s — the deployment contract
 //! of P²'s "synthesize everything, measure a shortlist" story.
 
-use p2::{presets, NcclAlgo, P2Config, P2};
+use p2::{presets, NcclAlgo, P2Config, RunMode, P2};
 
 /// The tier-1 small configuration (same shape as the determinism suite).
 fn config() -> P2Config {
@@ -52,10 +52,15 @@ fn bounded_shortlist_reaches_the_exhaustive_best_with_fewer_retained() {
     // the measured shortlist; on this configuration the slack bound prunes no
     // shortlist member either, so the chosen optimum matches the exhaustive
     // run exactly (this test pins that empirical contract).
-    let exhaustive = P2::new(config()).unwrap().run_with_shortlist(10).unwrap();
+    let exhaustive = P2::new(config())
+        .unwrap()
+        .with_mode(RunMode::Shortlist(10))
+        .run()
+        .unwrap();
     let bounded = P2::new(config().with_keep_top(10))
         .unwrap()
-        .run_with_shortlist(10)
+        .with_mode(RunMode::Shortlist(10))
+        .run()
         .unwrap();
 
     let a = exhaustive.best_overall().unwrap();
