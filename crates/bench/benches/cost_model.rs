@@ -1,9 +1,13 @@
 //! Criterion bench: analytic cost-model throughput (the "Simulation time"
-//! column of the appendix table — predicting every synthesized program).
+//! column of the appendix table — predicting every synthesized program), for
+//! every built-in [`CostModel`] implementation, plus the interned step-cost
+//! cache against the uncached path.
+
+use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use p2_cost::{CostModel, NcclAlgo};
+use p2_cost::{AlphaBetaModel, CachedCostModel, CostModel, LogGpModel, NcclAlgo};
 use p2_placement::enumerate_matrices;
 use p2_synthesis::{HierarchyKind, LoweredProgram, Synthesizer};
 use p2_topology::presets;
@@ -27,21 +31,50 @@ fn lowered_programs(arities: &[usize], axes: &[usize], reduction: &[usize]) -> V
 
 fn bench_cost(c: &mut Criterion) {
     let mut group = c.benchmark_group("cost_model");
-    let system = presets::a100_system(4);
     let bytes = (1u64 << 29) as f64 * 4.0 * 4.0;
     let programs = lowered_programs(&[4, 16], &[8, 8], &[0]);
     for algo in NcclAlgo::ALL {
-        let model = CostModel::new(&system, algo, bytes).expect("valid model");
-        group.bench_with_input(
-            BenchmarkId::new("predict_all_programs", algo.to_string()),
-            &programs,
-            |b, ps| {
-                b.iter(|| ps.iter().map(|p| model.program_time(p)).sum::<f64>());
-            },
-        );
+        let models: Vec<Arc<dyn CostModel>> = vec![
+            Arc::new(
+                AlphaBetaModel::new(presets::a100_system(4), algo, bytes).expect("valid model"),
+            ),
+            Arc::new(LogGpModel::new(presets::a100_system(4), algo, bytes).expect("valid model")),
+        ];
+        for model in models {
+            group.bench_with_input(
+                BenchmarkId::new("predict_all_programs", format!("{}/{algo}", model.name())),
+                &programs,
+                |b, ps| {
+                    b.iter(|| ps.iter().map(|p| model.program_time(p)).sum::<f64>());
+                },
+            );
+        }
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_cost);
+/// The interned step-cost cache against the raw model on the same program
+/// set: synthesized programs of one placement reuse a handful of lowered
+/// steps, so the cached pass should degrade into hash lookups.
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_cache");
+    let bytes = (1u64 << 29) as f64 * 4.0 * 4.0;
+    let programs = lowered_programs(&[4, 16], &[8, 8], &[0]);
+    let model: Arc<dyn CostModel> = Arc::new(
+        AlphaBetaModel::new(presets::a100_system(4), NcclAlgo::Ring, bytes).expect("valid model"),
+    );
+    group.bench_with_input(BenchmarkId::new("sweep", "uncached"), &programs, |b, ps| {
+        b.iter(|| ps.iter().map(|p| model.program_time(p)).sum::<f64>());
+    });
+    group.bench_with_input(BenchmarkId::new("sweep", "cached"), &programs, |b, ps| {
+        b.iter(|| {
+            // A fresh cache per iteration, as the pipeline uses per placement.
+            let cached = CachedCostModel::new(Arc::clone(&model));
+            ps.iter().map(|p| cached.program_time(p)).sum::<f64>()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost, bench_cache);
 criterion_main!(benches);

@@ -64,7 +64,7 @@ fn bench_sweep_parallelism(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("placement_sweep", label),
             &matrices,
-            |b, ms| b.iter(|| sweep_synthesis(ms, &[0, 2], 5, threads, None)),
+            |b, ms| b.iter(|| sweep_synthesis(ms, &[0, 2], 5, threads, None, None)),
         );
     }
     group.finish();
@@ -83,7 +83,7 @@ fn bench_streaming_vs_materialized(c: &mut Criterion) {
         ("streaming_top1", Some(1usize)),
     ] {
         group.bench_with_input(BenchmarkId::new("sweep", label), &matrices, |b, ms| {
-            b.iter(|| sweep_synthesis(ms, &[0, 2], 5, 1, keep_top))
+            b.iter(|| sweep_synthesis(ms, &[0, 2], 5, 1, keep_top, None))
         });
     }
     group.finish();

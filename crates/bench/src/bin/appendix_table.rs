@@ -8,9 +8,37 @@
 //!
 //! Run with `cargo run --release -p p2-bench --bin appendix_table`.
 
-use p2_bench::{appendix_axes, fmt_s, fmt_speedup, ExperimentSpec, SpeedupSummary, SystemKind};
-use p2_core::ExperimentResult;
+use p2_bench::{
+    appendix_axes, fmt_s, fmt_speedup, total_placements, ExperimentSpec, SpeedupSummary, SystemKind,
+};
+use p2_core::{ExperimentResult, ProgressObserver};
 use p2_cost::NcclAlgo;
+
+/// Every (system, nodes) block the appendix sweeps, in print order.
+const BLOCKS: [(SystemKind, usize); 4] = [
+    (SystemKind::A100, 2),
+    (SystemKind::A100, 4),
+    (SystemKind::V100, 2),
+    (SystemKind::V100, 4),
+];
+
+/// A ring spec and its tree twin, run and printed side by side.
+type SpecPair = (ExperimentSpec, ExperimentSpec);
+
+/// One block's (ring, tree) spec pairs, in print order — the single source of
+/// the sweep's nesting, shared by the progress total and the main loop.
+fn block_pairs(system: SystemKind, nodes: usize) -> Vec<SpecPair> {
+    let mut pairs = Vec::new();
+    for (axes, reductions) in appendix_axes(system, nodes) {
+        for reduction in reductions {
+            let spec = |algo| {
+                ExperimentSpec::new("ap", system, nodes, axes.clone(), reduction.clone(), algo)
+            };
+            pairs.push((spec(NcclAlgo::Ring), spec(NcclAlgo::Tree)));
+        }
+    }
+    pairs
+}
 
 fn print_block(result_ring: &ExperimentResult, result_tree: &ExperimentResult) {
     for (i, (ring_pl, tree_pl)) in result_ring
@@ -59,60 +87,50 @@ fn main() {
 
     let mut summary = SpeedupSummary::default();
     let mut global_allreduce_spread: f64 = 1.0;
+    let blocks: Vec<((SystemKind, usize), Vec<SpecPair>)> = BLOCKS
+        .into_iter()
+        .map(|(system, nodes)| ((system, nodes), block_pairs(system, nodes)))
+        .collect();
+    // Progress/ETA on stderr while the tables stream to stdout.
+    let all_specs: Vec<ExperimentSpec> = blocks
+        .iter()
+        .flat_map(|(_, pairs)| pairs.iter())
+        .flat_map(|(ring, tree)| [ring.clone(), tree.clone()])
+        .collect();
+    let progress = ProgressObserver::new("appendix")
+        .with_total(total_placements(&all_specs))
+        .with_every(8);
 
-    for (system, nodes) in [
-        (SystemKind::A100, 2),
-        (SystemKind::A100, 4),
-        (SystemKind::V100, 2),
-        (SystemKind::V100, 4),
-    ] {
+    for ((system, nodes), pairs) in &blocks {
         println!(
             "== {nodes} nodes each with {} {:?} ==",
             system.gpus_per_node(),
             system
         );
-        for (axes, reductions) in appendix_axes(system, nodes) {
-            for reduction in reductions {
-                let ring = ExperimentSpec::new(
-                    "ap",
-                    system,
-                    nodes,
-                    axes.clone(),
-                    reduction.clone(),
-                    NcclAlgo::Ring,
-                )
-                .run();
-                let tree = ExperimentSpec::new(
-                    "ap",
-                    system,
-                    nodes,
-                    axes.clone(),
-                    reduction.clone(),
-                    NcclAlgo::Tree,
-                )
-                .run();
-                println!(
-                    "  axes {:?} reduce {:?}  (synthesis {:.3}s ring / {:.3}s tree)",
-                    axes,
-                    reduction,
-                    ring.synthesis_time.as_secs_f64(),
-                    tree.synthesis_time.as_secs_f64()
-                );
-                print_block(&ring, &tree);
-                summary.add(&ring);
-                summary.add(&tree);
-                // Track the AllReduce spread across matrices for Result 1.
-                for result in [&ring, &tree] {
-                    let times: Vec<f64> = result
-                        .placements
-                        .iter()
-                        .map(|p| p.allreduce_measured)
-                        .collect();
-                    let max = times.iter().copied().fold(f64::MIN, f64::max);
-                    let min = times.iter().copied().fold(f64::MAX, f64::min);
-                    if min > 0.0 && times.len() > 1 {
-                        global_allreduce_spread = global_allreduce_spread.max(max / min);
-                    }
+        for (ring_spec, tree_spec) in pairs {
+            let ring = ring_spec.run_observed(&progress);
+            let tree = tree_spec.run_observed(&progress);
+            println!(
+                "  axes {:?} reduce {:?}  (synthesis {:.3}s ring / {:.3}s tree)",
+                ring_spec.axes,
+                ring_spec.reduction,
+                ring.synthesis_time.as_secs_f64(),
+                tree.synthesis_time.as_secs_f64()
+            );
+            print_block(&ring, &tree);
+            summary.add(&ring);
+            summary.add(&tree);
+            // Track the AllReduce spread across matrices for Result 1.
+            for result in [&ring, &tree] {
+                let times: Vec<f64> = result
+                    .placements
+                    .iter()
+                    .map(|p| p.allreduce_measured)
+                    .collect();
+                let max = times.iter().copied().fold(f64::MIN, f64::max);
+                let min = times.iter().copied().fold(f64::MAX, f64::min);
+                if min > 0.0 && times.len() > 1 {
+                    global_allreduce_spread = global_allreduce_spread.max(max / min);
                 }
             }
         }

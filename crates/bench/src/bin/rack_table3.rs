@@ -1,0 +1,106 @@
+//! **Table 3 at rack scale**: AllReduce time across parallelism matrices of
+//! the 3-level `rack_node_gpu` preset, sweeping rack counts and core-switch
+//! oversubscription ratios — the multi-node shape the paper's two-level
+//! systems cannot express (ROADMAP: "paper-style tables for 3-level
+//! topologies").
+//!
+//! Every row shows the measured (execution substrate) and predicted time of
+//! the selected cost model side by side, so the model can be sanity-checked
+//! per placement.
+//!
+//! Run with `cargo run --release -p p2_bench --bin rack_table3`
+//! `[-- --cost-model alpha-beta|loggp|calibrated]`.
+
+use p2_bench::{cost_model_from_args, fmt_s};
+use p2_core::P2Config;
+use p2_cost::NcclAlgo;
+use p2_exec::{ExecConfig, Executor};
+use p2_placement::enumerate_matrices;
+use p2_synthesis::baseline_allreduce;
+use p2_topology::presets;
+
+const NODES_PER_RACK: usize = 2;
+const GPUS_PER_NODE: usize = 4;
+
+fn main() {
+    let kind = cost_model_from_args();
+    println!("Rack-scale Table 3: AllReduce seconds across placements of the rack/node/GPU preset");
+    println!("(cost model: {kind}; select with --cost-model alpha-beta|loggp|calibrated)\n");
+
+    let mut global_max_ratio: f64 = 1.0;
+    for racks in [2usize, 4] {
+        for oversubscription in [1.0f64, 2.0, 4.0] {
+            let system = presets::rack_node_gpu_system_oversubscribed(
+                racks,
+                NODES_PER_RACK,
+                GPUS_PER_NODE,
+                oversubscription,
+            );
+            let devices = system.num_devices();
+            let axes = vec![4, devices / 4];
+            let bytes = (1u64 << 26) as f64 * racks as f64 * 4.0;
+            let config = P2Config::new(system.clone(), axes.clone(), vec![0])
+                .with_bytes_per_device(bytes)
+                .with_repeats(2)
+                .with_seed(0xb2b2);
+            let model = config.make_cost_model(kind).expect("cost model builds");
+            let exec = Executor::new(
+                &system,
+                ExecConfig::new(NcclAlgo::Ring, bytes)
+                    .with_repeats(2)
+                    .with_seed(0xb2b2),
+            )
+            .expect("valid exec config");
+            println!(
+                "{} — {racks} racks x {NODES_PER_RACK} nodes x {GPUS_PER_NODE} GPUs, \
+                 core switch {oversubscription}:1, axes {axes:?}",
+                system.name()
+            );
+            println!(
+                "  {:<26} {:>11} {:>11} {:>11} {:>11}",
+                "parallelism matrix", "ax0 meas", "ax0 pred", "ax1 meas", "ax1 pred"
+            );
+            let matrices = enumerate_matrices(&system.hierarchy().arities(), &axes)
+                .expect("axes match the system");
+            let mut per_axis_times: Vec<Vec<f64>> = vec![Vec::new(), Vec::new()];
+            for matrix in &matrices {
+                let mut row = Vec::new();
+                for (axis, axis_times) in per_axis_times.iter_mut().enumerate() {
+                    let baseline =
+                        baseline_allreduce(matrix, &[axis]).expect("valid reduction axis");
+                    let measured = exec.measure(&baseline);
+                    let predicted = model.program_time(&baseline);
+                    axis_times.push(measured);
+                    row.push((measured, predicted));
+                }
+                println!(
+                    "  {:<26} {:>11} {:>11} {:>11} {:>11}",
+                    matrix.to_string(),
+                    fmt_s(row[0].0),
+                    fmt_s(row[0].1),
+                    fmt_s(row[1].0),
+                    fmt_s(row[1].1),
+                );
+            }
+            for (axis, times) in per_axis_times.iter().enumerate() {
+                let max = times.iter().copied().fold(f64::MIN, f64::max);
+                let min = times.iter().copied().fold(f64::MAX, f64::min);
+                if min > 0.0 {
+                    let ratio = max / min;
+                    global_max_ratio = global_max_ratio.max(ratio);
+                    println!(
+                        "  axis {axis}: max/min AllReduce ratio across matrices = {ratio:.1}x"
+                    );
+                }
+            }
+            println!();
+        }
+    }
+    println!(
+        "Result 1 at rack scale: AllReduce differs across parallelism matrices by up to \
+         {global_max_ratio:.1}x"
+    );
+    println!(
+        "(the deeper the hierarchy and the higher the oversubscription, the wider the spread)"
+    );
+}

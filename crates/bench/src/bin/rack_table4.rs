@@ -1,0 +1,93 @@
+//! **Table 4 at rack scale**: AllReduce vs. the synthesized optimal reduction
+//! strategy on the 3-level `rack_node_gpu` preset, sweeping rack counts and
+//! core-switch oversubscription ratios (ROADMAP: "paper-style tables for
+//! 3-level topologies").
+//!
+//! The sweep runs with the *single-pass* shared bound
+//! ([`p2_core::SharedBoundObserver`]): cheap placements prune expensive ones
+//! inside one pass, deterministically for any thread count, without the
+//! two-pass's duplicate predictions.
+//!
+//! Run with `cargo run --release -p p2_bench --bin rack_table4`
+//! `[-- --cost-model alpha-beta|loggp|calibrated]`.
+
+use p2_bench::{cost_model_from_args, fmt_s, fmt_speedup};
+use p2_core::{RunMode, SharedBoundObserver, P2};
+use p2_topology::presets;
+
+const NODES_PER_RACK: usize = 2;
+const GPUS_PER_NODE: usize = 4;
+
+fn main() {
+    let kind = cost_model_from_args();
+    println!("Rack-scale Table 4: AllReduce vs. synthesized optimum on the rack/node/GPU preset");
+    println!("(single-pass shared bound; cost model: {kind})\n");
+
+    for racks in [2usize, 4] {
+        for oversubscription in [1.0f64, 2.0, 4.0] {
+            let system = presets::rack_node_gpu_system_oversubscribed(
+                racks,
+                NODES_PER_RACK,
+                GPUS_PER_NODE,
+                oversubscription,
+            );
+            let devices = system.num_devices();
+            let session = P2::builder(system)
+                .parallelism_axes([4, devices / 4])
+                .reduction_axes([1])
+                .bytes_per_device((1u64 << 26) as f64 * racks as f64 * 4.0)
+                .repeats(2)
+                .seed(0xb2b2)
+                .keep_top(8)
+                .cost_model_kind(kind)
+                .mode(RunMode::Shortlist(10))
+                .build()
+                .expect("session builds");
+            let mut bound = SharedBoundObserver::new();
+            let result = bound.run(&session).expect("pipeline runs");
+
+            println!(
+                "{} — core switch {oversubscription}:1: {} placements, {} programs \
+                 ({} retained, {} pruned), shared bound {}",
+                result.label,
+                result.placements.len(),
+                result.total_programs(),
+                result.total_programs_retained(),
+                result.total_programs_pruned(),
+                bound.bound().map(fmt_s).unwrap_or_else(|| "-".to_string()),
+            );
+            println!(
+                "  {:<26} {:>11} {:>11} {:>9}",
+                "parallelism matrix", "AllReduce", "Optimal", "Speedup"
+            );
+            let best_overall = result
+                .best_overall()
+                .map(|p| p.measured_seconds)
+                .unwrap_or(f64::INFINITY);
+            for placement in &result.placements {
+                let optimal = placement.optimal_measured();
+                let marker = if (optimal - best_overall).abs() < 1e-12 {
+                    "*"
+                } else {
+                    " "
+                };
+                println!(
+                    "  {:<26} {:>11} {:>10}{} {:>9}",
+                    placement.matrix.to_string(),
+                    fmt_s(placement.allreduce_measured),
+                    fmt_s(optimal),
+                    marker,
+                    fmt_speedup(placement.speedup()),
+                );
+            }
+            if let Some(best) = result.best_overall() {
+                println!(
+                    "  best strategy: {} in {}s\n",
+                    best.signature(),
+                    fmt_s(best.measured_seconds)
+                );
+            }
+        }
+    }
+    println!("('*' marks the overall optimum; speedups are vs. each placement's own AllReduce)");
+}

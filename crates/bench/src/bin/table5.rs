@@ -4,11 +4,14 @@
 //!
 //! Run with `cargo run --release -p p2-bench --bin table5`.
 
-use p2_bench::{appendix_axes, run_specs, ExperimentSpec, SystemKind};
-use p2_core::{top_k_accuracy, ExperimentResult};
-use p2_cost::NcclAlgo;
+use p2_bench::{
+    appendix_axes, cost_model_from_args, run_specs_observed, total_placements, ExperimentSpec,
+    SystemKind,
+};
+use p2_core::{top_k_accuracy, ExperimentResult, ProgressObserver};
+use p2_cost::{CostModelKind, NcclAlgo};
 
-fn run_system(system: SystemKind, nodes_list: &[usize]) -> Vec<ExperimentResult> {
+fn system_specs(system: SystemKind, nodes_list: &[usize]) -> Vec<ExperimentSpec> {
     let mut specs = Vec::new();
     for &nodes in nodes_list {
         for (axes, reductions) in appendix_axes(system, nodes) {
@@ -28,22 +31,36 @@ fn run_system(system: SystemKind, nodes_list: &[usize]) -> Vec<ExperimentResult>
             }
         }
     }
+    specs
+}
+
+fn run_system(
+    specs: &[ExperimentSpec],
+    kind: CostModelKind,
+    progress: &ProgressObserver,
+) -> Vec<ExperimentResult> {
     // The sweep is the slow part of this table: fan the specs out. Top-k
     // accuracy compares predictions against *every* measurement, so this
     // table keeps the exhaustive (keep-everything) pipeline.
-    run_specs(&specs, None)
+    run_specs_observed(specs, None, kind, progress)
 }
 
 fn main() {
+    let kind = cost_model_from_args();
     let ks = [1usize, 2, 3, 5, 6, 10];
-    println!("Table 5: prediction accuracy of the analytic simulator vs. measurement\n");
+    println!("Table 5: prediction accuracy of the {kind} cost model vs. measurement\n");
     println!(
         "{:<8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>14}",
         "system", "Top-1", "Top-2", "Top-3", "Top-5", "Top-6", "Top-10", "experiments"
     );
 
-    let a100 = run_system(SystemKind::A100, &[2, 4]);
-    let v100 = run_system(SystemKind::V100, &[2, 4]);
+    let a100_specs = system_specs(SystemKind::A100, &[2, 4]);
+    let v100_specs = system_specs(SystemKind::V100, &[2, 4]);
+    let progress = ProgressObserver::new("table5")
+        .with_total(total_placements(&a100_specs) + total_placements(&v100_specs))
+        .with_every(16);
+    let a100 = run_system(&a100_specs, kind, &progress);
+    let v100 = run_system(&v100_specs, kind, &progress);
     let mut all = a100.clone();
     all.extend(v100.clone());
 

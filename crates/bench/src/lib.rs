@@ -8,9 +8,11 @@
 
 #![deny(missing_docs)]
 
-use p2_core::{ExperimentResult, P2Builder, P2Config};
-use p2_cost::NcclAlgo;
-use p2_placement::ParallelismMatrix;
+use std::sync::Arc;
+
+use p2_core::{ExperimentResult, P2Builder, P2Config, RunObserver};
+use p2_cost::{CachedCostModel, CostAccumulator, CostModel, CostModelKind, NcclAlgo};
+use p2_placement::{for_each_matrix, MatrixControl, ParallelismMatrix};
 use p2_synthesis::{HierarchyKind, Program, SinkControl, Synthesizer};
 use p2_topology::{presets, SystemTopology};
 
@@ -116,6 +118,21 @@ impl ExperimentSpec {
         self.session().run().expect("pipeline runs")
     }
 
+    /// [`ExperimentSpec::run`] with a [`RunObserver`] receiving the sweep's
+    /// progress events (e.g. a [`p2_core::ProgressObserver`] for the long
+    /// table sweeps).
+    ///
+    /// # Panics
+    ///
+    /// Same as [`ExperimentSpec::run`].
+    pub fn run_observed(&self, observer: &dyn RunObserver) -> ExperimentResult {
+        self.session()
+            .build()
+            .expect("spec builds")
+            .run_observed(observer)
+            .expect("pipeline runs")
+    }
+
     /// A human-readable description, e.g. `"4 nodes each with 16 A100, axes [16, 2, 2]"`.
     pub fn describe(&self) -> String {
         format!(
@@ -136,15 +153,77 @@ impl ExperimentSpec {
 /// back in spec order and are bit-identical to serial runs.
 ///
 /// `keep_top` bounds the per-placement retention of every spec (`None` runs
-/// the exhaustive, keep-everything pipeline).
+/// the exhaustive, keep-everything pipeline). Predictions use the default
+/// α–β cost model; use [`run_specs_observed`] to select another model or to
+/// watch progress.
 pub fn run_specs(specs: &[ExperimentSpec], keep_top: Option<usize>) -> Vec<ExperimentResult> {
+    run_specs_observed(specs, keep_top, CostModelKind::AlphaBeta, &())
+}
+
+/// [`run_specs`] with an explicit [`CostModelKind`] (each spec builds the
+/// model for its own system) and a [`RunObserver`] shared across every spec's
+/// sweep — pair it with a [`p2_core::ProgressObserver`] totalled via
+/// [`total_placements`] for aggregate progress/ETA reporting.
+pub fn run_specs_observed(
+    specs: &[ExperimentSpec],
+    keep_top: Option<usize>,
+    cost_model: CostModelKind,
+    observer: &dyn RunObserver,
+) -> Vec<ExperimentResult> {
     p2_par::par_map(specs, |_, spec| {
-        let mut session = spec.session().threads(1);
+        let mut session = spec.session().threads(1).cost_model_kind(cost_model);
         if let Some(k) = keep_top {
             session = session.keep_top(k);
         }
-        session.run().expect("pipeline runs")
+        session
+            .build()
+            .expect("spec builds")
+            .run_observed(observer)
+            .expect("pipeline runs")
     })
+}
+
+/// The number of placements the specs will sweep in total, without
+/// materializing any matrix — the `total` a
+/// [`p2_core::ProgressObserver`] needs for its ETA column.
+pub fn total_placements(specs: &[ExperimentSpec]) -> usize {
+    specs
+        .iter()
+        .map(|spec| {
+            let arities = spec.system.system(spec.nodes).hierarchy().arities();
+            for_each_matrix(&arities, &spec.axes, &mut |_: &ParallelismMatrix| {
+                MatrixControl::Continue
+            })
+            .expect("specs are valid")
+        })
+        .sum()
+}
+
+/// Reads a `--cost-model <name>` (or `--cost-model=<name>`) flag from the
+/// process arguments, defaulting to the α–β model. Exits with a usage
+/// message on unknown names, so every paper-artifact binary gets a uniform
+/// CLI for free.
+pub fn cost_model_from_args() -> CostModelKind {
+    let mut args = std::env::args().skip(1);
+    let parse = |name: &str| -> CostModelKind {
+        name.parse().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        })
+    };
+    while let Some(arg) = args.next() {
+        if let Some(name) = arg.strip_prefix("--cost-model=") {
+            return parse(name);
+        }
+        if arg == "--cost-model" {
+            let Some(name) = args.next() else {
+                eprintln!("--cost-model needs a value: alpha-beta, loggp or calibrated");
+                std::process::exit(2);
+            };
+            return parse(&name);
+        }
+    }
+    CostModelKind::AlphaBeta
 }
 
 /// Synthesizes reduction programs for every matrix on `threads` workers
@@ -156,25 +235,45 @@ pub fn run_specs(specs: &[ExperimentSpec], keep_top: Option<usize>) -> Vec<Exper
 /// [`Synthesizer::synthesize`]; with `Some(k)` the sweep streams through
 /// [`Synthesizer::for_each_program`], cloning at most the `k` shortest
 /// programs per matrix while still counting every emitted program — the two
-/// modes the `streaming_vs_materialized` bench compares. The returned count
-/// is identical in both modes and for any thread count.
+/// modes the `streaming_vs_materialized` bench compares. When a [`CostModel`]
+/// is supplied, every emitted program is additionally lowered and predicted
+/// through a fresh per-matrix [`CachedCostModel`], mirroring the pipeline's
+/// costing path (the `cost_model` bench times exactly this). The returned
+/// count is identical in every mode and for any thread count.
 pub fn sweep_synthesis(
     matrices: &[ParallelismMatrix],
     reduction: &[usize],
     max_program_size: usize,
     threads: usize,
     keep_top: Option<usize>,
+    cost: Option<&Arc<dyn CostModel>>,
 ) -> usize {
     p2_par::par_map_threads(threads, matrices, |_, m| {
         let synth = Synthesizer::new(m.clone(), reduction.to_vec(), HierarchyKind::ReductionAxes)
             .expect("valid synthesizer");
+        let cache = cost.map(|model| CachedCostModel::new(Arc::clone(model)));
+        let predict = |program: &Program| {
+            if let Some(model) = &cache {
+                let lowered = synth.lower(program).expect("synthesized programs lower");
+                let mut acc = CostAccumulator::new(model);
+                for step in &lowered.steps {
+                    acc.push(step);
+                }
+                assert!(acc.seconds() >= 0.0, "admissibility violated");
+            }
+        };
         match keep_top {
-            None => synth.synthesize(max_program_size).programs.len(),
+            None => {
+                let programs = synth.synthesize(max_program_size).programs;
+                programs.iter().for_each(&predict);
+                programs.len()
+            }
             Some(k) => {
                 // The stream arrives shortest-first, so bounded retention of
                 // the k shortest programs is simply "clone the first k".
                 let mut retained: Vec<Program> = Vec::new();
                 let stats = synth.for_each_program(max_program_size, &mut |p: &Program| {
+                    predict(p);
                     if retained.len() < k {
                         retained.push(p.clone());
                     }
@@ -430,18 +529,43 @@ mod tests {
     #[test]
     fn sweep_synthesis_thread_count_and_retention_do_not_change_the_count() {
         let matrices = p2_placement::enumerate_matrices(&[2, 16], &[8, 4]).expect("valid config");
-        let serial = sweep_synthesis(&matrices, &[0], 4, 1, None);
+        let serial = sweep_synthesis(&matrices, &[0], 4, 1, None, None);
         assert!(serial > 0);
         for threads in [0, 2, 4] {
-            assert_eq!(serial, sweep_synthesis(&matrices, &[0], 4, threads, None));
+            assert_eq!(
+                serial,
+                sweep_synthesis(&matrices, &[0], 4, threads, None, None)
+            );
         }
         // Streaming with bounded retention counts exactly the same programs.
         for keep_top in [1, 10, usize::MAX] {
             assert_eq!(
                 serial,
-                sweep_synthesis(&matrices, &[0], 4, 1, Some(keep_top))
+                sweep_synthesis(&matrices, &[0], 4, 1, Some(keep_top), None)
             );
         }
+        // Costing the stream through a cached model changes nothing either.
+        let config = P2Config::new(SystemKind::A100.system(2), vec![8, 4], vec![0]);
+        let model = config.make_cost_model(CostModelKind::AlphaBeta).unwrap();
+        assert_eq!(
+            serial,
+            sweep_synthesis(&matrices, &[0], 4, 2, Some(10), Some(&model))
+        );
+    }
+
+    #[test]
+    fn total_placements_matches_the_materialized_enumeration() {
+        let specs = table4_specs();
+        let expected: usize = specs
+            .iter()
+            .map(|spec| {
+                let arities = spec.system.system(spec.nodes).hierarchy().arities();
+                p2_placement::enumerate_matrices(&arities, &spec.axes)
+                    .expect("valid spec")
+                    .len()
+            })
+            .sum();
+        assert_eq!(total_placements(&specs), expected);
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! The experiment-session builder: typed construction of a [`P2`] session
 //! with validation at [`P2Builder::build`].
 
-use p2_cost::NcclAlgo;
+use std::sync::Arc;
+
+use p2_cost::{CostModel, CostModelKind, NcclAlgo};
 use p2_synthesis::HierarchyKind;
 use p2_topology::SystemTopology;
 
@@ -50,6 +52,9 @@ pub struct P2Builder {
     threads: Option<usize>,
     keep_top: Option<usize>,
     prune_slack: Option<f64>,
+    cost_model: Option<Arc<dyn CostModel>>,
+    cost_model_kind: Option<CostModelKind>,
+    cost_cache: Option<bool>,
     mode: RunMode,
 }
 
@@ -70,6 +75,9 @@ impl P2Builder {
             threads: None,
             keep_top: None,
             prune_slack: None,
+            cost_model: None,
+            cost_model_kind: None,
+            cost_cache: None,
             mode: RunMode::Measure,
         }
     }
@@ -92,6 +100,9 @@ impl P2Builder {
             threads: Some(config.threads),
             keep_top: config.keep_top,
             prune_slack: Some(config.prune_slack),
+            cost_model: config.cost_model,
+            cost_model_kind: None,
+            cost_cache: Some(config.cost_cache),
             mode: RunMode::Measure,
             system: config.system,
         }
@@ -177,6 +188,31 @@ impl P2Builder {
         self
     }
 
+    /// Substitutes the cost model predicting every synthesized program (see
+    /// [`P2Config::cost_model`]). Takes precedence over
+    /// [`cost_model_kind`](P2Builder::cost_model_kind).
+    pub fn cost_model(mut self, model: Arc<dyn CostModel>) -> Self {
+        self.cost_model = Some(model);
+        self
+    }
+
+    /// Selects one of the built-in cost models by kind — the CLI-friendly
+    /// form of [`cost_model`](P2Builder::cost_model). The model is built at
+    /// [`build`](P2Builder::build), from the final system, algorithm and
+    /// buffer size (and, for [`CostModelKind::Calibrated`], the final noise,
+    /// seed and repeats).
+    pub fn cost_model_kind(mut self, kind: CostModelKind) -> Self {
+        self.cost_model_kind = Some(kind);
+        self
+    }
+
+    /// Enables or disables the per-placement step-cost cache (see
+    /// [`P2Config::cost_cache`]).
+    pub fn cost_cache(mut self, cost_cache: bool) -> Self {
+        self.cost_cache = Some(cost_cache);
+        self
+    }
+
     /// Sets how [`P2::run`] drives the pipeline: [`RunMode::Measure`] (the
     /// default), [`RunMode::Shortlist`] or [`RunMode::PredictOnly`].
     pub fn mode(mut self, mode: RunMode) -> Self {
@@ -229,6 +265,15 @@ impl P2Builder {
         }
         if let Some(slack) = self.prune_slack {
             config.prune_slack = slack;
+        }
+        if let Some(cache) = self.cost_cache {
+            config.cost_cache = cache;
+        }
+        if let Some(model) = self.cost_model {
+            config.cost_model = Some(model);
+        } else if let Some(kind) = self.cost_model_kind {
+            let model = config.make_cost_model(kind)?;
+            config.cost_model = Some(model);
         }
         Ok(P2::new(config)?.with_mode(self.mode))
     }
@@ -333,6 +378,35 @@ mod tests {
         assert_eq!(r.keep_top, config.keep_top);
         assert_eq!(r.prune_slack, config.prune_slack);
         assert_eq!(rebuilt.mode(), RunMode::Measure);
+    }
+
+    #[test]
+    fn cost_model_selection_is_resolved_at_build() {
+        let session = P2::builder(presets::a100_system(2))
+            .parallelism_axes([8, 4])
+            .reduction_axes([0])
+            .bytes_per_device(1.0e8)
+            .cost_model_kind(CostModelKind::LogGp)
+            .cost_cache(false)
+            .build()
+            .unwrap();
+        let c = session.config();
+        assert_eq!(c.cost_model.as_ref().unwrap().name(), "loggp");
+        assert!(!c.cost_cache);
+        // An explicit model instance wins over a kind.
+        let config = P2Config::new(presets::a100_system(2), vec![32], vec![0]);
+        let explicit = config.make_cost_model(CostModelKind::AlphaBeta).unwrap();
+        let session = P2::builder(presets::a100_system(2))
+            .parallelism_axes([32])
+            .reduction_axes([0])
+            .cost_model(Arc::clone(&explicit))
+            .cost_model_kind(CostModelKind::LogGp)
+            .build()
+            .unwrap();
+        assert_eq!(
+            session.config().cost_model.as_ref().unwrap().name(),
+            "alpha-beta"
+        );
     }
 
     #[test]

@@ -1,4 +1,7 @@
-use p2_cost::NcclAlgo;
+use std::sync::Arc;
+
+use p2_cost::{AlphaBetaModel, CalibratedModel, CostModel, CostModelKind, LogGpModel, NcclAlgo};
+use p2_exec::{ExecConfig, Executor};
 use p2_synthesis::HierarchyKind;
 use p2_topology::SystemTopology;
 
@@ -64,6 +67,19 @@ pub struct P2Config {
     /// baseline prediction) times `1 + prune_slack` is dropped before it is
     /// fully costed or measured. Larger values prune less aggressively.
     pub prune_slack: f64,
+    /// The cost model predicting every synthesized program. `None` — the
+    /// default — uses the paper's α–β model
+    /// ([`AlphaBetaModel`]) built from this configuration's system, algorithm
+    /// and buffer size, which is bit-identical to the pre-trait pipeline.
+    /// `Some(model)` substitutes any [`CostModel`] implementation; build one
+    /// from a CLI name with [`P2Config::make_cost_model`].
+    pub cost_model: Option<Arc<dyn CostModel>>,
+    /// Whether the sweep wraps the cost model in a per-placement
+    /// [`p2_cost::CachedCostModel`], interning step times per
+    /// (hierarchy-level, collective, size-class) class. Caching never changes
+    /// predictions (the cache key pins the exact step), it only removes
+    /// recomputation; defaults to `true`.
+    pub cost_cache: bool,
 }
 
 impl P2Config {
@@ -105,7 +121,48 @@ impl P2Config {
             threads: 0,
             keep_top: None,
             prune_slack: 0.5,
+            cost_model: None,
+            cost_cache: true,
         }
+    }
+
+    /// Builds one of the built-in cost models for this configuration's
+    /// system, algorithm and buffer size — the bridge from a CLI
+    /// `--cost-model` name to a runnable model.
+    ///
+    /// [`CostModelKind::Calibrated`] wraps the α–β model with per-level
+    /// scales fitted against this configuration's execution substrate (same
+    /// noise, seed and repeats as the sweep's measurements), so it is as
+    /// deterministic as the measurements themselves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cost-model and executor construction errors (e.g. a
+    /// non-positive buffer size).
+    pub fn make_cost_model(&self, kind: CostModelKind) -> Result<Arc<dyn CostModel>, P2Error> {
+        let alpha_beta = Arc::new(AlphaBetaModel::new(
+            self.system.clone(),
+            self.algo,
+            self.bytes_per_device,
+        )?);
+        Ok(match kind {
+            CostModelKind::AlphaBeta => alpha_beta,
+            CostModelKind::LogGp => Arc::new(LogGpModel::new(
+                self.system.clone(),
+                self.algo,
+                self.bytes_per_device,
+            )?),
+            CostModelKind::Calibrated => {
+                let exec_config = ExecConfig::new(self.algo, self.bytes_per_device)
+                    .with_noise(self.noise_fraction)
+                    .with_seed(self.seed)
+                    .with_repeats(self.repeats);
+                let executor = Executor::new(&self.system, exec_config)?;
+                Arc::new(CalibratedModel::calibrate(alpha_beta, |program| {
+                    executor.measure(program)
+                })?)
+            }
+        })
     }
 
     /// Sets the NCCL algorithm.
@@ -172,6 +229,20 @@ impl P2Config {
         self
     }
 
+    /// Substitutes the cost model predicting every synthesized program (see
+    /// [`P2Config::cost_model`]).
+    pub fn with_cost_model(mut self, model: Arc<dyn CostModel>) -> Self {
+        self.cost_model = Some(model);
+        self
+    }
+
+    /// Enables or disables the per-placement step-cost cache (see
+    /// [`P2Config::cost_cache`]).
+    pub fn with_cost_cache(mut self, cost_cache: bool) -> Self {
+        self.cost_cache = cost_cache;
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -230,6 +301,25 @@ impl P2Config {
             return Err(P2Error::InvalidConfig {
                 reason: "prune_slack must be a non-negative finite number".into(),
             });
+        }
+        if let Some(model) = &self.cost_model {
+            // The name may differ (clones, decorators); the hierarchy and
+            // links must not — a model over a structurally different
+            // topology would silently predict garbage.
+            let model_system = model.system();
+            if model_system.hierarchy() != self.system.hierarchy()
+                || model_system.links() != self.system.links()
+            {
+                return Err(P2Error::InvalidConfig {
+                    reason: format!(
+                        "cost model {:?} predicts for system {:?} but the session sweeps {:?} \
+                         (hierarchy and interconnects must match)",
+                        model.name(),
+                        model_system.name(),
+                        self.system.name()
+                    ),
+                });
+            }
         }
         Ok(())
     }
@@ -304,5 +394,43 @@ mod tests {
             .with_prune_slack(1.0)
             .validate()
             .is_ok());
+    }
+
+    #[test]
+    fn every_cost_model_kind_builds_for_a_config() {
+        let c =
+            P2Config::new(presets::a100_system(2), vec![32], vec![0]).with_bytes_per_device(1.0e8);
+        for kind in CostModelKind::ALL {
+            let model = c.make_cost_model(kind).expect("kind builds");
+            assert_eq!(model.system().num_devices(), 32);
+            assert_eq!(model.bytes_per_device(), 1.0e8);
+            assert!(model.name().contains(match kind {
+                CostModelKind::AlphaBeta => "alpha-beta",
+                CostModelKind::LogGp => "loggp",
+                CostModelKind::Calibrated => "calibrated",
+            }));
+        }
+    }
+
+    #[test]
+    fn cost_model_for_another_system_is_rejected() {
+        let other = P2Config::new(presets::a100_system(4), vec![64], vec![0]);
+        let model = other.make_cost_model(CostModelKind::AlphaBeta).unwrap();
+        let config =
+            P2Config::new(presets::a100_system(2), vec![32], vec![0]).with_cost_model(model);
+        assert!(config.validate().is_err());
+        // Same device count is not enough: a structurally different topology
+        // (2-level 64-GPU A100 vs. 3-level 4x2x8 rack system) is rejected too.
+        let other = P2Config::new(presets::a100_system(4), vec![64], vec![0]);
+        let model = other.make_cost_model(CostModelKind::AlphaBeta).unwrap();
+        let config = P2Config::new(presets::rack_node_gpu_system(4, 2, 8), vec![64], vec![0])
+            .with_cost_model(model);
+        assert!(config.validate().is_err());
+        // A model over an identical topology passes regardless of its name.
+        let same = P2Config::new(presets::a100_system(2), vec![32], vec![0]);
+        let model = same.make_cost_model(CostModelKind::LogGp).unwrap();
+        let config = P2Config::new(presets::a100_system(2), vec![32], vec![0]) //
+            .with_cost_model(model);
+        assert!(config.validate().is_ok());
     }
 }

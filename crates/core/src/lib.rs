@@ -47,6 +47,6 @@ pub use accuracy::{top_k_accuracy, TopKReport};
 pub use builder::P2Builder;
 pub use config::P2Config;
 pub use error::P2Error;
-pub use observer::{RunObserver, SharedBoundObserver};
+pub use observer::{ProgressObserver, RunObserver, SharedBoundObserver, TwoPassSharedBound};
 pub use pipeline::{RunMode, P2};
 pub use result::{ExperimentResult, PlacementEvaluation, ProgramEvaluation};

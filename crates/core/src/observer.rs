@@ -1,8 +1,12 @@
 //! Run observers: streaming visibility into the placement × synthesis sweep,
-//! plus the bundled [`SharedBoundObserver`] implementing deterministic
-//! cross-placement pruning as a two-pass run.
+//! the single-pass [`SharedBoundObserver`] implementing deterministic
+//! cross-placement pruning inside one sweep, the reference
+//! [`TwoPassSharedBound`], and the [`ProgressObserver`] progress/ETA
+//! reporter.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 use p2_placement::ParallelismMatrix;
 use p2_synthesis::Program;
@@ -59,38 +63,105 @@ pub trait RunObserver: Sync {
     fn on_placement_done(&self, index: usize, evaluation: &PlacementEvaluation) {
         let _ = (index, evaluation);
     }
+
+    /// Called instead of [`on_placement_done`](RunObserver::on_placement_done)
+    /// when a placement's evaluation aborts with an error (the whole run is
+    /// about to fail with it). Observers that block on other placements'
+    /// completion — like [`SharedBoundObserver`] — must treat this as a
+    /// completion signal so in-flight workers can drain instead of waiting
+    /// forever on a placement that will never finish.
+    fn on_placement_aborted(&self, index: usize) {
+        let _ = index;
+    }
 }
 
 /// The no-op observer: every hook keeps its default.
 impl RunObserver for () {}
 
-/// Cross-placement pruning as a deterministic two-pass run (the ROADMAP's
-/// "shared bound" item).
+/// Per-run state of the single-pass shared bound: the published per-placement
+/// minima and the memoized dyadic-prefix reductions over them.
+#[derive(Debug, Default)]
+struct BoundTree {
+    /// `slots[i]` is placement `i`'s published predicted minimum
+    /// (`f64::INFINITY` for degenerate placements), `None` until published.
+    slots: Vec<Option<f64>>,
+    /// `prefix[k]` memoizes `min(slots[0 .. 1 << k])` — the internal nodes of
+    /// the reduction tree, computed once when their subtree completes.
+    prefix: Vec<Option<f64>>,
+}
+
+impl BoundTree {
+    fn publish(&mut self, index: usize, value: f64) {
+        if self.slots.len() <= index {
+            self.slots.resize(index + 1, None);
+        }
+        self.slots[index] = Some(value);
+    }
+
+    /// The reduction-tree node covering `slots[0..len]`, computing and
+    /// memoizing it when every slot of the prefix is published. `len` must be
+    /// a power of two (`1 << k`).
+    fn prefix_min(&mut self, k: usize) -> Option<f64> {
+        if let Some(Some(v)) = self.prefix.get(k) {
+            return Some(*v);
+        }
+        let len = 1usize << k;
+        if self.slots.len() < len || self.slots[..len].iter().any(Option::is_none) {
+            return None;
+        }
+        let v = self.slots[..len]
+            .iter()
+            .map(|s| s.expect("checked above"))
+            .fold(f64::INFINITY, f64::min);
+        if self.prefix.len() <= k {
+            self.prefix.resize(k + 1, None);
+        }
+        self.prefix[k] = Some(v);
+        Some(v)
+    }
+}
+
+/// Cross-placement pruning inside a *single* sweep (the ROADMAP's
+/// "shared bound inside one pass" item), deterministic for any worker-thread
+/// count.
 ///
-/// The per-placement pruning bound of the streaming engine is deliberately
-/// local so results stay bit-identical across worker-thread counts — but that
-/// locality means a cheap placement can never prune an expensive one. This
-/// observer restores cross-placement pruning without giving up determinism by
-/// splitting the run in two:
+/// The naive shared bound — prune every placement against the best prediction
+/// seen *so far* — is nondeterministic under parallelism: what "so far" means
+/// depends on which worker finishes first. This observer instead reduces the
+/// published per-placement minima through a **fixed tree keyed by placement
+/// production order**:
 ///
-/// 1. **Seeding pass** ([`RunMode::PredictOnly`]): every placement is swept
-///    with the analytic cost model only; the observer records the global
-///    minimum predicted time across all placements. A minimum is
-///    order-independent, so the recorded bound is identical for any thread
-///    count or interleaving.
-/// 2. **Pruned pass** (the session's own mode): the frozen global bound seeds
-///    every placement's pruning bound via
-///    [`RunObserver::on_placement_start`], so placements whose programs all
-///    predict worse than `global_best × (1 + prune_slack)` retain little or
-///    nothing — cheap placements prune expensive ones.
+/// * when placement `i` completes, its worker publishes the placement's
+///   predicted minimum (its AllReduce baseline prediction or its best
+///   retained program, whichever is smaller) into slot `i` of the tree;
+/// * before placement `i` starts pruning, it seeds its bound with the tree
+///   node covering the dyadic prefix `[0, 2^⌊log₂ i⌋)` — waiting, if
+///   necessary, for every slot of that prefix to be published.
 ///
-/// Both passes are deterministic, so the overall result is too
-/// (`tests/observer.rs` pins this).
+/// The dependency set of each placement is a pure function of its production
+/// index, and every published minimum is itself deterministic (a placement's
+/// own evaluation only depends on its deterministic seed), so the whole sweep
+/// is bit-identical for any thread count — `tests/observer.rs` pins this.
+/// Waiting cannot deadlock: the streamed placements are dequeued in
+/// production order, so the lowest in-flight index only depends on completed
+/// placements.
+///
+/// Unlike the reference [`TwoPassSharedBound`], nothing is predicted twice:
+/// the sweep issues strictly fewer predictions (also pinned in
+/// `tests/observer.rs`). The price is twofold. The bound is weaker for early
+/// placements — placement 0 is never pruned, and the bound tightens as the
+/// prefix doubles. And the prefix waits are *barriers*: every placement in
+/// `[2^k, 2^(k+1))` blocks until the slowest placement in `[0, 2^k)`
+/// finishes, so a sweep with heavily skewed per-placement cost serializes at
+/// each power-of-two boundary (O(log n) of them per run) and may keep
+/// workers parked there. Both observers land on the same retained best
+/// program; prefer the two-pass when per-placement cost is wildly skewed and
+/// wall-clock matters more than the duplicate prediction pass.
 ///
 /// # Examples
 ///
 /// ```
-/// use p2_core::{RunMode, SharedBoundObserver, P2};
+/// use p2_core::{SharedBoundObserver, P2};
 /// use p2_topology::presets;
 ///
 /// let session = P2::builder(presets::a100_system(2))
@@ -103,10 +174,118 @@ impl RunObserver for () {}
 /// let pruned = observer.run(&session)?;
 /// let exhaustive = session.run()?;
 /// assert!(pruned.total_programs_retained() <= exhaustive.total_programs_retained());
+/// assert_eq!(
+///     pruned.best_overall().map(|p| p.signature()),
+///     exhaustive.best_overall().map(|p| p.signature()),
+/// );
 /// # Ok::<(), p2_core::P2Error>(())
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct SharedBoundObserver {
+    state: Mutex<BoundTree>,
+    published: Condvar,
+}
+
+impl SharedBoundObserver {
+    /// Creates an observer with an empty reduction tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The global best published predicted minimum so far, if any placement
+    /// published a finite one.
+    pub fn bound(&self) -> Option<f64> {
+        let state = self.state.lock().expect("bound tree poisoned");
+        let bound = state
+            .slots
+            .iter()
+            .flatten()
+            .fold(f64::INFINITY, |a, &b| a.min(b));
+        bound.is_finite().then_some(bound)
+    }
+
+    /// Runs `session` once with this observer, resetting the reduction tree
+    /// first.
+    ///
+    /// Takes `&mut self` so one observer cannot drive two overlapping runs —
+    /// slot indices are per-run, and interleaving two runs would mix their
+    /// bounds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the sweep's errors.
+    pub fn run(&mut self, session: &P2) -> Result<ExperimentResult, P2Error> {
+        *self.state.lock().expect("bound tree poisoned") = BoundTree::default();
+        session.run_observed(self)
+    }
+}
+
+impl RunObserver for SharedBoundObserver {
+    fn on_placement_start(&self, index: usize, _matrix: &ParallelismMatrix) -> Option<f64> {
+        if index == 0 {
+            // The tree root has no predecessors; placement 0 runs unpruned.
+            return None;
+        }
+        let k = (usize::BITS - 1 - index.leading_zeros()) as usize;
+        let mut state = self.state.lock().expect("bound tree poisoned");
+        loop {
+            if let Some(bound) = state.prefix_min(k) {
+                return bound.is_finite().then_some(bound);
+            }
+            state = self
+                .published
+                .wait(state)
+                .expect("bound tree poisoned while waiting");
+        }
+    }
+
+    fn on_placement_done(&self, index: usize, evaluation: &PlacementEvaluation) {
+        let mut best = evaluation.allreduce_predicted;
+        for program in &evaluation.programs {
+            best = best.min(program.predicted_seconds);
+        }
+        // Degenerate placements (nothing to reduce, zero-cost predictions)
+        // publish infinity so they never poison the bound but still unblock
+        // their tree ancestors.
+        let value = if best.is_finite() && best > 0.0 {
+            best
+        } else {
+            f64::INFINITY
+        };
+        let mut state = self.state.lock().expect("bound tree poisoned");
+        state.publish(index, value);
+        self.published.notify_all();
+    }
+
+    fn on_placement_aborted(&self, index: usize) {
+        // The run is failing, but workers already waiting on this slot must
+        // be released: publish a neutral value so the tree still completes.
+        let mut state = self.state.lock().expect("bound tree poisoned");
+        state.publish(index, f64::INFINITY);
+        self.published.notify_all();
+    }
+}
+
+/// Cross-placement pruning as a deterministic two-pass run — the reference
+/// implementation the single-pass [`SharedBoundObserver`] is checked against.
+///
+/// 1. **Seeding pass** ([`RunMode::PredictOnly`]): every placement is swept
+///    with the cost model only; the observer records the global minimum
+///    predicted time across all placements. A minimum is order-independent,
+///    so the recorded bound is identical for any thread count or
+///    interleaving.
+/// 2. **Pruned pass** (the session's own mode): the frozen global bound seeds
+///    every placement's pruning bound via
+///    [`RunObserver::on_placement_start`], so placements whose programs all
+///    predict worse than `global_best × (1 + prune_slack)` retain little or
+///    nothing — cheap placements prune expensive ones.
+///
+/// Both passes are deterministic, so the overall result is too. The price is
+/// that every program is predicted twice (and every baseline measured twice);
+/// prefer [`SharedBoundObserver`] unless the strongest possible bound is
+/// worth a second sweep.
+#[derive(Debug)]
+pub struct TwoPassSharedBound {
     /// `true` while the predict-only pass is recording the bound.
     seeding: AtomicBool,
     /// Bit pattern of the global minimum predicted time. Predicted times are
@@ -115,16 +294,16 @@ pub struct SharedBoundObserver {
     bound_bits: AtomicU64,
 }
 
-impl Default for SharedBoundObserver {
+impl Default for TwoPassSharedBound {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl SharedBoundObserver {
+impl TwoPassSharedBound {
     /// Creates an observer with no recorded bound, ready for a seeding pass.
     pub fn new() -> Self {
-        SharedBoundObserver {
+        TwoPassSharedBound {
             seeding: AtomicBool::new(true),
             bound_bits: AtomicU64::new(f64::INFINITY.to_bits()),
         }
@@ -160,7 +339,7 @@ impl SharedBoundObserver {
     }
 }
 
-impl RunObserver for SharedBoundObserver {
+impl RunObserver for TwoPassSharedBound {
     fn on_placement_start(&self, _index: usize, _matrix: &ParallelismMatrix) -> Option<f64> {
         if self.seeding.load(Ordering::SeqCst) {
             // The bound is still being collected; handing out a partial bound
@@ -185,15 +364,117 @@ impl RunObserver for SharedBoundObserver {
     }
 }
 
+/// A progress/ETA reporter for long sweeps: prints one line to stderr per
+/// completed placement (or per [`every`](ProgressObserver::with_every)
+/// placements), with the retained-program count, the elapsed wall-clock time
+/// and — when a total is known — an ETA extrapolated from the mean
+/// per-placement time.
+///
+/// The observer only accumulates counters, so it can be shared across several
+/// consecutive runs (e.g. every spec of a table sweep) to report aggregate
+/// progress; pass the expected grand total of placements to
+/// [`with_total`](ProgressObserver::with_total) for the ETA column.
+#[derive(Debug)]
+pub struct ProgressObserver {
+    label: String,
+    total: Option<usize>,
+    every: usize,
+    started: Instant,
+    placements_done: AtomicUsize,
+    programs_seen: AtomicUsize,
+    programs_retained: AtomicUsize,
+}
+
+impl ProgressObserver {
+    /// Creates a reporter printing `label` on every line.
+    pub fn new(label: impl Into<String>) -> Self {
+        ProgressObserver {
+            label: label.into(),
+            total: None,
+            every: 1,
+            started: Instant::now(),
+            placements_done: AtomicUsize::new(0),
+            programs_seen: AtomicUsize::new(0),
+            programs_retained: AtomicUsize::new(0),
+        }
+    }
+
+    /// Sets the expected total number of placements (across every run this
+    /// observer will see), enabling the percentage and ETA columns.
+    pub fn with_total(mut self, total: usize) -> Self {
+        self.total = Some(total);
+        self
+    }
+
+    /// Prints only every `every`-th completed placement (and always the
+    /// last one when a total is set). `every` is clamped to at least 1.
+    pub fn with_every(mut self, every: usize) -> Self {
+        self.every = every.max(1);
+        self
+    }
+
+    /// Placements completed so far.
+    pub fn placements_done(&self) -> usize {
+        self.placements_done.load(Ordering::Relaxed)
+    }
+
+    /// Programs synthesized so far (including pruned ones).
+    pub fn programs_seen(&self) -> usize {
+        self.programs_seen.load(Ordering::Relaxed)
+    }
+
+    /// Program evaluations retained so far.
+    pub fn programs_retained(&self) -> usize {
+        self.programs_retained.load(Ordering::Relaxed)
+    }
+}
+
+impl RunObserver for ProgressObserver {
+    fn on_placement_done(&self, _index: usize, evaluation: &PlacementEvaluation) {
+        self.programs_seen
+            .fetch_add(evaluation.num_programs, Ordering::Relaxed);
+        self.programs_retained
+            .fetch_add(evaluation.programs_retained, Ordering::Relaxed);
+        let done = self.placements_done.fetch_add(1, Ordering::Relaxed) + 1;
+        let last = self.total == Some(done);
+        if !done.is_multiple_of(self.every) && !last {
+            return;
+        }
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let programs = self.programs_seen.load(Ordering::Relaxed);
+        let retained = self.programs_retained.load(Ordering::Relaxed);
+        match self.total {
+            Some(total) if total >= done => {
+                let eta = elapsed / done as f64 * (total - done) as f64;
+                eprintln!(
+                    "[{}] {done}/{total} placements ({:.0}%) · {programs} programs \
+                     ({retained} retained) · {elapsed:.1}s elapsed · ETA {eta:.1}s",
+                    self.label,
+                    done as f64 / total as f64 * 100.0,
+                );
+            }
+            _ => {
+                eprintln!(
+                    "[{}] {done} placements · {programs} programs ({retained} retained) · \
+                     {elapsed:.1}s elapsed",
+                    self.label,
+                );
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn bound_is_none_until_seeded() {
-        let observer = SharedBoundObserver::new();
-        assert_eq!(observer.bound(), None);
-        let eval_bound = observer.on_placement_start(
+        let single = SharedBoundObserver::new();
+        assert_eq!(single.bound(), None);
+        let two_pass = TwoPassSharedBound::new();
+        assert_eq!(two_pass.bound(), None);
+        let eval_bound = two_pass.on_placement_start(
             0,
             &ParallelismMatrix::new(vec![vec![2, 2]], vec![2, 2], vec![4]).unwrap(),
         );
@@ -202,9 +483,60 @@ mod tests {
 
     #[test]
     fn positive_float_bits_order_like_the_floats() {
-        // The invariant `fetch_min` relies on.
+        // The invariant the two-pass `fetch_min` relies on.
         for (a, b) in [(0.1f64, 0.2), (1.0, 1.0 + f64::EPSILON), (1e-300, 1e300)] {
             assert_eq!(a < b, a.to_bits() < b.to_bits());
         }
+    }
+
+    #[test]
+    fn reduction_tree_seeds_dyadic_prefixes() {
+        let mut tree = BoundTree::default();
+        tree.publish(0, 4.0);
+        assert_eq!(tree.prefix_min(0), Some(4.0)); // covers [0, 1)
+        assert_eq!(tree.prefix_min(1), None); // [0, 2) incomplete
+        tree.publish(1, 2.0);
+        assert_eq!(tree.prefix_min(1), Some(2.0));
+        // Publishing out of order completes [0, 4) only when slot 2 lands.
+        tree.publish(3, 1.0);
+        assert_eq!(tree.prefix_min(2), None);
+        tree.publish(2, 8.0);
+        assert_eq!(tree.prefix_min(2), Some(1.0));
+        // The memoized node is frozen: later publishes cannot change it.
+        tree.publish(0, 0.5);
+        assert_eq!(tree.prefix_min(2), Some(1.0));
+    }
+
+    #[test]
+    fn aborted_placements_release_waiters_instead_of_hanging() {
+        let observer = SharedBoundObserver::new();
+        let matrix = ParallelismMatrix::new(vec![vec![2, 2]], vec![2, 2], vec![4]).unwrap();
+        // Placement 0 errors out; placement 1 depends on its slot. The abort
+        // hook publishes a neutral value, so the seed resolves (to "no
+        // bound") instead of blocking forever.
+        observer.on_placement_aborted(0);
+        assert_eq!(observer.on_placement_start(1, &matrix), None);
+        assert_eq!(observer.bound(), None);
+    }
+
+    #[test]
+    fn progress_observer_counts_and_reports() {
+        let matrix = ParallelismMatrix::new(vec![vec![2, 2]], vec![2, 2], vec![4]).unwrap();
+        let evaluation = PlacementEvaluation {
+            matrix,
+            synthesis_time: std::time::Duration::from_millis(1),
+            num_programs: 7,
+            programs_pruned: 7,
+            programs_retained: 0,
+            allreduce_predicted: 1.0,
+            allreduce_measured: 1.0,
+            programs: Vec::new(),
+        };
+        let progress = ProgressObserver::new("test").with_total(2).with_every(1);
+        progress.on_placement_done(0, &evaluation);
+        progress.on_placement_done(1, &evaluation);
+        assert_eq!(progress.placements_done(), 2);
+        assert_eq!(progress.programs_seen(), 14);
+        assert_eq!(progress.programs_retained(), 0);
     }
 }

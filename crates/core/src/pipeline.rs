@@ -1,9 +1,9 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use p2_cost::CostModel;
+use p2_cost::{AlphaBetaModel, CachedCostModel, CostAccumulator, CostModel};
 use p2_exec::{ExecConfig, Executor};
 use p2_placement::{
     enumerate_matrices, for_each_matrix, MatrixControl, MatrixSink, ParallelismMatrix,
@@ -35,7 +35,7 @@ pub enum RunMode {
     /// Predict every program and measure nothing; every program's measured
     /// time is its prediction. (The AllReduce baseline is still measured to
     /// anchor the tables.) This is the seeding pass of
-    /// [`SharedBoundObserver`](crate::SharedBoundObserver).
+    /// [`TwoPassSharedBound`](crate::TwoPassSharedBound).
     PredictOnly,
 }
 
@@ -320,15 +320,71 @@ impl P2 {
     /// bound ([`RunObserver::on_placement_start`]) tightens the best
     /// prediction's seed — normally the placement's own AllReduce baseline —
     /// and activates prefix pruning even without `keep_top`.
+    ///
+    /// All predictions come from the configured [`CostModel`]; with
+    /// [`P2Config::cost_cache`] the model is wrapped in a per-placement
+    /// [`CachedCostModel`], which is where the intern table pays off — the
+    /// programs of one placement reuse the same lowered steps over and over.
+    ///
+    /// Errors — and panics unwinding through this frame — fire
+    /// [`RunObserver::on_placement_aborted`] before propagating, so observers
+    /// blocking on this placement's completion (the shared-bound reduction
+    /// tree) are released instead of waiting forever; a panicking worker then
+    /// fails the sweep fast exactly as it did before observers could block.
     fn evaluate_placement(
         &self,
         index: usize,
         matrix: &ParallelismMatrix,
-        cost: &CostModel<'_>,
+        model: &Arc<dyn CostModel>,
         executor: &Executor<'_>,
         measure_programs: bool,
         observer: &dyn RunObserver,
     ) -> Result<PlacementEvaluation, P2Error> {
+        struct AbortGuard<'a> {
+            observer: &'a dyn RunObserver,
+            index: usize,
+            armed: bool,
+        }
+        impl Drop for AbortGuard<'_> {
+            fn drop(&mut self) {
+                if self.armed {
+                    self.observer.on_placement_aborted(self.index);
+                }
+            }
+        }
+        let mut guard = AbortGuard {
+            observer,
+            index,
+            armed: true,
+        };
+        let result = self.evaluate_placement_inner(
+            index,
+            matrix,
+            model,
+            executor,
+            measure_programs,
+            observer,
+        );
+        guard.armed = result.is_err();
+        result
+    }
+
+    fn evaluate_placement_inner(
+        &self,
+        index: usize,
+        matrix: &ParallelismMatrix,
+        model: &Arc<dyn CostModel>,
+        executor: &Executor<'_>,
+        measure_programs: bool,
+        observer: &dyn RunObserver,
+    ) -> Result<PlacementEvaluation, P2Error> {
+        let cache;
+        let cost: &dyn CostModel = if self.config.cost_cache {
+            cache = CachedCostModel::new(Arc::clone(model));
+            &cache
+        } else {
+            model.as_ref()
+        };
         let bound_seed = observer.on_placement_start(index, matrix);
         let synthesizer = Synthesizer::new(
             matrix.clone(),
@@ -411,7 +467,7 @@ impl P2 {
                             }
                         }
                     }
-                    let mut acc = cost.accumulator();
+                    let mut acc = CostAccumulator::new(cost);
                     for step in &lowered.steps {
                         acc.push(step);
                         if acc.exceeds(bound) {
@@ -506,11 +562,16 @@ impl P2 {
         measure_programs: bool,
         observer: &dyn RunObserver,
     ) -> Result<ExperimentResult, P2Error> {
-        let cost = CostModel::new(
-            &self.config.system,
-            self.config.algo,
-            self.config.bytes_per_device,
-        )?;
+        let model: Arc<dyn CostModel> = match &self.config.cost_model {
+            Some(model) => Arc::clone(model),
+            // The default: the paper's α–β model over the configured system,
+            // bit-identical to the pre-trait pipeline.
+            None => Arc::new(AlphaBetaModel::new(
+                self.config.system.clone(),
+                self.config.algo,
+                self.config.bytes_per_device,
+            )?),
+        };
         let exec_config = ExecConfig::new(self.config.algo, self.config.bytes_per_device)
             .with_noise(self.config.noise_fraction)
             .with_seed(self.config.seed)
@@ -540,7 +601,7 @@ impl P2 {
                 self.evaluate_placement(
                     index,
                     &matrix,
-                    &cost,
+                    &model,
                     &executor,
                     measure_programs,
                     observer,
@@ -790,6 +851,66 @@ mod tests {
         for algo in NcclAlgo::ALL {
             let result = small_builder().algo(algo).run().unwrap();
             assert!(result.total_programs() > 0);
+        }
+    }
+
+    fn assert_same_numbers(a: &ExperimentResult, b: &ExperimentResult) {
+        assert_eq!(a.placements.len(), b.placements.len());
+        for (pa, pb) in a.placements.iter().zip(&b.placements) {
+            assert_eq!(pa.matrix, pb.matrix);
+            assert_eq!(pa.allreduce_predicted, pb.allreduce_predicted);
+            assert_eq!(pa.allreduce_measured, pb.allreduce_measured);
+            assert_eq!(pa.programs_retained, pb.programs_retained);
+            for (qa, qb) in pa.programs.iter().zip(&pb.programs) {
+                assert_eq!(qa.signature(), qb.signature());
+                assert_eq!(qa.predicted_seconds, qb.predicted_seconds);
+                assert_eq!(qa.measured_seconds, qb.measured_seconds);
+            }
+        }
+    }
+
+    #[test]
+    fn cost_cache_never_changes_results() {
+        let cached = small_builder().cost_cache(true).run().unwrap();
+        let uncached = small_builder().cost_cache(false).run().unwrap();
+        assert_same_numbers(&cached, &uncached);
+        // Also under bounded retention, where predictions steer pruning.
+        let cached = small_builder().keep_top(3).cost_cache(true).run().unwrap();
+        let uncached = small_builder().keep_top(3).cost_cache(false).run().unwrap();
+        assert_same_numbers(&cached, &uncached);
+    }
+
+    #[test]
+    fn explicit_alpha_beta_kind_matches_the_default_model_bit_for_bit() {
+        use p2_cost::CostModelKind;
+        let implicit = small_builder().run().unwrap();
+        let explicit = small_builder()
+            .cost_model_kind(CostModelKind::AlphaBeta)
+            .run()
+            .unwrap();
+        assert_same_numbers(&implicit, &explicit);
+    }
+
+    #[test]
+    fn every_cost_model_kind_runs_end_to_end() {
+        use p2_cost::CostModelKind;
+        for kind in CostModelKind::ALL {
+            let result = small_builder()
+                .cost_model_kind(kind)
+                .mode(RunMode::Shortlist(5))
+                .run()
+                .unwrap();
+            assert!(result.total_programs() > 0, "{kind}: no programs");
+            assert!(result.best_overall().is_some(), "{kind}: no best program");
+            for pl in &result.placements {
+                for p in &pl.programs {
+                    assert!(
+                        p.predicted_seconds.is_finite() && p.predicted_seconds >= 0.0,
+                        "{kind}: bad prediction {}",
+                        p.predicted_seconds
+                    );
+                }
+            }
         }
     }
 }

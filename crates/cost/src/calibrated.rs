@@ -1,0 +1,251 @@
+//! A measurement-calibrated cost model: rescales an inner model's per-level
+//! predictions by factors fitted against observed (e.g. `p2_exec`) timings.
+
+use std::sync::Arc;
+
+use p2_collectives::Collective;
+use p2_synthesis::{GroupExec, LoweredProgram, LoweredStep};
+use p2_topology::SystemTopology;
+
+use crate::error::CostError;
+use crate::model::{CostModel, StepCost};
+
+/// An inner [`CostModel`] whose per-group predictions are multiplied by a
+/// per-hierarchy-level scale factor — the level of a group being the
+/// *outermost* (slowest) interconnect it crosses.
+///
+/// The scales are typically fitted with [`CalibratedModel::calibrate`]: for
+/// every hierarchy level a two-device probe collective crossing exactly that
+/// level is predicted by the inner model and measured by a caller-supplied
+/// function (the pipeline feeds the `p2_exec` execution substrate in), and
+/// the ratio becomes the level's scale. This corrects systematic per-level
+/// bias — e.g. a NIC whose effective bandwidth is below its nominal value —
+/// without touching the inner model's contention machinery.
+///
+/// Scales must be positive and finite, so the admissibility requirement of
+/// [`CostModel`] is preserved: scaled step times stay non-negative and
+/// prefix sums remain lower bounds.
+#[derive(Debug, Clone)]
+pub struct CalibratedModel {
+    inner: Arc<dyn CostModel>,
+    /// `level_scales[l]` multiplies groups whose outermost crossed uplink is
+    /// at hierarchy level `l`; groups crossing no uplink are never scaled.
+    level_scales: Vec<f64>,
+    name: String,
+}
+
+impl CalibratedModel {
+    /// Wraps `inner` with explicit per-level scale factors (one per hierarchy
+    /// level, outermost first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CostError::ScaleCountMismatch`] when the scale count differs
+    /// from the system's hierarchy depth and [`CostError::InvalidScale`] for
+    /// non-positive or non-finite factors.
+    pub fn new(inner: Arc<dyn CostModel>, level_scales: Vec<f64>) -> Result<Self, CostError> {
+        let depth = inner.system().hierarchy().depth();
+        if level_scales.len() != depth {
+            return Err(CostError::ScaleCountMismatch {
+                expected: depth,
+                got: level_scales.len(),
+            });
+        }
+        for (level, &scale) in level_scales.iter().enumerate() {
+            if !(scale.is_finite() && scale > 0.0) {
+                return Err(CostError::InvalidScale { level, scale });
+            }
+        }
+        let name = format!("calibrated({})", inner.name());
+        Ok(CalibratedModel {
+            inner,
+            level_scales,
+            name,
+        })
+    }
+
+    /// Fits one scale per hierarchy level against `measure`, a function
+    /// returning the observed time of a lowered program (the pipeline passes
+    /// the `p2_exec` executor's `measure` here).
+    ///
+    /// Level `l`'s probe is a two-device AllReduce between device `0` and the
+    /// first device of the next level-`l` instance, so its traffic bottleneck
+    /// is exactly the level-`l` interconnect; its scale is the ratio of the
+    /// measured to the predicted probe time. Levels that cannot be probed
+    /// (single-instance levels, or degenerate predictions) keep a scale of
+    /// `1.0`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CalibratedModel::new`] (unreachable for finite positive
+    /// measurements, kept for robustness against pathological `measure`
+    /// functions).
+    pub fn calibrate<F>(inner: Arc<dyn CostModel>, mut measure: F) -> Result<Self, CostError>
+    where
+        F: FnMut(&LoweredProgram) -> f64,
+    {
+        let depth = inner.system().hierarchy().depth();
+        let mut scales = vec![1.0; depth];
+        for (level, scale) in scales.iter_mut().enumerate() {
+            let Some(probe) = Self::probe_program(inner.system(), level) else {
+                continue;
+            };
+            let predicted = inner.program_time(&probe);
+            let measured = measure(&probe);
+            if predicted > 0.0 && measured.is_finite() && measured > 0.0 {
+                *scale = measured / predicted;
+            }
+        }
+        Self::new(inner, scales)
+    }
+
+    /// The reference program used to calibrate one hierarchy level: a
+    /// two-device AllReduce whose slowest crossed interconnect is exactly
+    /// `level`, or `None` when the level has a single instance per parent and
+    /// can never be crossed.
+    pub fn probe_program(system: &SystemTopology, level: usize) -> Option<LoweredProgram> {
+        let arities = system.hierarchy().arities();
+        if *arities.get(level)? < 2 {
+            return None;
+        }
+        // Device 0 and the first device of the adjacent level-`level` sibling
+        // differ at `level` and nowhere above it.
+        let stride: usize = arities[level + 1..].iter().product();
+        Some(LoweredProgram {
+            steps: vec![LoweredStep {
+                collective: Collective::AllReduce,
+                groups: vec![GroupExec {
+                    devices: vec![0, stride],
+                    input_fraction: 1.0,
+                }],
+            }],
+            num_devices: system.num_devices(),
+        })
+    }
+
+    /// The per-level scale factors, outermost level first.
+    pub fn level_scales(&self) -> &[f64] {
+        &self.level_scales
+    }
+
+    /// The wrapped model.
+    pub fn inner(&self) -> &Arc<dyn CostModel> {
+        &self.inner
+    }
+
+    /// The scale applied to one group: the factor of the outermost level the
+    /// group's traffic crosses, or `1.0` for groups crossing no uplink.
+    fn group_scale(&self, group: &GroupExec) -> f64 {
+        match self.inner.system().span_level(&group.devices) {
+            Some(level) => self.level_scales[level],
+            None => 1.0,
+        }
+    }
+}
+
+impl CostModel for CalibratedModel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn system(&self) -> &SystemTopology {
+        self.inner.system()
+    }
+
+    fn bytes_per_device(&self) -> f64 {
+        self.inner.bytes_per_device()
+    }
+
+    fn step_cost(&self, step: &LoweredStep) -> StepCost {
+        let inner = self.inner.step_cost(step);
+        let group_seconds: Vec<f64> = step
+            .groups
+            .iter()
+            .zip(&inner.group_seconds)
+            .map(|(group, &seconds)| seconds * self.group_scale(group))
+            .collect();
+        let seconds = group_seconds.iter().copied().fold(0.0, f64::max);
+        StepCost {
+            collective: inner.collective,
+            seconds,
+            group_seconds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AlphaBetaModel, NcclAlgo};
+    use p2_topology::presets;
+
+    const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+    fn inner() -> Arc<dyn CostModel> {
+        Arc::new(AlphaBetaModel::new(presets::a100_system(2), NcclAlgo::Ring, GIB).unwrap())
+    }
+
+    #[test]
+    fn unit_scales_are_the_identity() {
+        let model = CalibratedModel::new(inner(), vec![1.0, 1.0]).unwrap();
+        let probe = CalibratedModel::probe_program(model.system(), 0).unwrap();
+        assert_eq!(model.program_time(&probe), inner().program_time(&probe));
+        assert_eq!(model.name(), "calibrated(alpha-beta)");
+    }
+
+    #[test]
+    fn scales_apply_to_the_crossed_level_only() {
+        let model = CalibratedModel::new(inner(), vec![2.0, 1.0]).unwrap();
+        let cross_node = CalibratedModel::probe_program(model.system(), 0).unwrap();
+        let intra_node = CalibratedModel::probe_program(model.system(), 1).unwrap();
+        let reference = inner();
+        assert_eq!(
+            model.program_time(&cross_node),
+            2.0 * reference.program_time(&cross_node)
+        );
+        assert_eq!(
+            model.program_time(&intra_node),
+            reference.program_time(&intra_node)
+        );
+    }
+
+    #[test]
+    fn calibration_reproduces_the_probe_ratios() {
+        // A "measurement" that is exactly 3x the prediction on every probe.
+        let reference = inner();
+        let model =
+            CalibratedModel::calibrate(inner(), |p| 3.0 * reference.program_time(p)).unwrap();
+        for &scale in model.level_scales() {
+            assert!((scale - 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn degenerate_measurements_fall_back_to_unit_scales() {
+        let model = CalibratedModel::calibrate(inner(), |_| f64::NAN).unwrap();
+        assert_eq!(model.level_scales(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn invalid_scales_rejected() {
+        assert!(matches!(
+            CalibratedModel::new(inner(), vec![1.0]),
+            Err(CostError::ScaleCountMismatch {
+                expected: 2,
+                got: 1
+            })
+        ));
+        assert!(matches!(
+            CalibratedModel::new(inner(), vec![1.0, -2.0]),
+            Err(CostError::InvalidScale { level: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn single_instance_levels_have_no_probe() {
+        // figure2a has a single rack, so level 0 can never be crossed.
+        let sys = presets::figure2a_system();
+        assert!(CalibratedModel::probe_program(&sys, 0).is_none());
+        assert!(CalibratedModel::probe_program(&sys, 1).is_some());
+    }
+}

@@ -16,6 +16,32 @@ pub enum CostError {
         /// Devices in the system.
         num_devices: usize,
     },
+    /// No built-in cost model goes by this name.
+    UnknownModel {
+        /// The unrecognized name.
+        name: String,
+    },
+    /// A model parameter must be non-negative and finite.
+    InvalidParameter {
+        /// The parameter's name.
+        parameter: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A calibrated model needs one scale per hierarchy level.
+    ScaleCountMismatch {
+        /// The system's hierarchy depth.
+        expected: usize,
+        /// The number of scales supplied.
+        got: usize,
+    },
+    /// Calibration scales must be positive and finite.
+    InvalidScale {
+        /// The hierarchy level of the offending scale.
+        level: usize,
+        /// The offending value.
+        scale: f64,
+    },
 }
 
 impl fmt::Display for CostError {
@@ -31,6 +57,30 @@ impl fmt::Display for CostError {
                 write!(
                     f,
                     "device rank {rank} out of range for {num_devices} devices"
+                )
+            }
+            CostError::UnknownModel { name } => {
+                write!(
+                    f,
+                    "unknown cost model {name:?} (expected alpha-beta, loggp or calibrated)"
+                )
+            }
+            CostError::InvalidParameter { parameter, value } => {
+                write!(
+                    f,
+                    "cost-model parameter {parameter} must be non-negative and finite, got {value}"
+                )
+            }
+            CostError::ScaleCountMismatch { expected, got } => {
+                write!(
+                    f,
+                    "calibration needs one scale per hierarchy level: expected {expected}, got {got}"
+                )
+            }
+            CostError::InvalidScale { level, scale } => {
+                write!(
+                    f,
+                    "calibration scale for level {level} must be positive and finite, got {scale}"
                 )
             }
         }

@@ -1,12 +1,13 @@
-//! The α–β cost model with per-uplink contention.
+//! The `CostModel` trait: pluggable prediction of lowered-program time, plus
+//! the incremental [`CostAccumulator`] used for admissible prefix pruning.
 
-use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
 
 use p2_collectives::Collective;
-use p2_synthesis::{GroupExec, LoweredProgram, LoweredStep};
-use p2_topology::{SystemTopology, Uplink};
+use p2_synthesis::{LoweredProgram, LoweredStep};
+use p2_topology::SystemTopology;
 
-use crate::algo::NcclAlgo;
 use crate::error::CostError;
 
 /// Predicted cost of one step of a lowered program.
@@ -34,25 +35,124 @@ impl CostBreakdown {
     }
 }
 
+/// A performance model predicting the time of lowered reduction programs on a
+/// hierarchical system — the pluggable face of the paper's analytic simulator.
+///
+/// Implementations provide [`step_cost`](CostModel::step_cost); everything
+/// else has a default in terms of it. The built-in implementations are
+/// [`AlphaBetaModel`](crate::AlphaBetaModel) (the paper's α–β model, the
+/// default), [`LogGpModel`](crate::LogGpModel),
+/// [`CalibratedModel`](crate::CalibratedModel) and the
+/// [`CachedCostModel`](crate::CachedCostModel) decorator; they are selected
+/// by name through [`CostModelKind`].
+///
+/// # Admissibility requirement
+///
+/// The streaming pipeline prunes candidates by comparing the *prefix* sums a
+/// [`CostAccumulator`] produces against an upper bound, and drops a candidate
+/// as soon as a prefix exceeds the bound. For that to be sound, every
+/// implementation **must** guarantee:
+///
+/// 1. **Non-negative step times** — `step_time` never returns a negative or
+///    NaN value, so the running sum never decreases; and
+/// 2. **Additivity** — `program_time` equals folding the per-step times with
+///    `+` from `0.0` in program order (the default implementation does
+///    exactly this; overrides must preserve it bit for bit, since the
+///    determinism suite compares accumulated prefixes against totals with
+///    `==`).
+///
+/// Together these make every prefix sum an *admissible lower bound* on the
+/// whole program's predicted time: a candidate whose prefix already exceeds
+/// the bound cannot come back under it.
+///
+/// Models are shared across the worker threads of the placement sweep
+/// (`Send + Sync`) and must be deterministic: the same step must always
+/// predict the same bits, regardless of call order or thread count.
+pub trait CostModel: fmt::Debug + Send + Sync {
+    /// A short machine-readable name (e.g. `"alpha-beta"`), used by CLIs and
+    /// progress output.
+    fn name(&self) -> &str;
+
+    /// The system this model predicts for.
+    fn system(&self) -> &SystemTopology;
+
+    /// The per-device buffer size in bytes the predictions assume.
+    fn bytes_per_device(&self) -> f64;
+
+    /// Per-group prediction for one step (the primitive operation).
+    fn step_cost(&self, step: &LoweredStep) -> StepCost;
+
+    /// Predicted time of one step (the maximum over its concurrent groups).
+    fn step_time(&self, step: &LoweredStep) -> f64 {
+        self.step_cost(step).seconds
+    }
+
+    /// Predicted time of a whole lowered program, in seconds: the per-step
+    /// times folded with `+` from `0.0` in program order (see the trait-level
+    /// admissibility requirement before overriding).
+    fn program_time(&self, program: &LoweredProgram) -> f64 {
+        program.steps.iter().map(|s| self.step_time(s)).sum()
+    }
+
+    /// Per-step prediction for a lowered program.
+    fn program_breakdown(&self, program: &LoweredProgram) -> CostBreakdown {
+        CostBreakdown {
+            steps: program.steps.iter().map(|s| self.step_cost(s)).collect(),
+        }
+    }
+
+    /// Validates that a program only references devices of this model's
+    /// system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CostError::DeviceOutOfRange`] for the first offending rank.
+    fn validate_program(&self, program: &LoweredProgram) -> Result<(), CostError> {
+        let num_devices = self.system().num_devices();
+        for step in &program.steps {
+            for group in &step.groups {
+                for &d in &group.devices {
+                    if d >= num_devices {
+                        return Err(CostError::DeviceOutOfRange {
+                            rank: d,
+                            num_devices,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Starts an incremental [`CostAccumulator`] over this model.
+    fn accumulator(&self) -> CostAccumulator<'_>
+    where
+        Self: Sized,
+    {
+        CostAccumulator::new(self)
+    }
+}
+
 /// Incremental prefix costing for a lowered program: the running sum of the
 /// step times pushed so far.
 ///
-/// Step times are non-negative, so after any prefix the accumulated value is
-/// an *admissible lower bound* on the whole program's predicted time — the
-/// streaming pipeline uses it to prune candidates before measuring them.
-/// Pushing every step of a program accumulates, bit for bit, the same value
-/// as [`CostModel::program_time`]: both fold the identical per-step times
-/// with `+` from `0.0` in program order.
+/// Step times are non-negative (a [`CostModel`] invariant), so after any
+/// prefix the accumulated value is an *admissible lower bound* on the whole
+/// program's predicted time — the streaming pipeline uses it to prune
+/// candidates before measuring them. Pushing every step of a program
+/// accumulates, bit for bit, the same value as [`CostModel::program_time`]:
+/// both fold the identical per-step times with `+` from `0.0` in program
+/// order.
 #[derive(Debug, Clone)]
-pub struct CostAccumulator<'m, 'a> {
-    model: &'m CostModel<'a>,
+pub struct CostAccumulator<'m> {
+    model: &'m dyn CostModel,
     seconds: f64,
     steps: usize,
 }
 
-impl<'m, 'a> CostAccumulator<'m, 'a> {
+impl<'m> CostAccumulator<'m> {
     /// Creates an empty accumulator over `model`.
-    pub fn new(model: &'m CostModel<'a>) -> Self {
+    pub fn new(model: &'m dyn CostModel) -> Self {
         CostAccumulator {
             model,
             seconds: 0.0,
@@ -84,534 +184,71 @@ impl<'m, 'a> CostAccumulator<'m, 'a> {
     }
 }
 
-/// The paper's analytic simulator: predicts the end-to-end time of a lowered
-/// reduction program on a hierarchical system.
-///
-/// For every step, each concurrently-communicating device group is assigned
-/// an *effective bandwidth*: the minimum, over the uplinks its traffic
-/// crosses, of the uplink bandwidth divided by the number of groups of the
-/// same step using that uplink. The group's time follows the standard α–β
-/// formulas for its collective and algorithm; a step takes as long as its
-/// slowest group and a program is the sum of its steps.
-#[derive(Debug, Clone)]
-pub struct CostModel<'a> {
-    system: &'a SystemTopology,
-    algo: NcclAlgo,
-    bytes_per_device: f64,
+/// The built-in cost models, selectable by name (e.g. from a `--cost-model`
+/// CLI flag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostModelKind {
+    /// The paper's α–β model with per-uplink contention
+    /// ([`AlphaBetaModel`](crate::AlphaBetaModel)) — the default.
+    AlphaBeta,
+    /// The LogGP-style model with per-message overhead and gap terms
+    /// ([`LogGpModel`](crate::LogGpModel)).
+    LogGp,
+    /// The α–β model with per-level terms rescaled from execution-substrate
+    /// measurements ([`CalibratedModel`](crate::CalibratedModel)).
+    Calibrated,
 }
 
-impl<'a> CostModel<'a> {
-    /// Creates a cost model for a system, an NCCL algorithm and a per-device
-    /// buffer size in bytes.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CostError::InvalidBytes`] when the byte count is not a
-    /// positive finite number.
-    pub fn new(
-        system: &'a SystemTopology,
-        algo: NcclAlgo,
-        bytes_per_device: f64,
-    ) -> Result<Self, CostError> {
-        if !(bytes_per_device.is_finite() && bytes_per_device > 0.0) {
-            return Err(CostError::InvalidBytes {
-                bytes: bytes_per_device,
-            });
+impl CostModelKind {
+    /// Every built-in kind, in display order.
+    pub const ALL: [CostModelKind; 3] = [
+        CostModelKind::AlphaBeta,
+        CostModelKind::LogGp,
+        CostModelKind::Calibrated,
+    ];
+
+    /// The CLI name of the kind (`"alpha-beta"`, `"loggp"`, `"calibrated"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CostModelKind::AlphaBeta => "alpha-beta",
+            CostModelKind::LogGp => "loggp",
+            CostModelKind::Calibrated => "calibrated",
         }
-        Ok(CostModel {
-            system,
-            algo,
-            bytes_per_device,
-        })
-    }
-
-    /// The system this model predicts for.
-    pub fn system(&self) -> &SystemTopology {
-        self.system
-    }
-
-    /// The NCCL algorithm assumed for every collective call.
-    pub fn algo(&self) -> NcclAlgo {
-        self.algo
-    }
-
-    /// The per-device buffer size in bytes.
-    pub fn bytes_per_device(&self) -> f64 {
-        self.bytes_per_device
-    }
-
-    /// Predicted time of a whole lowered program, in seconds.
-    pub fn program_time(&self, program: &LoweredProgram) -> f64 {
-        self.program_breakdown(program).total()
-    }
-
-    /// Starts an incremental [`CostAccumulator`] over this model.
-    pub fn accumulator(&self) -> CostAccumulator<'_, 'a> {
-        CostAccumulator::new(self)
-    }
-
-    /// Per-step prediction for a lowered program.
-    pub fn program_breakdown(&self, program: &LoweredProgram) -> CostBreakdown {
-        CostBreakdown {
-            steps: program.steps.iter().map(|s| self.step_cost(s)).collect(),
-        }
-    }
-
-    /// Predicted time of one step (the maximum over its concurrent groups).
-    pub fn step_time(&self, step: &LoweredStep) -> f64 {
-        self.step_cost(step).seconds
-    }
-
-    fn step_cost(&self, step: &LoweredStep) -> StepCost {
-        // Count how many groups of this step use each uplink.
-        let mut usage: HashMap<Uplink, usize> = HashMap::new();
-        let group_uplinks: Vec<Vec<Uplink>> = step
-            .groups
-            .iter()
-            .map(|g| self.system.used_uplinks(&g.devices))
-            .collect();
-        for uplinks in &group_uplinks {
-            for &u in uplinks {
-                *usage.entry(u).or_insert(0) += 1;
-            }
-        }
-        let group_seconds: Vec<f64> = step
-            .groups
-            .iter()
-            .zip(&group_uplinks)
-            .map(|(group, uplinks)| self.group_time(step.collective, group, uplinks, &usage))
-            .collect();
-        let seconds = group_seconds.iter().copied().fold(0.0, f64::max);
-        StepCost {
-            collective: step.collective,
-            seconds,
-            group_seconds,
-        }
-    }
-
-    /// Predicted time of one device group performing one collective, given the
-    /// uplink usage counts of its step.
-    ///
-    /// The model computes, for every uplink and direction, the bytes the
-    /// collective's communication pattern (ring, chain or binomial tree) moves
-    /// through it, inflates them by the number of concurrent groups sharing
-    /// the uplink, and takes the slowest uplink as the bandwidth term; the
-    /// latency term counts the algorithm's communication rounds.
-    fn group_time(
-        &self,
-        collective: Collective,
-        group: &GroupExec,
-        uplinks: &[Uplink],
-        usage: &HashMap<Uplink, usize>,
-    ) -> f64 {
-        let n = group.devices.len();
-        if n < 2 || uplinks.is_empty() {
-            return 0.0;
-        }
-        let bytes = self.bytes_per_device * group.input_fraction;
-        let n_f = n as f64;
-        // Edges of the communication pattern and the bytes each edge carries
-        // over the whole collective.
-        let (edges, bytes_per_edge, rounds): (Vec<(usize, usize)>, f64, f64) =
-            match (collective, self.algo) {
-                (Collective::AllReduce, NcclAlgo::Ring) => (
-                    ring_edges(&group.devices),
-                    2.0 * (n_f - 1.0) / n_f * bytes,
-                    2.0 * (n_f - 1.0),
-                ),
-                (Collective::ReduceScatter, _) => (
-                    ring_edges(&group.devices),
-                    (n_f - 1.0) / n_f * bytes,
-                    n_f - 1.0,
-                ),
-                (Collective::AllGather, _) => {
-                    (ring_edges(&group.devices), (n_f - 1.0) * bytes, n_f - 1.0)
-                }
-                (Collective::AllReduce, NcclAlgo::Tree) => (
-                    bidirectional(tree_edges(&group.devices)),
-                    bytes,
-                    2.0 * n_f.log2().ceil(),
-                ),
-                (Collective::Reduce, NcclAlgo::Tree) => {
-                    (tree_edges(&group.devices), bytes, n_f.log2().ceil())
-                }
-                (Collective::Broadcast, NcclAlgo::Tree) => (
-                    reverse_edges(tree_edges(&group.devices)),
-                    bytes,
-                    n_f.log2().ceil(),
-                ),
-                (Collective::Reduce, NcclAlgo::Ring) => {
-                    (chain_edges(&group.devices, true), bytes, n_f - 1.0)
-                }
-                (Collective::Broadcast, NcclAlgo::Ring) => {
-                    (chain_edges(&group.devices, false), bytes, n_f - 1.0)
-                }
-            };
-        // Directional traffic through every uplink.
-        let mut traffic: HashMap<(Uplink, bool), f64> = HashMap::new();
-        let mut latency = 0.0_f64;
-        for &(src, dst) in &edges {
-            for uplink in self.system.used_uplinks(&[src, dst]) {
-                let outbound = self
-                    .system
-                    .ancestor_instance(src, uplink.level)
-                    .map(|inst| inst == uplink.instance)
-                    .unwrap_or(false);
-                *traffic.entry((uplink, outbound)).or_insert(0.0) += bytes_per_edge;
-                latency = latency.max(self.system.link(uplink.level).latency());
-            }
-        }
-        let bw_term = traffic
-            .iter()
-            .map(|(&(uplink, _), &bytes_through)| {
-                let contention = *usage.get(&uplink).unwrap_or(&1) as f64;
-                bytes_through * contention / self.system.link(uplink.level).bandwidth()
-            })
-            .fold(0.0, f64::max);
-        bw_term + rounds * latency
-    }
-
-    /// Validates that a program only references devices of this system.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CostError::DeviceOutOfRange`] for the first offending rank.
-    pub fn validate_program(&self, program: &LoweredProgram) -> Result<(), CostError> {
-        let num_devices = self.system.num_devices();
-        for step in &program.steps {
-            for group in &step.groups {
-                for &d in &group.devices {
-                    if d >= num_devices {
-                        return Err(CostError::DeviceOutOfRange {
-                            rank: d,
-                            num_devices,
-                        });
-                    }
-                }
-            }
-        }
-        Ok(())
     }
 }
 
-/// NCCL builds topology-aware rings that enter and leave every locality domain
-/// once; ordering the group by physical rank reproduces that, because ranks
-/// enumerate the hierarchy depth-first.
-fn nccl_ring_order(devices: &[usize]) -> Vec<usize> {
-    let mut order = devices.to_vec();
-    order.sort_unstable();
-    order
-}
-
-/// Root-first order for rooted collectives: the group's designated root stays
-/// first, the rest is ordered by physical rank (hierarchy-aware chain/tree).
-fn rooted_order(devices: &[usize]) -> Vec<usize> {
-    let mut order = devices.to_vec();
-    if order.len() > 1 {
-        order[1..].sort_unstable();
+impl fmt::Display for CostModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
     }
-    order
 }
 
-/// Consecutive ring edges (including the wrap-around) in hierarchy-aware order.
-fn ring_edges(devices: &[usize]) -> Vec<(usize, usize)> {
-    let order = nccl_ring_order(devices);
-    let n = order.len();
-    (0..n).map(|i| (order[i], order[(i + 1) % n])).collect()
-}
+impl FromStr for CostModelKind {
+    type Err = CostError;
 
-/// Chain edges toward (`toward_root`) or away from the first device.
-fn chain_edges(devices: &[usize], toward_root: bool) -> Vec<(usize, usize)> {
-    let order = rooted_order(devices);
-    (1..order.len())
-        .map(|i| {
-            if toward_root {
-                (order[i], order[i - 1])
-            } else {
-                (order[i - 1], order[i])
-            }
-        })
-        .collect()
-}
-
-/// Binomial-tree edges toward the first device (child → parent).
-fn tree_edges(devices: &[usize]) -> Vec<(usize, usize)> {
-    let order = rooted_order(devices);
-    let n = order.len();
-    let mut edges = Vec::new();
-    let mut step = 1usize;
-    while step < n {
-        let mut i = 0usize;
-        while i + step < n {
-            edges.push((order[i + step], order[i]));
-            i += 2 * step;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "alpha-beta" | "alphabeta" | "ab" => Ok(CostModelKind::AlphaBeta),
+            "loggp" | "log-gp" => Ok(CostModelKind::LogGp),
+            "calibrated" | "cal" => Ok(CostModelKind::Calibrated),
+            _ => Err(CostError::UnknownModel { name: s.into() }),
         }
-        step *= 2;
     }
-    edges
-}
-
-/// Each edge plus its reverse (for AllReduce's reduce-then-broadcast tree).
-fn bidirectional(edges: Vec<(usize, usize)>) -> Vec<(usize, usize)> {
-    let mut out = edges.clone();
-    out.extend(edges.into_iter().map(|(a, b)| (b, a)));
-    out
-}
-
-/// Every edge reversed (broadcast down a reduction tree).
-fn reverse_edges(edges: Vec<(usize, usize)>) -> Vec<(usize, usize)> {
-    edges.into_iter().map(|(a, b)| (b, a)).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use p2_placement::ParallelismMatrix;
-    use p2_synthesis::{baseline_allreduce, HierarchyKind, Synthesizer};
-    use p2_topology::presets;
-
-    const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
-
-    fn a100_4() -> p2_topology::SystemTopology {
-        presets::a100_system(4)
-    }
 
     #[test]
-    fn invalid_bytes_rejected() {
-        let sys = a100_4();
-        assert!(CostModel::new(&sys, NcclAlgo::Ring, 0.0).is_err());
-        assert!(CostModel::new(&sys, NcclAlgo::Ring, f64::NAN).is_err());
-        assert!(CostModel::new(&sys, NcclAlgo::Ring, -1.0).is_err());
-    }
-
-    #[test]
-    fn local_reduction_is_orders_of_magnitude_faster_than_cross_node() {
-        // Table 3 rows B1 vs B3 (Result 1): the placement changes AllReduce
-        // time by more than two orders of magnitude.
-        let sys = a100_4();
-        let bytes = 4.0 * (1u64 << 29) as f64 * 4.0;
-        let b1 =
-            ParallelismMatrix::new(vec![vec![1, 4], vec![4, 4]], vec![4, 16], vec![4, 16]).unwrap();
-        let b3 = ParallelismMatrix::new(vec![vec![4, 1], vec![1, 16]], vec![4, 16], vec![4, 16])
-            .unwrap();
-        for algo in NcclAlgo::ALL {
-            let model = CostModel::new(&sys, algo, bytes).unwrap();
-            let t1 = model.program_time(&baseline_allreduce(&b1, &[0]).unwrap());
-            let t3 = model.program_time(&baseline_allreduce(&b3, &[0]).unwrap());
-            assert!(
-                t3 / t1 > 100.0,
-                "{algo}: expected a large gap, got {t1} vs {t3}"
-            );
-            // And the same placement is much better for the *other* reduction axis.
-            let t1_axis1 = model.program_time(&baseline_allreduce(&b1, &[1]).unwrap());
-            let t3_axis1 = model.program_time(&baseline_allreduce(&b3, &[1]).unwrap());
-            assert!(t1_axis1 / t3_axis1 > 10.0);
+    fn kind_names_round_trip() {
+        for kind in CostModelKind::ALL {
+            assert_eq!(kind.as_str().parse::<CostModelKind>().unwrap(), kind);
+            assert_eq!(kind.to_string(), kind.as_str());
         }
-    }
-
-    #[test]
-    fn hierarchical_program_beats_flat_allreduce_across_nodes() {
-        // Result 5: when the reduction crosses nodes, a topology-aware program
-        // (ReduceScatter-AllReduce-AllGather) outperforms the single AllReduce.
-        let sys = presets::v100_system(4);
-        let bytes = 4.0 * (1u64 << 29) as f64 * 4.0;
-        let matrix = ParallelismMatrix::new(vec![vec![4, 8]], vec![4, 8], vec![32]).unwrap();
-        let synth =
-            Synthesizer::new(matrix.clone(), vec![0], HierarchyKind::ReductionAxes).unwrap();
-        let result = synth.synthesize(5);
-        let model = CostModel::new(&sys, NcclAlgo::Ring, bytes).unwrap();
-        let baseline = model.program_time(&baseline_allreduce(&matrix, &[0]).unwrap());
-        let best = result
-            .programs
-            .iter()
-            .map(|p| model.program_time(&synth.lower(p).unwrap()))
-            .fold(f64::INFINITY, f64::min);
-        assert!(
-            best < baseline,
-            "best synthesized {best} should beat AllReduce {baseline}"
-        );
-        let speedup = baseline / best;
-        assert!(
-            speedup > 1.05 && speedup < 10.0,
-            "speedup {speedup} outside plausible range"
-        );
-    }
-
-    #[test]
-    fn local_reduction_is_not_improved_by_synthesis() {
-        // Result 3: if the reduction fits in one node, the single AllReduce is
-        // already (near-)optimal.
-        let sys = a100_4();
-        let bytes = 4.0 * (1u64 << 29) as f64 * 4.0;
-        // F1-style placement: reduction axis inside the node.
-        let matrix =
-            ParallelismMatrix::new(vec![vec![1, 8], vec![4, 2]], vec![4, 16], vec![8, 8]).unwrap();
-        let synth =
-            Synthesizer::new(matrix.clone(), vec![0], HierarchyKind::ReductionAxes).unwrap();
-        let model = CostModel::new(&sys, NcclAlgo::Ring, bytes).unwrap();
-        let baseline = model.program_time(&baseline_allreduce(&matrix, &[0]).unwrap());
-        let best = synth
-            .synthesize(5)
-            .programs
-            .iter()
-            .map(|p| model.program_time(&synth.lower(p).unwrap()))
-            .fold(f64::INFINITY, f64::min);
-        assert!(
-            baseline <= best * 1.01,
-            "AllReduce {baseline} should be optimal, best {best}"
-        );
-    }
-
-    #[test]
-    fn cost_scales_linearly_with_bytes() {
-        let sys = a100_4();
-        let matrix =
-            ParallelismMatrix::new(vec![vec![4, 1], vec![1, 16]], vec![4, 16], vec![4, 16])
-                .unwrap();
-        let program = baseline_allreduce(&matrix, &[0]).unwrap();
-        let small = CostModel::new(&sys, NcclAlgo::Ring, GIB)
-            .unwrap()
-            .program_time(&program);
-        let large = CostModel::new(&sys, NcclAlgo::Ring, 4.0 * GIB)
-            .unwrap()
-            .program_time(&program);
-        let ratio = large / small;
-        assert!(
-            (ratio - 4.0).abs() < 0.05,
-            "bandwidth-bound cost should scale ~linearly, ratio {ratio}"
-        );
-    }
-
-    #[test]
-    fn contention_slows_groups_down() {
-        let sys = a100_4();
-        let model = CostModel::new(&sys, NcclAlgo::Ring, GIB).unwrap();
-        // One cross-node pair alone...
-        let lone = LoweredStep {
-            collective: Collective::AllReduce,
-            groups: vec![GroupExec {
-                devices: vec![0, 16],
-                input_fraction: 1.0,
-            }],
-        };
-        // ...versus sixteen cross-node pairs sharing the two NICs.
-        let crowded = LoweredStep {
-            collective: Collective::AllReduce,
-            groups: (0..16)
-                .map(|i| GroupExec {
-                    devices: vec![i, 16 + i],
-                    input_fraction: 1.0,
-                })
-                .collect(),
-        };
-        let t_lone = model.step_time(&lone);
-        let t_crowded = model.step_time(&crowded);
-        let ratio = t_crowded / t_lone;
-        assert!(
-            (ratio - 16.0).abs() < 0.5,
-            "expected ~16x contention slowdown, got {ratio}"
-        );
-    }
-
-    #[test]
-    fn empty_and_trivial_steps_cost_nothing() {
-        let sys = a100_4();
-        let model = CostModel::new(&sys, NcclAlgo::Tree, GIB).unwrap();
-        let step = LoweredStep {
-            collective: Collective::Broadcast,
-            groups: vec![GroupExec {
-                devices: vec![3],
-                input_fraction: 1.0,
-            }],
-        };
-        assert_eq!(model.step_time(&step), 0.0);
-        let empty = LoweredProgram {
-            steps: vec![],
-            num_devices: 64,
-        };
-        assert_eq!(model.program_time(&empty), 0.0);
-    }
-
-    #[test]
-    fn validate_program_catches_bad_ranks() {
-        let sys = a100_4();
-        let model = CostModel::new(&sys, NcclAlgo::Ring, GIB).unwrap();
-        let bad = LoweredProgram {
-            steps: vec![LoweredStep {
-                collective: Collective::AllReduce,
-                groups: vec![GroupExec {
-                    devices: vec![0, 99],
-                    input_fraction: 1.0,
-                }],
-            }],
-            num_devices: 64,
-        };
         assert!(matches!(
-            model.validate_program(&bad),
-            Err(CostError::DeviceOutOfRange { rank: 99, .. })
+            "no-such-model".parse::<CostModelKind>(),
+            Err(CostError::UnknownModel { .. })
         ));
-    }
-
-    #[test]
-    fn accumulator_prefixes_lower_bound_and_total_matches_bit_for_bit() {
-        let sys = a100_4();
-        let matrix =
-            ParallelismMatrix::new(vec![vec![2, 8], vec![2, 2]], vec![4, 16], vec![16, 4]).unwrap();
-        let synth = Synthesizer::new(matrix, vec![0], HierarchyKind::ReductionAxes).unwrap();
-        let programs = synth.synthesize(4).programs;
-        for algo in NcclAlgo::ALL {
-            let model = CostModel::new(&sys, algo, GIB).unwrap();
-            for p in programs.iter().take(10) {
-                let lowered = synth.lower(p).unwrap();
-                let total = model.program_time(&lowered);
-                let mut acc = model.accumulator();
-                for (i, step) in lowered.steps.iter().enumerate() {
-                    let running = acc.push(step);
-                    assert_eq!(acc.steps(), i + 1);
-                    assert_eq!(running, acc.seconds());
-                    // Every prefix is an admissible lower bound on the total.
-                    assert!(running <= total + 1e-15, "prefix {running} above {total}");
-                }
-                // The full accumulation is bit-identical to program_time.
-                assert_eq!(acc.seconds(), total);
-            }
-        }
-    }
-
-    #[test]
-    fn accumulator_exceeds_tracks_the_bound() {
-        let sys = a100_4();
-        let model = CostModel::new(&sys, NcclAlgo::Ring, GIB).unwrap();
-        let step = LoweredStep {
-            collective: Collective::AllReduce,
-            groups: vec![GroupExec {
-                devices: vec![0, 16],
-                input_fraction: 1.0,
-            }],
-        };
-        let mut acc = model.accumulator();
-        assert!(!acc.exceeds(0.0), "an empty prefix exceeds nothing");
-        let t = acc.push(&step);
-        assert!(t > 0.0);
-        assert!(acc.exceeds(t / 2.0));
-        assert!(!acc.exceeds(t));
-        assert!(!acc.exceeds(2.0 * t));
-    }
-
-    #[test]
-    fn breakdown_total_matches_program_time() {
-        let sys = a100_4();
-        let matrix =
-            ParallelismMatrix::new(vec![vec![2, 8], vec![2, 2]], vec![4, 16], vec![16, 4]).unwrap();
-        let synth = Synthesizer::new(matrix, vec![0], HierarchyKind::ReductionAxes).unwrap();
-        let programs = synth.synthesize(4).programs;
-        let model = CostModel::new(&sys, NcclAlgo::Tree, GIB).unwrap();
-        for p in programs.iter().take(10) {
-            let lowered = synth.lower(p).unwrap();
-            let breakdown = model.program_breakdown(&lowered);
-            assert_eq!(breakdown.steps.len(), lowered.steps.len());
-            assert!((breakdown.total() - model.program_time(&lowered)).abs() < 1e-12);
-            assert!(breakdown.total() > 0.0);
-        }
     }
 }

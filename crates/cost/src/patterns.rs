@@ -1,0 +1,239 @@
+//! Communication patterns and traffic machinery shared by the analytic cost
+//! models: the edges a collective's algorithm sends over, the bytes each edge
+//! carries, the number of communication rounds, and the contention-aware
+//! per-uplink aggregation every model's bandwidth term is built from.
+
+use std::collections::HashMap;
+
+use p2_collectives::Collective;
+use p2_synthesis::{GroupExec, LoweredStep};
+use p2_topology::{SystemTopology, Uplink};
+
+use crate::algo::NcclAlgo;
+use crate::model::StepCost;
+
+/// NCCL builds topology-aware rings that enter and leave every locality domain
+/// once; ordering the group by physical rank reproduces that, because ranks
+/// enumerate the hierarchy depth-first.
+fn nccl_ring_order(devices: &[usize]) -> Vec<usize> {
+    let mut order = devices.to_vec();
+    order.sort_unstable();
+    order
+}
+
+/// Root-first order for rooted collectives: the group's designated root stays
+/// first, the rest is ordered by physical rank (hierarchy-aware chain/tree).
+fn rooted_order(devices: &[usize]) -> Vec<usize> {
+    let mut order = devices.to_vec();
+    if order.len() > 1 {
+        order[1..].sort_unstable();
+    }
+    order
+}
+
+/// Consecutive ring edges (including the wrap-around) in hierarchy-aware order.
+fn ring_edges(devices: &[usize]) -> Vec<(usize, usize)> {
+    let order = nccl_ring_order(devices);
+    let n = order.len();
+    (0..n).map(|i| (order[i], order[(i + 1) % n])).collect()
+}
+
+/// Chain edges toward (`toward_root`) or away from the first device.
+fn chain_edges(devices: &[usize], toward_root: bool) -> Vec<(usize, usize)> {
+    let order = rooted_order(devices);
+    (1..order.len())
+        .map(|i| {
+            if toward_root {
+                (order[i], order[i - 1])
+            } else {
+                (order[i - 1], order[i])
+            }
+        })
+        .collect()
+}
+
+/// Binomial-tree edges toward the first device (child → parent).
+fn tree_edges(devices: &[usize]) -> Vec<(usize, usize)> {
+    let order = rooted_order(devices);
+    let n = order.len();
+    let mut edges = Vec::new();
+    let mut step = 1usize;
+    while step < n {
+        let mut i = 0usize;
+        while i + step < n {
+            edges.push((order[i + step], order[i]));
+            i += 2 * step;
+        }
+        step *= 2;
+    }
+    edges
+}
+
+/// Each edge plus its reverse (for AllReduce's reduce-then-broadcast tree).
+fn bidirectional(edges: Vec<(usize, usize)>) -> Vec<(usize, usize)> {
+    let mut out = edges.clone();
+    out.extend(edges.into_iter().map(|(a, b)| (b, a)));
+    out
+}
+
+/// Every edge reversed (broadcast down a reduction tree).
+fn reverse_edges(edges: Vec<(usize, usize)>) -> Vec<(usize, usize)> {
+    edges.into_iter().map(|(a, b)| (b, a)).collect()
+}
+
+/// Edges of the communication pattern of one collective over `devices`, the
+/// bytes each edge carries over the whole collective (for a per-participant
+/// contribution of `bytes`), and the number of communication rounds.
+pub(crate) fn collective_pattern(
+    collective: Collective,
+    algo: NcclAlgo,
+    devices: &[usize],
+    bytes: f64,
+) -> (Vec<(usize, usize)>, f64, f64) {
+    let n_f = devices.len() as f64;
+    match (collective, algo) {
+        (Collective::AllReduce, NcclAlgo::Ring) => (
+            ring_edges(devices),
+            2.0 * (n_f - 1.0) / n_f * bytes,
+            2.0 * (n_f - 1.0),
+        ),
+        (Collective::ReduceScatter, _) => {
+            (ring_edges(devices), (n_f - 1.0) / n_f * bytes, n_f - 1.0)
+        }
+        (Collective::AllGather, _) => (ring_edges(devices), (n_f - 1.0) * bytes, n_f - 1.0),
+        (Collective::AllReduce, NcclAlgo::Tree) => (
+            bidirectional(tree_edges(devices)),
+            bytes,
+            2.0 * n_f.log2().ceil(),
+        ),
+        (Collective::Reduce, NcclAlgo::Tree) => (tree_edges(devices), bytes, n_f.log2().ceil()),
+        (Collective::Broadcast, NcclAlgo::Tree) => {
+            (reverse_edges(tree_edges(devices)), bytes, n_f.log2().ceil())
+        }
+        (Collective::Reduce, NcclAlgo::Ring) => (chain_edges(devices, true), bytes, n_f - 1.0),
+        (Collective::Broadcast, NcclAlgo::Ring) => (chain_edges(devices, false), bytes, n_f - 1.0),
+    }
+}
+
+/// The physically-derived terms of one group's collective, before a model
+/// turns them into seconds: the contention-inflated bandwidth time, the wire
+/// latency of the slowest crossed link, and the algorithm's round count.
+pub(crate) struct GroupTerms {
+    /// Max over uplinks of `bytes_through × contention / bandwidth`.
+    pub bandwidth_seconds: f64,
+    /// The largest per-message latency among the crossed links.
+    pub wire_latency: f64,
+    /// Number of communication rounds of the collective's algorithm.
+    pub rounds: f64,
+}
+
+/// Aggregates one group's traffic through the system's uplinks, inflated by
+/// the step-wide `usage` contention counts — the machinery every analytic
+/// model shares; each model only decides how to combine the returned terms.
+/// Returns `None` for trivial groups (fewer than two devices, or crossing no
+/// uplink), which cost nothing.
+pub(crate) fn group_traffic_terms(
+    system: &SystemTopology,
+    collective: Collective,
+    algo: NcclAlgo,
+    group: &GroupExec,
+    uplinks: &[Uplink],
+    usage: &HashMap<Uplink, usize>,
+    bytes: f64,
+) -> Option<GroupTerms> {
+    if group.devices.len() < 2 || uplinks.is_empty() {
+        return None;
+    }
+    let (edges, bytes_per_edge, rounds) =
+        collective_pattern(collective, algo, &group.devices, bytes);
+    // Directional traffic through every uplink (uplinks are full-duplex:
+    // inbound and outbound bytes do not compete with each other).
+    let mut traffic: HashMap<(Uplink, bool), f64> = HashMap::new();
+    let mut wire_latency = 0.0_f64;
+    for &(src, dst) in &edges {
+        for uplink in system.used_uplinks(&[src, dst]) {
+            let outbound = system
+                .ancestor_instance(src, uplink.level)
+                .map(|inst| inst == uplink.instance)
+                .unwrap_or(false);
+            *traffic.entry((uplink, outbound)).or_insert(0.0) += bytes_per_edge;
+            wire_latency = wire_latency.max(system.link(uplink.level).latency());
+        }
+    }
+    let bandwidth_seconds = traffic
+        .iter()
+        .map(|(&(uplink, _), &bytes_through)| {
+            let contention = *usage.get(&uplink).unwrap_or(&1) as f64;
+            bytes_through * contention / system.link(uplink.level).bandwidth()
+        })
+        .fold(0.0, f64::max);
+    Some(GroupTerms {
+        bandwidth_seconds,
+        wire_latency,
+        rounds,
+    })
+}
+
+/// The per-step scaffold shared by the analytic models: count each uplink's
+/// concurrent users across the step's groups, hand every group (with its
+/// uplinks and the usage map) to `group_time`, and take the slowest group as
+/// the step time.
+pub(crate) fn step_cost_with<F>(
+    system: &SystemTopology,
+    step: &LoweredStep,
+    group_time: F,
+) -> StepCost
+where
+    F: Fn(&GroupExec, &[Uplink], &HashMap<Uplink, usize>) -> f64,
+{
+    let mut usage: HashMap<Uplink, usize> = HashMap::new();
+    let group_uplinks: Vec<Vec<Uplink>> = step
+        .groups
+        .iter()
+        .map(|g| system.used_uplinks(&g.devices))
+        .collect();
+    for uplinks in &group_uplinks {
+        for &u in uplinks {
+            *usage.entry(u).or_insert(0) += 1;
+        }
+    }
+    let group_seconds: Vec<f64> = step
+        .groups
+        .iter()
+        .zip(&group_uplinks)
+        .map(|(group, uplinks)| group_time(group, uplinks, &usage))
+        .collect();
+    let seconds = group_seconds.iter().copied().fold(0.0, f64::max);
+    StepCost {
+        collective: step.collective,
+        seconds,
+        group_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_covers_every_device_once() {
+        let edges = ring_edges(&[5, 1, 3]);
+        assert_eq!(edges, vec![(1, 3), (3, 5), (5, 1)]);
+    }
+
+    #[test]
+    fn rooted_orders_keep_the_root_first() {
+        assert_eq!(chain_edges(&[4, 9, 2], true), vec![(2, 4), (9, 2)]);
+        assert_eq!(chain_edges(&[4, 9, 2], false), vec![(4, 2), (2, 9)]);
+        let tree = tree_edges(&[4, 9, 2]);
+        assert!(tree.contains(&(2, 4)));
+    }
+
+    #[test]
+    fn tree_allreduce_edges_are_bidirectional() {
+        let (edges, _, rounds) =
+            collective_pattern(Collective::AllReduce, NcclAlgo::Tree, &[0, 1, 2, 3], 1.0);
+        assert_eq!(edges.len(), 6); // 3 tree edges, both directions.
+        assert_eq!(rounds, 4.0); // 2 * ceil(log2 4).
+    }
+}

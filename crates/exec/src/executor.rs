@@ -165,7 +165,7 @@ impl<'a> Executor<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use p2_cost::{CostModel, NcclAlgo};
+    use p2_cost::{AlphaBetaModel, CostModel, NcclAlgo};
     use p2_placement::ParallelismMatrix;
     use p2_synthesis::{baseline_allreduce, GroupExec, HierarchyKind, Synthesizer};
     use p2_topology::presets;
@@ -193,7 +193,7 @@ mod tests {
             ParallelismMatrix::new(vec![vec![2, 4], vec![1, 4]], vec![2, 16], vec![8, 4]).unwrap();
         let synth = Synthesizer::new(matrix, vec![0], HierarchyKind::ReductionAxes).unwrap();
         let programs = synth.synthesize(4).programs;
-        let model = CostModel::new(&sys, NcclAlgo::Ring, bytes).unwrap();
+        let model = AlphaBetaModel::new(sys.clone(), NcclAlgo::Ring, bytes).unwrap();
         let exec = Executor::new(&sys, ExecConfig::new(NcclAlgo::Ring, bytes)).unwrap();
         let mut pairs: Vec<(f64, f64)> = programs
             .iter()

@@ -111,6 +111,51 @@ pub fn rack_node_gpu_system(
     nodes_per_rack: usize,
     gpus_per_node: usize,
 ) -> SystemTopology {
+    rack_node_gpu_with(
+        format!("rack{racks}x{nodes_per_rack}x{gpus_per_node}"),
+        racks,
+        nodes_per_rack,
+        gpus_per_node,
+        RACK_BANDWIDTH,
+    )
+}
+
+/// [`rack_node_gpu_system`] with an explicit core-switch *oversubscription
+/// ratio*: the effective cross-rack bandwidth is
+/// [`NIC_BANDWIDTH`]` / oversubscription`, the leaf-spine convention (a
+/// ratio of `1.0` is a non-blocking core, `2.0` reproduces
+/// [`rack_node_gpu_system`], larger ratios model cheaper fabrics). This is
+/// the knob the `rack_table3`/`rack_table4` bins sweep.
+///
+/// # Panics
+///
+/// Panics if any count is zero or the ratio is not a finite number ≥ 1.
+pub fn rack_node_gpu_system_oversubscribed(
+    racks: usize,
+    nodes_per_rack: usize,
+    gpus_per_node: usize,
+    oversubscription: f64,
+) -> SystemTopology {
+    assert!(
+        oversubscription.is_finite() && oversubscription >= 1.0,
+        "oversubscription ratio must be a finite number >= 1"
+    );
+    rack_node_gpu_with(
+        format!("rack{racks}x{nodes_per_rack}x{gpus_per_node}-os{oversubscription}"),
+        racks,
+        nodes_per_rack,
+        gpus_per_node,
+        NIC_BANDWIDTH / oversubscription,
+    )
+}
+
+fn rack_node_gpu_with(
+    name: String,
+    racks: usize,
+    nodes_per_rack: usize,
+    gpus_per_node: usize,
+    rack_bandwidth: f64,
+) -> SystemTopology {
     assert!(racks > 0, "rack_node_gpu_system requires at least one rack");
     assert!(
         nodes_per_rack > 0,
@@ -127,16 +172,11 @@ pub fn rack_node_gpu_system(
     ])
     .expect("static hierarchy is valid");
     let links = vec![
-        Interconnect::new("core-switch", RACK_BANDWIDTH, RACK_LATENCY).expect("valid link"),
+        Interconnect::new("core-switch", rack_bandwidth, RACK_LATENCY).expect("valid link"),
         Interconnect::new("NIC/DCN", NIC_BANDWIDTH, DCN_LATENCY).expect("valid link"),
         Interconnect::new("NVSwitch", A100_NVSWITCH_BANDWIDTH, LOCAL_LATENCY).expect("valid link"),
     ];
-    SystemTopology::with_name(
-        format!("rack{racks}x{nodes_per_rack}x{gpus_per_node}"),
-        hierarchy,
-        links,
-    )
-    .expect("hierarchy and links are consistent")
+    SystemTopology::with_name(name, hierarchy, links).expect("hierarchy and links are consistent")
 }
 
 /// The 16-GPU example system of Figure 2a: one rack with 2 servers, each with
@@ -201,6 +241,40 @@ mod tests {
     #[should_panic(expected = "at least one rack")]
     fn rack_node_gpu_rejects_zero_racks() {
         rack_node_gpu_system(0, 2, 8);
+    }
+
+    #[test]
+    fn oversubscription_scales_the_core_switch_only() {
+        let default = rack_node_gpu_system(2, 2, 8);
+        let two_to_one = rack_node_gpu_system_oversubscribed(2, 2, 8, 2.0);
+        // The default preset is the 2:1 leaf-spine shape.
+        assert_eq!(
+            default.bottleneck_bandwidth(&[0, 16]),
+            two_to_one.bottleneck_bandwidth(&[0, 16])
+        );
+        let non_blocking = rack_node_gpu_system_oversubscribed(2, 2, 8, 1.0);
+        assert_eq!(
+            non_blocking.bottleneck_bandwidth(&[0, 16]),
+            Some(NIC_BANDWIDTH)
+        );
+        let cheap = rack_node_gpu_system_oversubscribed(2, 2, 8, 4.0);
+        assert_eq!(
+            cheap.bottleneck_bandwidth(&[0, 16]),
+            Some(NIC_BANDWIDTH / 4.0)
+        );
+        // The intra-rack levels are untouched.
+        assert_eq!(cheap.bottleneck_bandwidth(&[0, 8]), Some(NIC_BANDWIDTH));
+        assert_eq!(
+            cheap.bottleneck_bandwidth(&[0, 1]),
+            Some(A100_NVSWITCH_BANDWIDTH)
+        );
+        assert!(cheap.name().contains("os4"));
+    }
+
+    #[test]
+    #[should_panic(expected = "oversubscription ratio")]
+    fn oversubscription_below_one_is_rejected() {
+        rack_node_gpu_system_oversubscribed(2, 2, 8, 0.5);
     }
 
     #[test]

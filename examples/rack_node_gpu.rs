@@ -9,8 +9,9 @@
 //! * `P2::builder` with `RunMode::Shortlist` — the paper's deployment mode —
 //!   plus bounded per-placement retention;
 //! * a `RunObserver` counting streamed events from the parallel sweep;
-//! * `SharedBoundObserver`, whose deterministic two-pass run lets cheap
-//!   placements prune expensive ones across the whole sweep.
+//! * `SharedBoundObserver`, whose single-pass reduction-tree bound lets cheap
+//!   placements prune expensive ones inside one sweep, deterministically for
+//!   any thread count.
 //!
 //! Run with `cargo run --release --example rack_node_gpu`.
 
@@ -94,13 +95,14 @@ fn main() -> Result<(), p2::P2Error> {
         best.measured_seconds
     );
 
-    // Cross-placement pruning: a predict-only pass seeds a global bound, then
-    // the same session reruns pruned against it — deterministically, because
-    // the bound is a minimum over all placements and frozen between passes.
+    // Cross-placement pruning inside one pass: each placement publishes its
+    // predicted minimum into a reduction tree keyed by production order, and
+    // later placements prune against the dyadic prefix below them — no
+    // duplicate predict-only sweep, still deterministic for any thread count.
     let mut shared = SharedBoundObserver::new();
     let pruned = shared.run(&session)?;
     println!(
-        "Two-pass shared-bound run: global predicted bound {:.4}s, retained {} (vs {}), \
+        "Single-pass shared-bound run: global predicted bound {:.4}s, retained {} (vs {}), \
          same optimum: {}",
         shared.bound().expect("bound seeded"),
         pruned.total_programs_retained(),

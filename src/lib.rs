@@ -46,9 +46,13 @@ pub use p2_topology as topology;
 pub use p2_collectives::{Collective, State};
 pub use p2_core::{
     top_k_accuracy, ExperimentResult, P2Builder, P2Config, P2Error, PlacementEvaluation,
-    ProgramEvaluation, RunMode, RunObserver, SharedBoundObserver, TopKReport, P2,
+    ProgramEvaluation, ProgressObserver, RunMode, RunObserver, SharedBoundObserver, TopKReport,
+    TwoPassSharedBound, P2,
 };
-pub use p2_cost::{CostAccumulator, CostModel, NcclAlgo};
+pub use p2_cost::{
+    AlphaBetaModel, CacheStats, CachedCostModel, CalibratedModel, CostAccumulator, CostBreakdown,
+    CostModel, CostModelKind, LogGpModel, NcclAlgo, StepClass, StepCost,
+};
 pub use p2_exec::{ExecConfig, Executor};
 pub use p2_placement::{
     enumerate_matrices, for_each_matrix, MatrixControl, MatrixSink, ParallelismMatrix,

@@ -2,7 +2,7 @@
 //! hierarchy of Table 1) and for the agreement between the two performance
 //! models on physically meaningful properties.
 
-use p2::cost::{CostModel, NcclAlgo};
+use p2::cost::{AlphaBetaModel, CostModel, NcclAlgo};
 use p2::exec::{ExecConfig, Executor};
 use p2::placement::ParallelismMatrix;
 use p2::synthesis::{baseline_allreduce, HierarchyKind, Synthesizer};
@@ -64,7 +64,7 @@ fn reducing_all_axes_equals_single_axis_reduction() {
         ParallelismMatrix::new(vec![vec![2, 2], vec![1, 4]], vec![2, 8], vec![4, 4]).unwrap();
     let best_time = |matrix: &ParallelismMatrix, axes: Vec<usize>| -> f64 {
         let synth = Synthesizer::new(matrix.clone(), axes, HierarchyKind::ReductionAxes).unwrap();
-        let model = CostModel::new(&system, NcclAlgo::Ring, bytes).unwrap();
+        let model = AlphaBetaModel::new(system.clone(), NcclAlgo::Ring, bytes).unwrap();
         synth
             .synthesize(4)
             .programs
@@ -98,10 +98,10 @@ fn both_models_scale_inversely_with_bandwidth() {
     let program = baseline_allreduce(&matrix, &[0]).unwrap();
     let bytes = 4.0e9;
 
-    let cost_slow = CostModel::new(&slow, NcclAlgo::Ring, bytes)
+    let cost_slow = AlphaBetaModel::new(slow.clone(), NcclAlgo::Ring, bytes)
         .unwrap()
         .program_time(&program);
-    let cost_fast = CostModel::new(&fast, NcclAlgo::Ring, bytes)
+    let cost_fast = AlphaBetaModel::new(fast.clone(), NcclAlgo::Ring, bytes)
         .unwrap()
         .program_time(&program);
     assert!((cost_slow / cost_fast - 2.0).abs() < 1e-6);
@@ -125,7 +125,7 @@ fn allgather_cost_grows_with_group_size() {
     use p2::synthesis::{GroupExec, LoweredProgram, LoweredStep};
     let system = presets::a100_system(1);
     let bytes = 1.0e9;
-    let model = CostModel::new(&system, NcclAlgo::Ring, bytes).unwrap();
+    let model = AlphaBetaModel::new(system.clone(), NcclAlgo::Ring, bytes).unwrap();
     let exec = Executor::new(
         &system,
         ExecConfig::new(NcclAlgo::Ring, bytes)
@@ -163,7 +163,7 @@ fn three_level_hierarchy_end_to_end() {
     let system = presets::v100_pcie_system(2);
     assert_eq!(system.hierarchy().depth(), 3);
     let bytes = 1.0e9;
-    let model = CostModel::new(&system, NcclAlgo::Ring, bytes).unwrap();
+    let model = AlphaBetaModel::new(system.clone(), NcclAlgo::Ring, bytes).unwrap();
     // Axes [4, 4]: 4-way reduction axis placed either inside a PCIe domain or
     // across nodes, depending on the matrix.
     let local = ParallelismMatrix::new(

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use p2::cost::{CostModel, NcclAlgo};
+use p2::cost::{AlphaBetaModel, CostModel, NcclAlgo};
 use p2::exec::{ExecConfig, Executor};
 use p2::placement::{enumerate_matrices, ordered_factorizations};
 use p2::synthesis::{baseline_allreduce, HierarchyKind, Program, SinkControl, Synthesizer};
@@ -38,7 +38,7 @@ proptest! {
         let arities = system.hierarchy().arities();
         let matrices = enumerate_matrices(&arities, &axes).unwrap();
         let bytes = 1.0e8;
-        let model = CostModel::new(&system, NcclAlgo::Ring, bytes).unwrap();
+        let model = AlphaBetaModel::new(system.clone(), NcclAlgo::Ring, bytes).unwrap();
         let exec = Executor::new(&system, ExecConfig::new(NcclAlgo::Ring, bytes).with_repeats(1)).unwrap();
         for matrix in matrices.into_iter().take(3) {
             // A reduction over an axis of size 1 is a no-op: the only valid
@@ -150,11 +150,11 @@ proptest! {
         let mut last = 0.0;
         for bytes in [1.0e6, 1.0e7, 1.0e8, 1.0e9] {
             for algo in NcclAlgo::ALL {
-                let model = CostModel::new(&system, algo, bytes).unwrap();
+                let model = AlphaBetaModel::new(system.clone(), algo, bytes).unwrap();
                 let t = model.program_time(&baseline);
                 prop_assert!(t.is_finite() && t > 0.0);
             }
-            let t = CostModel::new(&system, NcclAlgo::Ring, bytes).unwrap().program_time(&baseline);
+            let t = AlphaBetaModel::new(system.clone(), NcclAlgo::Ring, bytes).unwrap().program_time(&baseline);
             prop_assert!(t >= last);
             last = t;
         }
