@@ -1,0 +1,443 @@
+//! Criterion bench for the hash-consed synthesis-state machinery.
+//!
+//! Three comparisons:
+//!
+//! 1. `build_size6`: the size-6 DAG build, **legacy engine vs. current** —
+//!    the `legacy` module below reproduces the pre-flattening engine
+//!    verbatim (nested `Vec<Bitset>` state matrices, O(n²) pairwise
+//!    pre-condition checks, `Vec<State>`-keyed memoization, no interning,
+//!    std `HashMap`), so the ratio is the PR's acceptance number: the
+//!    interned build must be ≥3× faster on both presets.
+//! 2. `synthesize_size6`: full enumeration through the flat-state
+//!    no-interning reference vs. the interned engine — isolates what
+//!    interning itself buys on top of the flat representation.
+//! 3. `reduction_precondition` / `apply_cache`: the single-pass
+//!    pre-condition check and the transposition-cache hit path, plus the
+//!    cache hit rates of the size-6 searches.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use p2_collectives::{apply_collective, ApplyCache, Collective, State, StateInterner};
+use p2_placement::{enumerate_matrices, ParallelismMatrix};
+use p2_synthesis::{HierarchyKind, Program, SinkControl, Synthesizer};
+use p2_topology::presets;
+
+/// The pre-flattening synthesis engine, kept verbatim as the "main" side of
+/// the old-vs-new interning comparison: one heap `Bitset` per matrix row, a
+/// fresh `rows_mask()` allocation per check, O(n²) pairwise disjointness,
+/// and a search DAG memoized on full `Vec<LegacyState>` keys.
+mod legacy {
+    use std::collections::{HashMap, VecDeque};
+
+    use criterion::black_box;
+    use p2_collectives::{Bitset, Collective};
+    use p2_synthesis::{Instruction, Synthesizer};
+
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    pub struct LegacyState {
+        k: usize,
+        rows: Vec<Bitset>,
+    }
+
+    impl LegacyState {
+        pub fn empty(k: usize) -> Self {
+            LegacyState {
+                k,
+                rows: vec![Bitset::new(k); k],
+            }
+        }
+
+        /// Converts from the current flat representation.
+        pub fn from_state(state: &p2_collectives::State) -> Self {
+            let k = state.dim();
+            let mut s = LegacyState::empty(k);
+            for r in 0..k {
+                for c in 0..k {
+                    if state.get(r, c) {
+                        s.rows[r].set(c, true);
+                    }
+                }
+            }
+            s
+        }
+
+        fn rows_mask(&self) -> Bitset {
+            let mut mask = Bitset::new(self.k);
+            for r in 0..self.k {
+                if !self.rows[r].is_empty() {
+                    mask.set(r, true);
+                }
+            }
+            mask
+        }
+
+        fn nonempty_rows(&self) -> Vec<usize> {
+            (0..self.k).filter(|&r| !self.rows[r].is_empty()).collect()
+        }
+
+        fn num_nonempty_rows(&self) -> usize {
+            self.nonempty_rows().len()
+        }
+
+        fn union_with(&mut self, other: &LegacyState) {
+            for (a, b) in self.rows.iter_mut().zip(&other.rows) {
+                a.union_with(b);
+            }
+        }
+
+        fn le(&self, other: &LegacyState) -> bool {
+            self.rows
+                .iter()
+                .zip(&other.rows)
+                .all(|(a, b)| a.is_subset(b))
+        }
+
+        fn lt(&self, other: &LegacyState) -> bool {
+            self.le(other) && self != other
+        }
+
+        fn retain_rows(&self, keep: &[usize]) -> LegacyState {
+            let mut out = LegacyState::empty(self.k);
+            for &r in keep {
+                out.rows[r] = self.rows[r].clone();
+            }
+            out
+        }
+    }
+
+    fn check_reduction_preconditions(states: &[LegacyState]) -> Option<LegacyState> {
+        let rows_mask = states[0].rows_mask();
+        if states.iter().any(|s| s.rows_mask() != rows_mask) {
+            return None;
+        }
+        if rows_mask.is_empty() {
+            return None;
+        }
+        for r in rows_mask.iter_ones() {
+            for i in 0..states.len() {
+                for j in (i + 1)..states.len() {
+                    if !states[i].rows[r].is_disjoint(&states[j].rows[r]) {
+                        return None;
+                    }
+                }
+            }
+        }
+        let mut sum = LegacyState::empty(states[0].k);
+        for s in states {
+            sum.union_with(s);
+        }
+        Some(sum)
+    }
+
+    fn apply_collective(
+        collective: Collective,
+        states: &[LegacyState],
+    ) -> Option<Vec<LegacyState>> {
+        match collective {
+            Collective::AllReduce => {
+                let sum = check_reduction_preconditions(states)?;
+                Some(vec![sum; states.len()])
+            }
+            Collective::Reduce => {
+                let sum = check_reduction_preconditions(states)?;
+                let k = sum.k;
+                let mut out = vec![LegacyState::empty(k); states.len()];
+                out[0] = sum;
+                Some(out)
+            }
+            Collective::ReduceScatter => {
+                let sum = check_reduction_preconditions(states)?;
+                let rows = sum.nonempty_rows();
+                let n = states.len();
+                if rows.len() % n != 0 {
+                    return None;
+                }
+                let per = rows.len() / n;
+                Some(
+                    (0..n)
+                        .map(|i| sum.retain_rows(&rows[i * per..(i + 1) * per]))
+                        .collect(),
+                )
+            }
+            Collective::AllGather => {
+                let count = states[0].num_nonempty_rows();
+                if states.iter().any(|s| s.num_nonempty_rows() != count) || count == 0 {
+                    return None;
+                }
+                for i in 0..states.len() {
+                    for j in (i + 1)..states.len() {
+                        if !states[i].rows_mask().is_disjoint(&states[j].rows_mask()) {
+                            return None;
+                        }
+                    }
+                }
+                let mut sum = LegacyState::empty(states[0].k);
+                for s in states {
+                    sum.union_with(s);
+                }
+                Some(vec![sum; states.len()])
+            }
+            Collective::Broadcast => {
+                let root = &states[0];
+                if !states.iter().all(|s| s.le(root)) || !states.iter().any(|s| s.lt(root)) {
+                    return None;
+                }
+                Some(vec![root.clone(); states.len()])
+            }
+        }
+    }
+
+    fn apply_to_groups(
+        collective: Collective,
+        states: &[LegacyState],
+        groups: &[Vec<usize>],
+    ) -> Option<Vec<LegacyState>> {
+        let mut updates: Vec<(usize, LegacyState)> = Vec::new();
+        for group in groups {
+            let members: Vec<LegacyState> = group.iter().map(|&d| states[d].clone()).collect();
+            let after = apply_collective(collective, &members)?;
+            updates.extend(group.iter().copied().zip(after));
+        }
+        let mut out = states.to_vec();
+        for (device, state) in updates {
+            out[device] = state;
+        }
+        Some(out)
+    }
+
+    fn intern_state(
+        states: &[LegacyState],
+        goals: &[LegacyState],
+        ids: &mut HashMap<Vec<LegacyState>, usize>,
+        is_goal: &mut Vec<bool>,
+        edges: &mut Vec<Option<Vec<(usize, usize)>>>,
+    ) -> (usize, bool) {
+        if let Some(&id) = ids.get(states) {
+            return (id, false);
+        }
+        let id = is_goal.len();
+        ids.insert(states.to_vec(), id);
+        is_goal.push(states == goals);
+        edges.push(None);
+        (id, true)
+    }
+
+    /// The pre-flattening `build_graph`, including the reverse
+    /// breadth-first distance pass. Returns the number of states explored.
+    pub fn build_graph(
+        synth: &Synthesizer,
+        candidates: &[(Instruction, Vec<Vec<usize>>)],
+        max_size: usize,
+    ) -> usize {
+        let initial: Vec<LegacyState> = synth
+            .context()
+            .initial_states()
+            .iter()
+            .map(LegacyState::from_state)
+            .collect();
+        let goals: Vec<LegacyState> = synth
+            .context()
+            .goal_states()
+            .iter()
+            .map(LegacyState::from_state)
+            .collect();
+        let mut ids: HashMap<Vec<LegacyState>, usize> = HashMap::new();
+        let mut is_goal: Vec<bool> = Vec::new();
+        let mut edges: Vec<Option<Vec<(usize, usize)>>> = Vec::new();
+        let mut queue: VecDeque<(usize, usize, Vec<LegacyState>)> = VecDeque::new();
+        let mut states_explored = 0usize;
+
+        let (init_id, _) = intern_state(&initial, &goals, &mut ids, &mut is_goal, &mut edges);
+        queue.push_back((init_id, 0, initial));
+        while let Some((id, depth, states)) = queue.pop_front() {
+            if is_goal[id] || depth >= max_size {
+                continue;
+            }
+            states_explored += 1;
+            let mut out = Vec::new();
+            for (ci, (instr, groups)) in candidates.iter().enumerate() {
+                let Some(next) = apply_to_groups(instr.collective, &states, groups) else {
+                    continue;
+                };
+                if !next.iter().zip(&goals).all(|(s, g)| s.le(g)) {
+                    continue;
+                }
+                if next == states {
+                    continue;
+                }
+                let (next_id, new) =
+                    intern_state(&next, &goals, &mut ids, &mut is_goal, &mut edges);
+                if new {
+                    queue.push_back((next_id, depth + 1, next));
+                }
+                out.push((ci, next_id));
+            }
+            edges[id] = Some(out);
+        }
+
+        let n = is_goal.len();
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (id, out) in edges.iter().enumerate() {
+            if let Some(out) = out {
+                for &(_, next) in out {
+                    rev[next].push(id);
+                }
+            }
+        }
+        let mut min_steps = vec![usize::MAX; n];
+        let mut q: VecDeque<usize> = VecDeque::new();
+        for (id, &g) in is_goal.iter().enumerate() {
+            if g {
+                min_steps[id] = 0;
+                q.push_back(id);
+            }
+        }
+        while let Some(id) = q.pop_front() {
+            for &p in &rev[id] {
+                if min_steps[p] == usize::MAX {
+                    min_steps[p] = min_steps[id] + 1;
+                    q.push_back(p);
+                }
+            }
+        }
+        black_box(min_steps);
+        states_explored
+    }
+}
+
+/// The two acceptance presets: the paper's figure-2d running example and the
+/// heaviest placement of the rack/node/GPU preset (a 16-wide reduction scope).
+fn preset_cases() -> Vec<(&'static str, Synthesizer)> {
+    let figure2d = ParallelismMatrix::new(
+        vec![vec![1, 1, 2, 2], vec![1, 2, 1, 2]],
+        vec![1, 2, 2, 4],
+        vec![4, 4],
+    )
+    .expect("figure 2d matrix is valid");
+    let rack = presets::rack_node_gpu_system(2, 2, 4);
+    let rack_matrix = enumerate_matrices(&rack.hierarchy().arities(), &[16])
+        .expect("rack axes fit the system")
+        .into_iter()
+        .next()
+        .expect("at least one rack placement");
+    vec![
+        (
+            "figure2d",
+            Synthesizer::new(figure2d, vec![1], HierarchyKind::ReductionAxes)
+                .expect("valid synthesizer"),
+        ),
+        (
+            "rack_node_gpu",
+            Synthesizer::new(rack_matrix, vec![0], HierarchyKind::ReductionAxes)
+                .expect("valid synthesizer"),
+        ),
+    ]
+}
+
+/// A sink that stops at the first program: `for_each_program` then measures
+/// exactly the DAG build (the enumeration aborts immediately after).
+fn build_only(synth: &Synthesizer, max_size: usize) -> usize {
+    let mut sink = |_: &Program| SinkControl::Stop;
+    synth.for_each_program(max_size, &mut sink).states_explored
+}
+
+/// The acceptance comparison: size-6 `build_graph` wall-clock, the legacy
+/// (pre-flattening, pre-interning) engine vs. the current one.
+fn bench_build_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_size6");
+    for (label, synth) in preset_cases() {
+        let candidates = synth.candidate_instructions();
+        group.bench_with_input(BenchmarkId::new("legacy", label), &synth, |b, s| {
+            b.iter(|| black_box(legacy::build_graph(s, &candidates, 6)))
+        });
+        group.bench_with_input(BenchmarkId::new("interned", label), &synth, |b, s| {
+            b.iter(|| black_box(build_only(s, 6)))
+        });
+    }
+    group.finish();
+}
+
+/// What interning buys on top of the flat state representation: the
+/// flat-but-`Vec<State>`-keyed reference enumeration vs. the interned one.
+fn bench_interning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesize_size6");
+    for (label, synth) in preset_cases() {
+        for (engine, interned) in [("flat_reference", false), ("interned", true)] {
+            group.bench_with_input(BenchmarkId::new(engine, label), &synth, |b, s| {
+                b.iter(|| {
+                    let result = if interned {
+                        s.synthesize(6)
+                    } else {
+                        s.synthesize_reference(6)
+                    };
+                    black_box(result.len())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The single-pass reduction pre-condition check (union + popcount-sum
+/// comparison replacing the former O(n²) pairwise disjointness).
+fn bench_precondition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction_precondition");
+    for k in [4usize, 16, 64] {
+        let states: Vec<State> = (0..k).map(|d| State::initial(k, d)).collect();
+        group.bench_with_input(BenchmarkId::new("allreduce_initial", k), &states, |b, s| {
+            b.iter(|| black_box(apply_collective(Collective::AllReduce, s).unwrap().len()))
+        });
+        // The rejecting path: reducing an already-reduced group trips the
+        // overlapping-contributions check on the first row.
+        let reduced = apply_collective(Collective::AllReduce, &states).expect("valid reduction");
+        group.bench_with_input(BenchmarkId::new("allreduce_reject", k), &reduced, |b, s| {
+            b.iter(|| black_box(apply_collective(Collective::AllReduce, s).is_err()))
+        });
+    }
+    group.finish();
+}
+
+/// Transposition-cache behaviour: repeated application over interned ids must
+/// be pure table lookups, and the search itself should hit far more often
+/// than it misses (the hit rates are printed once per preset).
+fn bench_apply_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apply_cache");
+    let k = 16usize;
+    let mut interner = StateInterner::new();
+    let mut cache = ApplyCache::new();
+    let ids: Vec<u32> = (0..k)
+        .map(|d| interner.intern(State::initial(k, d)))
+        .collect();
+    group.bench_function("hit_path_allreduce_16", |b| {
+        b.iter(|| {
+            black_box(
+                cache
+                    .apply(&mut interner, Collective::AllReduce, &ids)
+                    .expect("valid reduction")
+                    .len(),
+            )
+        })
+    });
+    group.finish();
+
+    for (label, synth) in preset_cases() {
+        let stats = synth.synthesize(6).stats;
+        let total = stats.apply_cache_hits + stats.apply_cache_misses;
+        eprintln!(
+            "apply-cache hit rate ({label}, size 6): {}/{} = {:.1}% \
+             ({} unique device states, {} synthesis states)",
+            stats.apply_cache_hits,
+            total,
+            stats.apply_cache_hits as f64 / total.max(1) as f64 * 100.0,
+            stats.unique_device_states,
+            stats.states_explored,
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_build_graph, bench_interning, bench_precondition, bench_apply_cache
+}
+criterion_main!(benches);

@@ -55,6 +55,54 @@ fn bench_synthesis(c: &mut Criterion) {
     group.finish();
 }
 
+/// The beyond-the-paper `max_program_size = 6` sweep (ROADMAP: "larger
+/// `max_program_size` sweeps") on the figure-2d and rack/node/GPU presets:
+/// the state DAG — not the program set — dominates here, so this is the
+/// configuration the hash-consed interning is sized against.
+fn bench_synthesis_size6(c: &mut Criterion) {
+    use p2_topology::presets;
+    let mut group = c.benchmark_group("synthesis_size6");
+    let figure2d_system = presets::figure2a_system();
+    let rack = presets::rack_node_gpu_system(2, 2, 4);
+    let cases: Vec<SynthesisConfig> = vec![
+        (
+            "figure2d_[4,4]_r1",
+            figure2d_system.hierarchy().arities().to_vec(),
+            vec![4, 4],
+            vec![1],
+        ),
+        (
+            "rack_node_gpu_[16]_r0",
+            rack.hierarchy().arities().to_vec(),
+            vec![16],
+            vec![0],
+        ),
+    ];
+    for (label, arities, axes, reduction) in cases {
+        let matrices = enumerate_matrices(&arities, &axes).expect("valid config");
+        group.bench_with_input(
+            BenchmarkId::new("all_matrices", label),
+            &matrices,
+            |b, ms| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for m in ms {
+                        let synth = Synthesizer::new(
+                            m.clone(),
+                            reduction.clone(),
+                            HierarchyKind::ReductionAxes,
+                        )
+                        .expect("valid synthesizer");
+                        total += synth.synthesize(6).programs.len();
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 /// The placement × synthesis sweep, serial vs. fanned out over every core —
 /// the parallel path must win on a multi-core host (and tie on one core).
 fn bench_sweep_parallelism(c: &mut Criterion) {
@@ -92,6 +140,6 @@ fn bench_streaming_vs_materialized(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_synthesis, bench_sweep_parallelism, bench_streaming_vs_materialized
+    targets = bench_synthesis, bench_synthesis_size6, bench_sweep_parallelism, bench_streaming_vs_materialized
 }
 criterion_main!(benches);

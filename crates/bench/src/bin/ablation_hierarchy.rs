@@ -9,14 +9,19 @@
 //! 2. a program-size-limit sweep showing that raising the limit beyond the
 //!    paper's value of 5 makes synthesis slower without finding new programs.
 //!
-//! Run with `cargo run --release -p p2-bench --bin ablation_hierarchy`.
+//! Run with `cargo run --release -p p2-bench --bin ablation_hierarchy`
+//! `[-- --cost-model alpha-beta|loggp|calibrated]`.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::Instant;
 
-use p2_bench::table4_specs;
+use p2_bench::{cost_model_from_args, fmt_s, table4_specs};
+use p2_core::P2Config;
+use p2_cost::{CostModel, CostModelKind};
 use p2_placement::{enumerate_matrices, ParallelismMatrix};
 use p2_synthesis::{HierarchyKind, LoweredProgram, Synthesizer};
+use p2_topology::presets;
 
 fn canonical(program: &LoweredProgram) -> String {
     program
@@ -39,7 +44,7 @@ fn canonical(program: &LoweredProgram) -> String {
         .join("|")
 }
 
-fn hierarchy_ablation() {
+fn hierarchy_ablation(model_kind: CostModelKind) {
     println!(
         "-- Synthesis hierarchies (a)-(d) on the running example (Figure 2d, reduce axis 1) --\n"
     );
@@ -49,9 +54,15 @@ fn hierarchy_ablation() {
         vec![4, 4],
     )
     .expect("figure 2d matrix");
+    // The running example lives on the Figure 2a system (same as
+    // examples/hierarchy_ablation.rs); every hierarchy's best program is
+    // predicted with the selected model.
+    let model: Arc<dyn CostModel> = P2Config::new(presets::figure2a_system(), vec![4, 4], vec![1])
+        .make_cost_model(model_kind)
+        .expect("cost model builds");
     println!(
-        "{:<20} {:>10} {:>10} {:>14} {:>12} {:>24}",
-        "hierarchy", "space", "programs", "instr. tried", "time (ms)", "covered by (d)"
+        "{:<20} {:>10} {:>10} {:>14} {:>12} {:>14}",
+        "hierarchy", "space", "programs", "instr. tried", "time (ms)", "best pred (s)"
     );
     let mut sets: Vec<(HierarchyKind, HashSet<String>)> = Vec::new();
     for kind in HierarchyKind::ALL {
@@ -59,21 +70,26 @@ fn hierarchy_ablation() {
         let start = Instant::now();
         let result = synth.synthesize(4);
         let elapsed = start.elapsed();
+        let mut best_predicted = f64::INFINITY;
         let lowered: HashSet<String> = result
             .programs
             .iter()
-            .map(|p| canonical(&synth.lower(p).unwrap()))
+            .map(|p| {
+                let lowered = synth.lower(p).unwrap();
+                best_predicted = best_predicted.min(model.program_time(&lowered));
+                canonical(&lowered)
+            })
             .collect();
         sets.push((kind, lowered));
         println!(
-            "({}) {:<16} {:>10} {:>10} {:>14} {:>12.2} {:>24}",
+            "({}) {:<16} {:>10} {:>10} {:>14} {:>12.2} {:>14}",
             kind.letter(),
             format!("{kind:?}"),
             synth.context().space_size(),
             result.programs.len(),
             result.stats.instructions_tried,
             elapsed.as_secs_f64() * 1e3,
-            "",
+            fmt_s(best_predicted),
         );
     }
     let d_set = sets
@@ -133,7 +149,9 @@ fn size_limit_sweep() {
 }
 
 fn main() {
-    println!("RQ2 / synthesis-hierarchy ablations\n");
-    hierarchy_ablation();
+    let model_kind = cost_model_from_args();
+    println!("RQ2 / synthesis-hierarchy ablations");
+    println!("(predictions by the {model_kind} cost model, select with --cost-model)\n");
+    hierarchy_ablation(model_kind);
     size_limit_sweep();
 }

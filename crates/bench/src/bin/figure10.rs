@@ -4,13 +4,15 @@
 //! instruction sequences and as lowered device groups on the running example,
 //! plus the Result 5 comparison of when each one wins.
 //!
-//! Run with `cargo run --release -p p2-bench --bin figure10`.
+//! Run with `cargo run --release -p p2-bench --bin figure10`
+//! `[-- --cost-model alpha-beta|loggp|calibrated]`.
 
-use p2_bench::{fmt_s, table4_specs};
+use p2_bench::{cost_model_from_args, fmt_s, table4_specs};
 use p2_placement::ParallelismMatrix;
 use p2_synthesis::{HierarchyKind, Synthesizer};
 
 fn main() {
+    let kind = cost_model_from_args();
     // The Figure 2d placement of the running example, reduction along the
     // parameter-sharding axis.
     let matrix = ParallelismMatrix::new(
@@ -58,7 +60,8 @@ fn main() {
     // Result 5's comparison of programs (i) and (ii) across the Table 4
     // configurations: which one is optimal more often, and by how much.
     println!("Program (i) Reduce-AllReduce-Broadcast vs (ii) ReduceScatter-AllReduce-AllGather");
-    println!("across the Table 4 configurations (measured on the simulated substrate):\n");
+    println!("across the Table 4 configurations (measured on the simulated substrate,");
+    println!(" predictions by the {kind} cost model):\n");
     println!(
         "{:<4} {:<22} {:>12} {:>12} {:>10}",
         "id", "parallelism matrix", "(i) RAB", "(ii) RS-AR-AG", "winner"
@@ -66,7 +69,11 @@ fn main() {
     let mut wins_i = 0usize;
     let mut wins_ii = 0usize;
     for spec in table4_specs() {
-        let result = spec.run();
+        let result = spec
+            .session()
+            .cost_model_kind(kind)
+            .run()
+            .expect("pipeline runs");
         for placement in &result.placements {
             let find = |sig: &str| {
                 placement

@@ -2,18 +2,23 @@
 //! every synthesized (placement, program) pair, in increasing order of
 //! measured time, for the two captioned configurations.
 //!
-//! Run with `cargo run --release -p p2-bench --bin figure11`.
+//! Run with `cargo run --release -p p2-bench --bin figure11`
+//! `[-- --cost-model alpha-beta|loggp|calibrated]`.
 
 use std::time::Instant;
 
 use p2_bench::{ExperimentSpec, SystemKind};
-use p2_cost::NcclAlgo;
+use p2_cost::{CostModelKind, NcclAlgo};
 
-fn panel(title: &str, spec: ExperimentSpec) {
+fn panel(title: &str, spec: ExperimentSpec, kind: CostModelKind) {
     println!("{title}");
     println!("  ({})", spec.describe());
     let start = Instant::now();
-    let result = spec.run();
+    let result = spec
+        .session()
+        .cost_model_kind(kind)
+        .run()
+        .expect("pipeline runs");
     let wall = start.elapsed();
     println!(
         "  synthesis {:.2}s, synthesis+simulation wall-clock {:.2}s, {} programs across {} matrices",
@@ -51,7 +56,9 @@ fn panel(title: &str, spec: ExperimentSpec) {
 }
 
 fn main() {
-    println!("Figure 11: simulation vs. measurement, in increasing order of measured time\n");
+    let kind = p2_bench::cost_model_from_args();
+    println!("Figure 11: simulation vs. measurement, in increasing order of measured time");
+    println!("(predictions by the {kind} cost model, select with --cost-model)\n");
     panel(
         "(a) 4 nodes of V100, NCCL Ring, parallelism axes [2 16], reduction on the 1st axis",
         ExperimentSpec::new(
@@ -62,9 +69,11 @@ fn main() {
             vec![1],
             NcclAlgo::Ring,
         ),
+        kind,
     );
     panel(
         "(b) 4 nodes of A100, NCCL Tree, parallelism axes [4 2 8], reduction on the 0th and 2nd axes",
         ExperimentSpec::new("11b", SystemKind::A100, 4, vec![4, 2, 8], vec![0, 2], NcclAlgo::Tree),
+        kind,
     );
 }

@@ -57,6 +57,11 @@ fn main() {
                 bound.bound().map(fmt_s).unwrap_or_else(|| "-".to_string()),
             );
             println!(
+                "  search: {} synthesis states explored, peak device-state interner {}",
+                result.total_states_explored(),
+                result.peak_unique_device_states(),
+            );
+            println!(
                 "  {:<26} {:>11} {:>11} {:>9}",
                 "parallelism matrix", "AllReduce", "Optimal", "Speedup"
             );

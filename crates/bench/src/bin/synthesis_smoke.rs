@@ -1,0 +1,65 @@
+//! Release-mode synthesis smoke run at `max_program_size = 6` (beyond the
+//! paper's limit of 5): synthesizes the figure-2d running example and the
+//! heaviest placement of the rack/node/GPU preset, asserts the program
+//! counts match pinned constants, and prints the search statistics (states
+//! explored, device-state interner size, apply-cache hit rate) so CI catches
+//! both correctness and search-space regressions.
+//!
+//! Run with `cargo run --release -p p2_bench --bin synthesis_smoke`.
+
+use std::time::Instant;
+
+use p2_placement::{enumerate_matrices, ParallelismMatrix};
+use p2_synthesis::{HierarchyKind, Synthesizer};
+use p2_topology::presets;
+
+const MAX_SIZE: usize = 6;
+
+/// `(label, matrix, reduction axes, pinned program count at size 6)`.
+fn cases() -> Vec<(&'static str, ParallelismMatrix, Vec<usize>, usize)> {
+    let figure2d = ParallelismMatrix::new(
+        vec![vec![1, 1, 2, 2], vec![1, 2, 1, 2]],
+        vec![1, 2, 2, 4],
+        vec![4, 4],
+    )
+    .expect("figure 2d matrix is valid");
+    let rack = presets::rack_node_gpu_system(2, 2, 4);
+    let rack_matrix = enumerate_matrices(&rack.hierarchy().arities(), &[16])
+        .expect("rack axes fit the system")
+        .into_iter()
+        .next()
+        .expect("at least one rack placement");
+    vec![
+        ("figure2d_reduce1", figure2d, vec![1], 93),
+        ("rack_node_gpu_reduce0", rack_matrix, vec![0], 4576),
+    ]
+}
+
+fn main() {
+    println!("Synthesis smoke run at max_program_size = {MAX_SIZE}\n");
+    for (label, matrix, reduction, expected) in cases() {
+        let synth = Synthesizer::new(matrix, reduction, HierarchyKind::ReductionAxes)
+            .expect("valid synthesizer");
+        let start = Instant::now();
+        let result = synth.synthesize(MAX_SIZE);
+        let elapsed = start.elapsed();
+        let stats = &result.stats;
+        let lookups = stats.apply_cache_hits + stats.apply_cache_misses;
+        println!(
+            "{label}: {} programs in {:.1} ms\n  {} states explored, {} instructions tried, \
+             {} unique device states, apply-cache hit rate {:.1}%",
+            result.len(),
+            elapsed.as_secs_f64() * 1e3,
+            stats.states_explored,
+            stats.instructions_tried,
+            stats.unique_device_states,
+            stats.apply_cache_hits as f64 / lookups.max(1) as f64 * 100.0,
+        );
+        assert_eq!(
+            result.len(),
+            expected,
+            "{label}: program count diverged from the pinned constant"
+        );
+    }
+    println!("\nok: all pinned program counts matched");
+}

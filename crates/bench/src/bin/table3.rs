@@ -1,18 +1,23 @@
 //! Reproduces **Table 3** of the paper: AllReduce time across parallelism
-//! matrices, for reduction on the 0th and 1st axis, with NCCL ring and tree.
+//! matrices, for reduction on the 0th and 1st axis, with NCCL ring and tree,
+//! with the selected cost model's prediction beside every measurement.
 //!
-//! Run with `cargo run --release -p p2-bench --bin table3`.
+//! Run with `cargo run --release -p p2-bench --bin table3`
+//! `[-- --cost-model alpha-beta|loggp|calibrated]`.
 
-use p2_bench::{fmt_s, table3_specs};
+use p2_bench::{cost_model_from_args, fmt_s, table3_specs};
+use p2_core::P2Config;
 use p2_cost::NcclAlgo;
 use p2_exec::{ExecConfig, Executor};
 use p2_placement::enumerate_matrices;
 use p2_synthesis::baseline_allreduce;
 
 fn main() {
+    let kind = cost_model_from_args();
     println!("Table 3: reduction time in seconds of running AllReduce");
     println!("(measured on the simulated substrate; the paper's absolute numbers differ,");
-    println!(" the placement-induced spread is the result being reproduced)\n");
+    println!(" the placement-induced spread is the result being reproduced;");
+    println!(" pred columns: the {kind} cost model, select with --cost-model)\n");
 
     let mut global_max_ratio: f64 = 1.0;
     for (id, system_kind, nodes, axes) in table3_specs() {
@@ -26,33 +31,58 @@ fn main() {
             axes
         );
         println!(
-            "  {:<6} {:<22} {:>12} {:>12} {:>12} {:>12}",
-            "id", "parallelism matrix", "ax0 Ring", "ax0 Tree", "ax1 Ring", "ax1 Tree"
+            "  {:<6} {:<22} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "id",
+            "parallelism matrix",
+            "a0 Ring",
+            "pred",
+            "a0 Tree",
+            "pred",
+            "a1 Ring",
+            "pred",
+            "a1 Tree",
+            "pred"
         );
+        // One model per NCCL algorithm: the calibrated kind fits against the
+        // algorithm's own substrate.
+        let models: Vec<_> = NcclAlgo::ALL
+            .iter()
+            .map(|&algo| {
+                P2Config::new(system.clone(), axes.clone(), vec![0])
+                    .with_algo(algo)
+                    .with_bytes_per_device(bytes)
+                    .make_cost_model(kind)
+                    .expect("cost model builds")
+            })
+            .collect();
         let matrices = enumerate_matrices(&system.hierarchy().arities(), &axes)
             .expect("table 3 axes match their systems");
         let mut per_axis_times: Vec<Vec<f64>> = vec![Vec::new(), Vec::new()];
         for (idx, matrix) in matrices.iter().enumerate() {
             let mut row = Vec::new();
             for (reduction_axis, axis_times) in per_axis_times.iter_mut().enumerate() {
-                for algo in NcclAlgo::ALL {
+                for (algo, model) in NcclAlgo::ALL.into_iter().zip(&models) {
                     let exec = Executor::new(&system, ExecConfig::new(algo, bytes).with_repeats(3))
                         .expect("valid exec config");
                     let baseline = baseline_allreduce(matrix, &[reduction_axis])
                         .expect("valid reduction axis");
                     let seconds = exec.measure(&baseline);
-                    row.push(seconds);
+                    row.push((seconds, model.program_time(&baseline)));
                     axis_times.push(seconds);
                 }
             }
             println!(
-                "  {:<6} {:<22} {:>12} {:>12} {:>12} {:>12}",
+                "  {:<6} {:<22} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
                 format!("{id}{}", idx + 1),
                 matrix.to_string(),
-                fmt_s(row[0]),
-                fmt_s(row[1]),
-                fmt_s(row[2]),
-                fmt_s(row[3]),
+                fmt_s(row[0].0),
+                fmt_s(row[0].1),
+                fmt_s(row[1].0),
+                fmt_s(row[1].1),
+                fmt_s(row[2].0),
+                fmt_s(row[2].1),
+                fmt_s(row[3].0),
+                fmt_s(row[3].1),
             );
         }
         for (axis, times) in per_axis_times.iter().enumerate() {

@@ -2,15 +2,20 @@
 //! outperforming AllReduce, and AllReduce vs. optimal synthesized program for
 //! the selected configurations F–L.
 //!
-//! Run with `cargo run --release -p p2-bench --bin table4`.
+//! Run with `cargo run --release -p p2-bench --bin table4`
+//! `[-- --cost-model alpha-beta|loggp|calibrated]`.
 
-use p2_bench::{fmt_s, fmt_speedup, run_specs, table4_specs, SpeedupSummary};
+use p2_bench::{
+    cost_model_from_args, fmt_s, fmt_speedup, run_specs_observed, table4_specs, SpeedupSummary,
+};
 
 fn main() {
+    let kind = cost_model_from_args();
     println!(
         "Table 4: reduction time in seconds for AllReduce and the synthesized optimal strategy"
     );
-    println!("(reduction on the 0th axis for 1- and 2-axis configurations, on the 0th and 2nd for 3-axis ones)\n");
+    println!("(reduction on the 0th axis for 1- and 2-axis configurations, on the 0th and 2nd for 3-axis ones;");
+    println!(" predictions by the {kind} cost model, select with --cost-model)\n");
     println!(
         "{:<4} {:<6} {:<14} {:>12} {:>22} {:<22} {:>10} {:>10} {:>9}",
         "id",
@@ -25,9 +30,13 @@ fn main() {
     );
 
     let mut summary = SpeedupSummary::default();
+    let mut states_explored = 0usize;
+    let mut peak_interner = 0usize;
     for spec in table4_specs() {
-        let result = spec.run();
-        summary.add(&result);
+        let result = &run_specs_observed(std::slice::from_ref(&spec), None, kind, &())[0];
+        summary.add(result);
+        states_explored += result.total_states_explored();
+        peak_interner = peak_interner.max(result.peak_unique_device_states());
         let beating = result.total_programs_beating_allreduce();
         let total = result.total_programs();
         let synth_s = result.synthesis_time.as_secs_f64();
@@ -84,6 +93,10 @@ fn main() {
     println!();
     println!("('*' marks the best AllReduce placement and the overall optimum, the paper's bold entries)");
     println!();
+    println!(
+        "Search-space size across the Table 4 sweeps: {states_explored} synthesis states \
+         explored, peak device-state interner {peak_interner}"
+    );
     println!("Result 5 aggregate over the Table 4 configurations: {summary}");
     println!("(the paper reports 69% of mappings improved, average 1.27x, max 2.04x over all configurations;");
     println!(" run the appendix_table binary for the full sweep)");
@@ -93,7 +106,7 @@ fn main() {
     println!();
     println!("Streaming retention check (keep_top = 8):");
     let specs = table4_specs();
-    let bounded = run_specs(&specs, Some(8));
+    let bounded = run_specs_observed(&specs, Some(8), kind, &());
     for (spec, result) in specs.iter().zip(&bounded) {
         println!(
             "  {:<4} retained {:>4} of {:>5} programs ({} pruned), optimal {}",

@@ -199,32 +199,7 @@ pub fn total_placements(specs: &[ExperimentSpec]) -> usize {
         .sum()
 }
 
-/// Reads a `--cost-model <name>` (or `--cost-model=<name>`) flag from the
-/// process arguments, defaulting to the α–β model. Exits with a usage
-/// message on unknown names, so every paper-artifact binary gets a uniform
-/// CLI for free.
-pub fn cost_model_from_args() -> CostModelKind {
-    let mut args = std::env::args().skip(1);
-    let parse = |name: &str| -> CostModelKind {
-        name.parse().unwrap_or_else(|e| {
-            eprintln!("{e}");
-            std::process::exit(2);
-        })
-    };
-    while let Some(arg) = args.next() {
-        if let Some(name) = arg.strip_prefix("--cost-model=") {
-            return parse(name);
-        }
-        if arg == "--cost-model" {
-            let Some(name) = args.next() else {
-                eprintln!("--cost-model needs a value: alpha-beta, loggp or calibrated");
-                std::process::exit(2);
-            };
-            return parse(&name);
-        }
-    }
-    CostModelKind::AlphaBeta
-}
+pub use p2_cost::cost_model_from_args;
 
 /// Synthesizes reduction programs for every matrix on `threads` workers
 /// (`0` = all cores, `1` = serial) and returns the total program count — the

@@ -31,6 +31,14 @@ impl Bitset {
         }
     }
 
+    /// Wraps an existing word buffer (little-endian bit order, as produced by
+    /// the flat [`crate::State`] storage) as a bitset.
+    pub(crate) fn from_words(len: usize, words: Vec<u64>) -> Self {
+        debug_assert_eq!(words.len(), len.div_ceil(64));
+        debug_assert!(len.is_multiple_of(64) || words.last().is_none_or(|w| w >> (len % 64) == 0));
+        Bitset { len, words }
+    }
+
     /// Creates a bitset of the given length with every bit set.
     pub fn full(len: usize) -> Self {
         let mut b = Bitset::new(len);
@@ -138,10 +146,23 @@ impl Bitset {
             .all(|(a, b)| a & !b == 0)
     }
 
-    /// Iterates over the indices of set bits, in increasing order.
+    /// Iterates over the indices of set bits, in increasing order (skipping
+    /// whole zero words, so iteration is proportional to the words scanned
+    /// plus the bits found rather than to the bit length).
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..self.len).filter(move |&i| self.get(i))
+        iter_word_ones(&self.words)
     }
+}
+
+/// Iterates over the set-bit indices of a little-endian word buffer.
+pub(crate) fn iter_word_ones(words: &[u64]) -> impl Iterator<Item = usize> + '_ {
+    words.iter().enumerate().flat_map(|(wi, &w)| {
+        std::iter::successors((w != 0).then_some(w), |&rest| {
+            let rest = rest & (rest - 1);
+            (rest != 0).then_some(rest)
+        })
+        .map(move |rest| wi * 64 + rest.trailing_zeros() as usize)
+    })
 }
 
 #[cfg(test)]

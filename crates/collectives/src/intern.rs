@@ -1,0 +1,335 @@
+//! Hash-consing of device states and memoized collective application.
+//!
+//! The synthesizer explores a DAG whose nodes are *tuples* of device
+//! [`State`]s. After collectives on symmetric groups most devices share
+//! identical states, so hash-consing each device state to a dense `u32` id
+//! turns a synthesis-space state into a flat `[u32]` slice: interning hashes
+//! a few words instead of k×k bit matrices, equality is a word compare, and
+//! devices sharing a state share its storage. The [`ApplyCache`] layers a
+//! transposition table on top: the semantics of a collective depend only on
+//! the ordered participant states, so one `(collective, participant ids)`
+//! key memoizes [`apply_collective_refs`] across every grouping and every
+//! synthesis state that reproduces the same participants — the cache-hit
+//! path allocates nothing.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
+
+use crate::collective::Collective;
+use crate::semantics::{apply_collective_refs, SemanticsError};
+use crate::state::State;
+
+/// The FxHash word-folding hasher (rustc's interner hash): multiply-xor per
+/// word, no finalization. Far cheaper than SipHash for the short `u32`/`u64`
+/// slices the interner and caches key on; these tables are never fed
+/// attacker-controlled keys, so HashDoS resistance is not needed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, value: u32) {
+        self.add(value as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, value: u64) {
+        self.add(value);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, value: usize) {
+        self.add(value as u64);
+    }
+}
+
+/// A `HashMap` keyed through [`FxHasher`] — the map type of the interning and
+/// memoization layers.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// An arena hash-consing device [`State`]s to dense `u32` ids.
+///
+/// # Examples
+///
+/// ```
+/// use p2_collectives::{State, StateInterner};
+/// let mut interner = StateInterner::new();
+/// let a = interner.intern(State::initial(4, 0));
+/// let b = interner.intern(State::initial(4, 1));
+/// assert_ne!(a, b);
+/// assert_eq!(interner.intern(State::initial(4, 0)), a);
+/// assert_eq!(interner.len(), 2);
+/// assert_eq!(*interner.get(a), State::initial(4, 0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StateInterner {
+    /// Id-indexed view; each `Arc` is shared with the map key below, so every
+    /// distinct state owns exactly one word buffer.
+    states: Vec<Arc<State>>,
+    ids: FxHashMap<Arc<State>, u32>,
+}
+
+impl StateInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        StateInterner::default()
+    }
+
+    /// Interns a state, returning its dense id (allocating a new id only for
+    /// states never seen before).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX` distinct states are interned.
+    pub fn intern(&mut self, state: State) -> u32 {
+        // `Arc<State>: Borrow<State>`, so the lookup needs no allocation.
+        if let Some(&id) = self.ids.get(&state) {
+            return id;
+        }
+        let id = u32::try_from(self.states.len()).expect("more than u32::MAX distinct states");
+        let state = Arc::new(state);
+        self.states.push(Arc::clone(&state));
+        self.ids.insert(state, id);
+        id
+    }
+
+    /// The state an id was assigned to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by this interner.
+    pub fn get(&self, id: u32) -> &State {
+        self.states[id as usize].as_ref()
+    }
+
+    /// Number of distinct states interned.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+}
+
+/// A memoized application result: the members' interned post-state ids, or
+/// the semantic error the collective raised.
+type CachedApply = Result<Box<[u32]>, SemanticsError>;
+
+/// A transposition cache for [`apply_collective_refs`] over interned states.
+///
+/// Keyed by the collective and the ordered participant ids (the only inputs
+/// the semantics sees), so symmetric groupings and convergent search paths
+/// re-deriving the same participants hit the cache instead of re-running the
+/// pre-condition checks. Both successful post-states and semantic errors are
+/// memoized. Lookups reuse an internal key buffer: a hit performs no
+/// allocation.
+#[derive(Debug, Clone, Default)]
+pub struct ApplyCache {
+    /// `[collective tag, participant ids...]` → interned post-state ids.
+    map: FxHashMap<Box<[u32]>, CachedApply>,
+    key: Vec<u32>,
+    hits: usize,
+    misses: usize,
+}
+
+impl ApplyCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        ApplyCache::default()
+    }
+
+    /// Applies `collective` to the devices holding the interned states
+    /// `members` (in group order), memoized. Returns the members'
+    /// post-condition state ids, in the same order.
+    ///
+    /// # Errors
+    ///
+    /// The [`SemanticsError`] of the violated pre-condition, exactly as
+    /// [`apply_collective_refs`] reports it (and memoized just the same).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id in `members` was not produced by `interner`.
+    pub fn apply(
+        &mut self,
+        interner: &mut StateInterner,
+        collective: Collective,
+        members: &[u32],
+    ) -> Result<&[u32], SemanticsError> {
+        self.key.clear();
+        self.key.push(collective as u32);
+        self.key.extend_from_slice(members);
+        // `contains_key` first sidesteps the borrow checker's refusal to let
+        // a conditionally-returned `get` borrow coexist with the insert below.
+        if self.map.contains_key(self.key.as_slice()) {
+            self.hits += 1;
+            return self.map[self.key.as_slice()]
+                .as_deref()
+                .map_err(|e| e.clone());
+        }
+        self.misses += 1;
+        let result = {
+            let states: Vec<&State> = members.iter().map(|&id| interner.get(id)).collect();
+            apply_collective_refs(collective, &states)
+        };
+        let entry = result.map(|after| {
+            after
+                .into_iter()
+                .map(|s| interner.intern(s))
+                .collect::<Box<[u32]>>()
+        });
+        self.map
+            .entry(self.key.as_slice().into())
+            .or_insert(entry)
+            .as_deref()
+            .map_err(|e| e.clone())
+    }
+
+    /// Number of memoized lookups served.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Number of lookups that ran the semantics.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Number of distinct `(collective, participants)` keys cached.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::semantics::apply_collective;
+
+    #[test]
+    fn interner_dedups_and_roundtrips() {
+        let mut interner = StateInterner::new();
+        assert!(interner.is_empty());
+        let ids: Vec<u32> = (0..3)
+            .map(|d| interner.intern(State::initial(3, d)))
+            .collect();
+        assert_eq!(interner.len(), 3);
+        for (d, &id) in ids.iter().enumerate() {
+            assert_eq!(*interner.get(id), State::initial(3, d));
+            assert_eq!(interner.intern(State::initial(3, d)), id);
+        }
+        assert_eq!(interner.len(), 3);
+    }
+
+    #[test]
+    fn apply_cache_matches_direct_semantics() {
+        let mut interner = StateInterner::new();
+        let mut cache = ApplyCache::new();
+        let states: Vec<State> = (0..4).map(|d| State::initial(4, d)).collect();
+        let ids: Vec<u32> = states.iter().map(|s| interner.intern(s.clone())).collect();
+        for collective in Collective::ALL {
+            let direct = apply_collective(collective, &states);
+            let cached = cache
+                .apply(&mut interner, collective, &ids)
+                .map(|out| out.to_vec());
+            match (direct, cached) {
+                (Ok(direct), Ok(out_ids)) => {
+                    let via_cache: Vec<State> =
+                        out_ids.iter().map(|&id| interner.get(id).clone()).collect();
+                    assert_eq!(direct, via_cache, "{collective} diverged through the cache");
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                (a, b) => panic!("{collective}: direct {a:?} vs cached {b:?}"),
+            }
+        }
+        assert_eq!(cache.misses(), Collective::ALL.len());
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn apply_cache_hits_on_repeats_and_memoizes_errors() {
+        let mut interner = StateInterner::new();
+        let mut cache = ApplyCache::new();
+        let ids: Vec<u32> = (0..2)
+            .map(|d| interner.intern(State::initial(2, d)))
+            .collect();
+        let first = cache
+            .apply(&mut interner, Collective::AllReduce, &ids)
+            .unwrap()
+            .to_vec();
+        let again = cache
+            .apply(&mut interner, Collective::AllReduce, &ids)
+            .unwrap()
+            .to_vec();
+        assert_eq!(first, again);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // Reducing the already-reduced pair double-counts; the error is
+        // memoized like any other result.
+        let err = cache
+            .apply(&mut interner, Collective::AllReduce, &first)
+            .unwrap_err();
+        assert_eq!(err, SemanticsError::OverlappingContributions);
+        let err2 = cache
+            .apply(&mut interner, Collective::AllReduce, &first)
+            .unwrap_err();
+        assert_eq!(err, err2);
+        assert_eq!((cache.hits(), cache.misses()), (2, 2));
+    }
+
+    #[test]
+    fn distinct_collectives_do_not_collide() {
+        let mut interner = StateInterner::new();
+        let mut cache = ApplyCache::new();
+        let ids: Vec<u32> = (0..2)
+            .map(|d| interner.intern(State::initial(2, d)))
+            .collect();
+        let reduced = cache
+            .apply(&mut interner, Collective::Reduce, &ids)
+            .unwrap()
+            .to_vec();
+        let all = cache
+            .apply(&mut interner, Collective::AllReduce, &ids)
+            .unwrap()
+            .to_vec();
+        assert_ne!(reduced, all);
+        assert_eq!(cache.misses(), 2);
+    }
+}

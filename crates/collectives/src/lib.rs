@@ -31,10 +31,12 @@
 
 mod bitset;
 mod collective;
+mod intern;
 mod semantics;
 mod state;
 
 pub use bitset::Bitset;
 pub use collective::Collective;
-pub use semantics::{apply_collective, apply_to_groups, SemanticsError};
-pub use state::State;
+pub use intern::{ApplyCache, FxHashMap, FxHasher, StateInterner};
+pub use semantics::{apply_collective, apply_collective_refs, apply_to_groups, SemanticsError};
+pub use state::{Row, State};

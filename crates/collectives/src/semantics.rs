@@ -57,7 +57,7 @@ impl fmt::Display for SemanticsError {
 
 impl std::error::Error for SemanticsError {}
 
-fn check_common(states: &[State]) -> Result<usize, SemanticsError> {
+fn check_common(states: &[&State]) -> Result<usize, SemanticsError> {
     if states.len() < 2 {
         return Err(SemanticsError::TrivialGroup);
     }
@@ -70,27 +70,35 @@ fn check_common(states: &[State]) -> Result<usize, SemanticsError> {
 
 /// Pre-conditions shared by `AllReduce`, `ReduceScatter` and `Reduce`:
 /// identical chunk sets and pairwise-disjoint contributions per chunk.
-fn check_reduction_preconditions(states: &[State]) -> Result<State, SemanticsError> {
-    let k = check_common(states)?;
-    let rows_mask = states[0].rows_mask();
-    if states.iter().any(|s| s.rows_mask() != rows_mask) {
+///
+/// A single pass per row replaces the former O(n²) pairwise disjointness
+/// test: n sets of one row are pairwise disjoint exactly when the popcount of
+/// their union equals the sum of their popcounts, and the union is the
+/// reduction result we have to build anyway.
+fn check_reduction_preconditions(states: &[&State]) -> Result<State, SemanticsError> {
+    check_common(states)?;
+    let first = states[0];
+    if states[1..]
+        .iter()
+        .any(|s| s.mask_words() != first.mask_words())
+    {
         return Err(SemanticsError::RowsMismatch);
     }
-    if rows_mask.is_empty() {
+    if first.is_empty() {
         return Err(SemanticsError::EmptyStates);
     }
-    for r in rows_mask.iter_ones() {
-        for i in 0..states.len() {
-            for j in (i + 1)..states.len() {
-                if !states[i].row(r).is_disjoint(states[j].row(r)) {
-                    return Err(SemanticsError::OverlappingContributions);
-                }
+    let mut sum = first.clone();
+    for r in crate::bitset::iter_word_ones(first.mask_words()) {
+        let mut ones: usize = first.row(r).count_ones();
+        for s in &states[1..] {
+            for (acc, &w) in sum.row_words_mut(r).iter_mut().zip(s.row_words(r)) {
+                ones += w.count_ones() as usize;
+                *acc |= w;
             }
         }
-    }
-    let mut sum = State::empty(k);
-    for s in states {
-        sum.union_with(s);
+        if sum.row(r).count_ones() != ones {
+            return Err(SemanticsError::OverlappingContributions);
+        }
     }
     Ok(sum)
 }
@@ -121,6 +129,21 @@ pub fn apply_collective(
     collective: Collective,
     states: &[State],
 ) -> Result<Vec<State>, SemanticsError> {
+    let refs: Vec<&State> = states.iter().collect();
+    apply_collective_refs(collective, &refs)
+}
+
+/// [`apply_collective`] over borrowed device states, so callers assembling a
+/// group from a larger context (or from a [`crate::StateInterner`]) never
+/// clone the inputs.
+///
+/// # Errors
+///
+/// Same as [`apply_collective`].
+pub fn apply_collective_refs(
+    collective: Collective,
+    states: &[&State],
+) -> Result<Vec<State>, SemanticsError> {
     match collective {
         Collective::AllReduce => {
             let sum = check_reduction_preconditions(states)?;
@@ -147,30 +170,29 @@ pub fn apply_collective(
             Ok(out)
         }
         Collective::AllGather => {
-            let k = check_common(states)?;
-            let count = states[0].num_nonempty_rows();
+            check_common(states)?;
+            let first = states[0];
+            let count = first.num_nonempty_rows();
             if states.iter().any(|s| s.num_nonempty_rows() != count) {
                 return Err(SemanticsError::RowCountMismatch);
             }
             if count == 0 {
                 return Err(SemanticsError::EmptyStates);
             }
-            for i in 0..states.len() {
-                for j in (i + 1)..states.len() {
-                    if !states[i].rows_mask().is_disjoint(&states[j].rows_mask()) {
-                        return Err(SemanticsError::RowsNotDisjoint);
-                    }
-                }
-            }
-            let mut sum = State::empty(k);
-            for s in states {
+            // Single pass over the cached masks: the chunk sets are pairwise
+            // disjoint exactly when their union has `n * count` rows.
+            let mut sum = first.clone();
+            for s in &states[1..] {
                 sum.union_with(s);
+            }
+            if sum.num_nonempty_rows() != count * states.len() {
+                return Err(SemanticsError::RowsNotDisjoint);
             }
             Ok(vec![sum; states.len()])
         }
         Collective::Broadcast => {
             check_common(states)?;
-            let root = &states[0];
+            let root = states[0];
             if !states.iter().all(|s| s.le(root)) {
                 return Err(SemanticsError::NotInformative);
             }
@@ -199,16 +221,16 @@ pub fn apply_to_groups(
     states: &[State],
     groups: &[Vec<usize>],
 ) -> Result<Vec<State>, SemanticsError> {
-    // Validate all groups first so the context is updated atomically.
-    let mut updates: Vec<(usize, State)> = Vec::new();
-    for group in groups {
-        let members: Vec<State> = group.iter().map(|&d| states[d].clone()).collect();
-        let after = apply_collective(collective, &members)?;
-        updates.extend(group.iter().copied().zip(after));
-    }
+    // Members are always read from the *input* context and errors abandon
+    // `out` before the caller sees it, so the update stays atomic without
+    // cloning any member state up front.
     let mut out = states.to_vec();
-    for (device, state) in updates {
-        out[device] = state;
+    for group in groups {
+        let members: Vec<&State> = group.iter().map(|&d| &states[d]).collect();
+        let after = apply_collective_refs(collective, &members)?;
+        for (&device, state) in group.iter().zip(after) {
+            out[device] = state;
+        }
     }
     Ok(out)
 }

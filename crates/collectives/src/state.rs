@@ -1,6 +1,7 @@
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
-use crate::bitset::Bitset;
+use crate::bitset::{iter_word_ones, Bitset};
 
 /// The state of one device: a `k × k` boolean matrix (paper Figure 7).
 ///
@@ -9,18 +10,47 @@ use crate::bitset::Bitset;
 /// been folded into the data this device currently holds. A row with no set
 /// bit means the device currently holds no data for that chunk (e.g. after a
 /// `ReduceScatter` gave the chunk to a different device).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// The matrix is stored as a single contiguous word buffer — one allocation
+/// per state, each row a word-aligned slice — with a cached bitmask of the
+/// non-empty rows, so hashing, equality and the semantics pre-condition
+/// checks are flat word loops instead of nested pointer chasing.
+#[derive(Debug, Clone)]
 pub struct State {
     k: usize,
-    rows: Vec<Bitset>,
+    /// 64-bit words per row (`k.div_ceil(64)`).
+    words_per_row: usize,
+    /// Row-major word buffer of `k * words_per_row` words.
+    words: Box<[u64]>,
+    /// Cached non-empty-rows mask: bit `r` is set iff row `r` has a set bit.
+    mask: Box<[u64]>,
+}
+
+impl PartialEq for State {
+    fn eq(&self, other: &Self) -> bool {
+        // `mask` is a function of `words`, so comparing it would be redundant.
+        self.k == other.k && self.words == other.words
+    }
+}
+
+impl Eq for State {}
+
+impl Hash for State {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.k.hash(state);
+        self.words.hash(state);
+    }
 }
 
 impl State {
     /// The empty state (no data at all) for a scope of `k` devices.
     pub fn empty(k: usize) -> Self {
+        let words_per_row = k.div_ceil(64);
         State {
             k,
-            rows: vec![Bitset::new(k); k],
+            words_per_row,
+            words: vec![0; k * words_per_row].into_boxed_slice(),
+            mask: vec![0; words_per_row].into_boxed_slice(),
         }
     }
 
@@ -34,7 +64,7 @@ impl State {
         assert!(device < k, "device {device} out of range {k}");
         let mut s = State::empty(k);
         for r in 0..k {
-            s.rows[r].set(device, true);
+            s.set(r, device, true);
         }
         s
     }
@@ -42,9 +72,35 @@ impl State {
     /// The goal state of a full reduction over all `k` devices: every chunk
     /// has been reduced over every device (the all-ones matrix).
     pub fn goal(k: usize) -> Self {
-        State {
-            k,
-            rows: vec![Bitset::full(k); k],
+        let mut s = State::empty(k);
+        for w in s.words.iter_mut() {
+            *w = u64::MAX;
+        }
+        for w in s.mask.iter_mut() {
+            *w = u64::MAX;
+        }
+        s.clear_row_slack();
+        s.clear_mask_slack();
+        s
+    }
+
+    /// Zeroes the bits above `k` in every row's last word.
+    fn clear_row_slack(&mut self) {
+        if self.k.is_multiple_of(64) || self.words_per_row == 0 {
+            return;
+        }
+        let keep = (1u64 << (self.k % 64)) - 1;
+        for r in 0..self.k {
+            self.words[(r + 1) * self.words_per_row - 1] &= keep;
+        }
+    }
+
+    /// Zeroes the bits above `k` in the mask's last word.
+    fn clear_mask_slack(&mut self) {
+        if !self.k.is_multiple_of(64) {
+            if let Some(last) = self.mask.last_mut() {
+                *last &= (1u64 << (self.k % 64)) - 1;
+            }
         }
     }
 
@@ -58,8 +114,29 @@ impl State {
     /// # Panics
     ///
     /// Panics if `r >= k`.
-    pub fn row(&self, r: usize) -> &Bitset {
-        &self.rows[r]
+    pub fn row(&self, r: usize) -> Row<'_> {
+        Row {
+            len: self.k,
+            words: self.row_words(r),
+        }
+    }
+
+    /// The words of row `r`.
+    pub(crate) fn row_words(&self, r: usize) -> &[u64] {
+        &self.words[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+
+    /// Mutable access to the words of row `r`. The caller must keep the
+    /// cached non-empty-rows mask consistent: only use this for edits that
+    /// cannot empty a non-empty row or fill an empty one (e.g. OR-ing into a
+    /// row already known non-empty).
+    pub(crate) fn row_words_mut(&mut self, r: usize) -> &mut [u64] {
+        &mut self.words[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+
+    /// The cached non-empty-rows mask words.
+    pub(crate) fn mask_words(&self) -> &[u64] {
+        &self.mask
     }
 
     /// Sets a single bit of the matrix.
@@ -68,7 +145,19 @@ impl State {
     ///
     /// Panics if either index is out of range.
     pub fn set(&mut self, row: usize, col: usize, value: bool) {
-        self.rows[row].set(col, value);
+        assert!(row < self.k, "row index {row} out of range {}", self.k);
+        assert!(col < self.k, "column index {col} out of range {}", self.k);
+        let word = row * self.words_per_row + col / 64;
+        let bit = 1u64 << (col % 64);
+        if value {
+            self.words[word] |= bit;
+            self.mask[row / 64] |= 1 << (row % 64);
+        } else {
+            self.words[word] &= !bit;
+            if self.row_words(row).iter().all(|&w| w == 0) {
+                self.mask[row / 64] &= !(1u64 << (row % 64));
+            }
+        }
     }
 
     /// Reads a single bit of the matrix.
@@ -77,29 +166,27 @@ impl State {
     ///
     /// Panics if either index is out of range.
     pub fn get(&self, row: usize, col: usize) -> bool {
-        self.rows[row].get(col)
+        assert!(row < self.k, "row index {row} out of range {}", self.k);
+        assert!(col < self.k, "column index {col} out of range {}", self.k);
+        (self.words[row * self.words_per_row + col / 64] >> (col % 64)) & 1 == 1
     }
 
     /// The indices of the non-empty rows — the chunks this device currently
     /// holds data for ("`rows`" in the paper's semantics).
     pub fn nonempty_rows(&self) -> Vec<usize> {
-        (0..self.k).filter(|&r| !self.rows[r].is_empty()).collect()
+        iter_word_ones(&self.mask).collect()
     }
 
-    /// The set of non-empty row indices as a bitset.
+    /// The set of non-empty row indices as a bitset (a copy of the cached
+    /// mask).
     pub fn rows_mask(&self) -> Bitset {
-        let mut mask = Bitset::new(self.k);
-        for r in 0..self.k {
-            if !self.rows[r].is_empty() {
-                mask.set(r, true);
-            }
-        }
-        mask
+        Bitset::from_words(self.k, self.mask.to_vec())
     }
 
-    /// The number of chunks this device currently holds data for.
+    /// The number of chunks this device currently holds data for (a popcount
+    /// of the cached mask — no allocation).
     pub fn num_nonempty_rows(&self) -> usize {
-        self.nonempty_rows().len()
+        self.mask.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// The fraction of the full per-device buffer this device currently
@@ -115,7 +202,7 @@ impl State {
 
     /// Whether the device holds no data at all.
     pub fn is_empty(&self) -> bool {
-        self.rows.iter().all(Bitset::is_empty)
+        self.mask.iter().all(|&w| w == 0)
     }
 
     /// Element-wise union with another state of the same dimension.
@@ -125,8 +212,11 @@ impl State {
     /// Panics if the dimensions differ.
     pub fn union_with(&mut self, other: &State) {
         assert_eq!(self.k, other.k, "state dimension mismatch");
-        for (a, b) in self.rows.iter_mut().zip(&other.rows) {
-            a.union_with(b);
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+        for (a, b) in self.mask.iter_mut().zip(other.mask.iter()) {
+            *a |= b;
         }
     }
 
@@ -138,10 +228,10 @@ impl State {
     /// Panics if the dimensions differ.
     pub fn le(&self, other: &State) -> bool {
         assert_eq!(self.k, other.k, "state dimension mismatch");
-        self.rows
+        self.words
             .iter()
-            .zip(&other.rows)
-            .all(|(a, b)| a.is_subset(b))
+            .zip(other.words.iter())
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Whether `self` is element-wise strictly below `other`.
@@ -158,9 +248,81 @@ impl State {
     pub(crate) fn retain_rows(&self, keep: &[usize]) -> State {
         let mut out = State::empty(self.k);
         for &r in keep {
-            out.rows[r] = self.rows[r].clone();
+            out.row_words_mut(r).copy_from_slice(self.row_words(r));
+            if !self.row_words(r).iter().all(|&w| w == 0) {
+                out.mask[r / 64] |= 1 << (r % 64);
+            }
         }
         out
+    }
+}
+
+/// A read-only view of one row of a [`State`] matrix: which devices'
+/// contributions to one chunk this device holds.
+#[derive(Debug, Clone, Copy)]
+pub struct Row<'a> {
+    len: usize,
+    words: &'a [u64],
+}
+
+impl Row<'_> {
+    /// The number of bits in the row (the matrix dimension `k`).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the row has length zero.
+    pub fn is_len_zero(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn get(&self, index: usize) -> bool {
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
+        (self.words[index / 64] >> (index % 64)) & 1 == 1
+    }
+
+    /// The number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the two rows share no set bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn is_disjoint(&self, other: Row<'_>) -> bool {
+        assert_eq!(self.len, other.len, "row length mismatch");
+        self.words.iter().zip(other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// Whether every set bit of `self` is also set in `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn is_subset(&self, other: Row<'_>) -> bool {
+        assert_eq!(self.len, other.len, "row length mismatch");
+        self.words.iter().zip(other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over the indices of set bits, in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        iter_word_ones(self.words)
     }
 }
 
@@ -225,8 +387,61 @@ mod tests {
     }
 
     #[test]
+    fn mask_tracks_sets_and_clears() {
+        let mut s = State::empty(3);
+        assert_eq!(s.num_nonempty_rows(), 0);
+        s.set(1, 2, true);
+        s.set(1, 0, true);
+        assert_eq!(s.nonempty_rows(), vec![1]);
+        s.set(1, 2, false);
+        assert_eq!(s.nonempty_rows(), vec![1]);
+        s.set(1, 0, false);
+        assert!(s.is_empty());
+        assert_eq!(s.rows_mask().count_ones(), 0);
+    }
+
+    #[test]
+    fn goal_beyond_one_word_is_all_ones() {
+        let k = 70;
+        let g = State::goal(k);
+        assert_eq!(g.num_nonempty_rows(), k);
+        for r in [0, 63, 64, 69] {
+            assert_eq!(g.row(r).count_ones(), k);
+            assert!(g.get(r, 69) && g.get(r, 0));
+        }
+        // Slack bits above `k` stay clear, so equality and hashing see only
+        // real matrix bits.
+        let mut built = State::empty(k);
+        for r in 0..k {
+            for c in 0..k {
+                built.set(r, c, true);
+            }
+        }
+        assert_eq!(g, built);
+    }
+
+    #[test]
+    fn row_views_expose_bit_operations() {
+        let s = State::initial(4, 2);
+        let r = s.row(0);
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_len_zero());
+        assert!(r.get(2) && !r.get(0));
+        assert_eq!(r.iter_ones().collect::<Vec<_>>(), vec![2]);
+        assert!(r.is_disjoint(State::initial(4, 1).row(0)));
+        assert!(r.is_subset(State::goal(4).row(0)));
+        assert!(State::empty(4).row(3).is_empty());
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn initial_device_out_of_range_panics() {
         State::initial(2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        State::empty(2).get(0, 2);
     }
 }

@@ -528,6 +528,8 @@ mod tests {
             num_programs: 7,
             programs_pruned: 7,
             programs_retained: 0,
+            states_explored: 0,
+            unique_device_states: 0,
             allreduce_predicted: 1.0,
             allreduce_measured: 1.0,
             programs: Vec::new(),

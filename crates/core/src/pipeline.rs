@@ -543,6 +543,8 @@ impl P2 {
             num_programs,
             programs_pruned: num_programs - programs.len(),
             programs_retained: programs.len(),
+            states_explored: stats.states_explored,
+            unique_device_states: stats.unique_device_states,
             allreduce_predicted,
             allreduce_measured,
             programs,

@@ -45,6 +45,12 @@ pub struct PlacementEvaluation {
     pub programs_pruned: usize,
     /// Programs retained as full [`ProgramEvaluation`]s (`programs.len()`).
     pub programs_retained: usize,
+    /// Distinct synthesis-space states the search expanded for this
+    /// placement — the size of the memoized search DAG.
+    pub states_explored: usize,
+    /// Peak size of the search's device-state interner: distinct `k × k`
+    /// state matrices hash-consed across the whole DAG build.
+    pub unique_device_states: usize,
     /// Predicted time of the single-step AllReduce baseline.
     pub allreduce_predicted: f64,
     /// Measured time of the single-step AllReduce baseline.
@@ -129,6 +135,22 @@ impl ExperimentResult {
     /// Total number of retained [`ProgramEvaluation`]s across all placements.
     pub fn total_programs_retained(&self) -> usize {
         self.placements.iter().map(|p| p.programs_retained).sum()
+    }
+
+    /// Total number of distinct synthesis-space states explored across all
+    /// placements (the combined size of the memoized search DAGs).
+    pub fn total_states_explored(&self) -> usize {
+        self.placements.iter().map(|p| p.states_explored).sum()
+    }
+
+    /// The largest per-placement device-state interner the sweep built — the
+    /// peak interner size a regression watcher should track.
+    pub fn peak_unique_device_states(&self) -> usize {
+        self.placements
+            .iter()
+            .map(|p| p.unique_device_states)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total number of programs that beat their placement's AllReduce baseline.
@@ -242,6 +264,8 @@ mod tests {
             num_programs: programs.len(),
             programs_pruned: 0,
             programs_retained: programs.len(),
+            states_explored: 5,
+            unique_device_states: 4,
             allreduce_predicted: allreduce,
             allreduce_measured: allreduce,
             programs,

@@ -63,4 +63,6 @@ pub use cache::{CacheStats, CachedCostModel, StepClass};
 pub use calibrated::CalibratedModel;
 pub use error::CostError;
 pub use loggp::{LogGpModel, DEFAULT_GAP, DEFAULT_OVERHEAD};
-pub use model::{CostAccumulator, CostBreakdown, CostModel, CostModelKind, StepCost};
+pub use model::{
+    cost_model_from_args, CostAccumulator, CostBreakdown, CostModel, CostModelKind, StepCost,
+};

@@ -215,6 +215,54 @@ impl CostModelKind {
             CostModelKind::Calibrated => "calibrated",
         }
     }
+
+    /// Reads a `--cost-model <name>` (or `--cost-model=<name>`) flag from an
+    /// argument iterator, defaulting to the α–β model when the flag is
+    /// absent. The fallible core of [`CostModelKind::from_args`], for hosts
+    /// that must not have their process exited for them.
+    ///
+    /// # Errors
+    ///
+    /// [`CostError::UnknownModel`] for unknown names or a missing value.
+    pub fn try_from_args<I>(args: I) -> Result<CostModelKind, CostError>
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            let arg = arg.as_ref();
+            if let Some(name) = arg.strip_prefix("--cost-model=") {
+                return name.parse();
+            }
+            if arg == "--cost-model" {
+                let Some(name) = args.next() else {
+                    return Err(CostError::UnknownModel {
+                        name: "<missing value>".into(),
+                    });
+                };
+                return name.as_ref().parse();
+            }
+        }
+        Ok(CostModelKind::AlphaBeta)
+    }
+
+    /// [`CostModelKind::try_from_args`] over the process arguments, exiting
+    /// with a usage message on bad input — the uniform CLI front door every
+    /// paper-artifact binary and example shares. Library embedders should
+    /// call [`CostModelKind::try_from_args`] instead.
+    pub fn from_args() -> CostModelKind {
+        CostModelKind::try_from_args(std::env::args().skip(1)).unwrap_or_else(|e| {
+            eprintln!("{e} (expected --cost-model alpha-beta|loggp|calibrated)");
+            std::process::exit(2);
+        })
+    }
+}
+
+/// [`CostModelKind::from_args`] as a free function, for call sites that read
+/// better without the type name.
+pub fn cost_model_from_args() -> CostModelKind {
+    CostModelKind::from_args()
 }
 
 impl fmt::Display for CostModelKind {
@@ -239,6 +287,22 @@ impl FromStr for CostModelKind {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_from_args_parses_both_flag_forms() {
+        let parse = |args: &[&str]| CostModelKind::try_from_args(args.iter().copied());
+        assert_eq!(parse(&[]).unwrap(), CostModelKind::AlphaBeta);
+        assert_eq!(
+            parse(&["--cost-model", "loggp"]).unwrap(),
+            CostModelKind::LogGp
+        );
+        assert_eq!(
+            parse(&["x", "--cost-model=calibrated"]).unwrap(),
+            CostModelKind::Calibrated
+        );
+        assert!(parse(&["--cost-model", "bogus"]).is_err());
+        assert!(parse(&["--cost-model"]).is_err());
+    }
 
     #[test]
     fn kind_names_round_trip() {

@@ -211,6 +211,12 @@ pub trait Arbitrary: Sized {
     fn arbitrary(rng: &mut TestRng) -> Self;
 }
 
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
 /// Strategy returned by [`any`].
 #[derive(Debug, Clone, Default)]
 pub struct Any<T>(std::marker::PhantomData<T>);

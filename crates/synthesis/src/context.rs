@@ -227,6 +227,26 @@ impl SynthesisContext {
         coords
     }
 
+    /// The deduplicated goal states plus, per abstract device, the index of
+    /// its goal in the deduplicated list. Devices of one goal group share a
+    /// goal state, so reachability pruning (Lemma B.3) only ever compares
+    /// against `#goal groups` distinct matrices instead of `k`.
+    pub fn distinct_goal_states(&self) -> (Vec<State>, Vec<usize>) {
+        let goals = self.goal_states();
+        let mut distinct: Vec<State> = Vec::new();
+        let mut index = Vec::with_capacity(goals.len());
+        for goal in goals {
+            match distinct.iter().position(|d| *d == goal) {
+                Some(i) => index.push(i),
+                None => {
+                    index.push(distinct.len());
+                    distinct.push(goal);
+                }
+            }
+        }
+        (distinct, index)
+    }
+
     /// Checks whether `states` equals the goal.
     pub fn is_goal(&self, states: &[State]) -> bool {
         states == self.goal_states()

@@ -9,7 +9,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::{Duration, Instant};
 
-use p2_collectives::{apply_to_groups, Collective, State};
+use p2_collectives::{apply_to_groups, ApplyCache, Collective, FxHashMap, State, StateInterner};
 use p2_placement::ParallelismMatrix;
 
 use crate::context::SynthesisContext;
@@ -33,6 +33,16 @@ pub struct SynthesisStats {
     /// Programs handed to the sink (equals the program count unless the sink
     /// stopped the enumeration early).
     pub programs_emitted: usize,
+    /// Distinct device states hash-consed by the search's [`StateInterner`]
+    /// (its peak size — the interner only grows). Zero on the reference
+    /// (no-interning) path.
+    pub unique_device_states: usize,
+    /// Collective applications answered from the transposition cache without
+    /// running the semantics. Zero on the reference path.
+    pub apply_cache_hits: usize,
+    /// Collective applications that ran the semantics and were then memoized.
+    /// Zero on the reference path.
+    pub apply_cache_misses: usize,
     /// Wall-clock time of the search.
     pub duration: Duration,
 }
@@ -103,8 +113,9 @@ struct SearchGraph {
     min_steps: Vec<usize>,
 }
 
-/// Interns `states`, returning `(id, was_new)`.
-fn intern_state(
+/// Interns `states`, returning `(id, was_new)` — the `Vec<State>`-keyed
+/// memoization of the reference (no-interning) search path.
+fn intern_state_reference(
     states: &[State],
     goals: &[State],
     ids: &mut HashMap<Vec<State>, usize>,
@@ -216,6 +227,20 @@ impl Synthesizer {
     where
         S: ProgramSink + ?Sized,
     {
+        self.for_each_program_impl(max_size, sink, true)
+    }
+
+    /// The shared engine behind the interned production path and the
+    /// pre-interning reference path.
+    fn for_each_program_impl<S>(
+        &self,
+        max_size: usize,
+        sink: &mut S,
+        interned: bool,
+    ) -> SynthesisStats
+    where
+        S: ProgramSink + ?Sized,
+    {
         let start = Instant::now();
         let mut candidates = self.candidate_instructions();
         // Sorting candidates by their rendered form makes the depth-first
@@ -227,7 +252,11 @@ impl Synthesizer {
             candidate_instructions: candidates.len(),
             ..SynthesisStats::default()
         };
-        let (graph, init_id) = self.build_graph(&candidates, max_size, &mut stats);
+        let (graph, init_id) = if interned {
+            self.build_graph(&candidates, max_size, &mut stats)
+        } else {
+            self.build_graph_reference(&candidates, max_size, &mut stats)
+        };
         let mut stack: Vec<Instruction> = Vec::with_capacity(max_size);
         let mut scratch = Program::empty();
         // Iterative deepening over exact program lengths: paths of length
@@ -258,7 +287,127 @@ impl Synthesizer {
 
     /// Explores the state space once (breadth-first, each state expanded a
     /// single time) and computes per-state distances to the goal.
+    ///
+    /// Device states are hash-consed to dense `u32` ids by a
+    /// [`StateInterner`], so a synthesis-space state is a flat id slice:
+    /// memoizing a state hashes a few words instead of k×k bit matrices, and
+    /// devices sharing a state (the common case after collectives on
+    /// symmetric groups) share storage. Collective applications go through
+    /// an [`ApplyCache`] transposition table keyed by `(collective,
+    /// participant ids)` — strictly finer than a per-`(collective,
+    /// grouping)` memo, since the semantics only sees the ordered
+    /// participants — so symmetric groupings and convergent paths skip the
+    /// semantics entirely, and goal reachability (Lemma B.3) is a per-id
+    /// table lookup. The expansion loop reuses its scratch buffers across
+    /// candidates: a cache-hit application allocates nothing.
     fn build_graph(
+        &self,
+        candidates: &[(Instruction, Vec<Vec<usize>>)],
+        max_size: usize,
+        stats: &mut SynthesisStats,
+    ) -> (SearchGraph, usize) {
+        let mut interner = StateInterner::new();
+        let mut apply_cache = ApplyCache::new();
+        let (distinct_goals, goal_index) = self.ctx.distinct_goal_states();
+        // respects[id][g]: whether interned state `id` is ≤ distinct goal `g`
+        // (extended whenever the interner grows).
+        let mut respects: Vec<Box<[bool]>> = Vec::new();
+
+        let init_ids: Box<[u32]> = self
+            .ctx
+            .initial_states()
+            .into_iter()
+            .map(|s| interner.intern(s))
+            .collect();
+        let goal_ids: Box<[u32]> = self
+            .ctx
+            .goal_states()
+            .into_iter()
+            .map(|s| interner.intern(s))
+            .collect();
+
+        let mut ids: FxHashMap<Box<[u32]>, usize> = FxHashMap::default();
+        let mut is_goal: Vec<bool> = Vec::new();
+        let mut edges: Vec<Option<Vec<(usize, usize)>>> = Vec::new();
+        let mut queue: VecDeque<(usize, usize, Box<[u32]>)> = VecDeque::new();
+
+        let init_id = 0usize;
+        is_goal.push(init_ids == goal_ids);
+        edges.push(None);
+        ids.insert(init_ids.clone(), init_id);
+        queue.push_back((init_id, 0, init_ids));
+
+        // Scratch buffers reused across every candidate expansion.
+        let mut next_ids: Vec<u32> = Vec::new();
+        let mut member_ids: Vec<u32> = Vec::new();
+
+        while let Some((id, depth, state_ids)) = queue.pop_front() {
+            // The goal is absorbing, and states first reached at the size
+            // limit can never be extended — neither is expanded.
+            if is_goal[id] || depth >= max_size {
+                continue;
+            }
+            stats.states_explored += 1;
+            let mut out = Vec::new();
+            'candidate: for (ci, (instr, groups)) in candidates.iter().enumerate() {
+                stats.instructions_tried += 1;
+                next_ids.clear();
+                next_ids.extend_from_slice(&state_ids);
+                for group in groups {
+                    member_ids.clear();
+                    member_ids.extend(group.iter().map(|&d| state_ids[d]));
+                    match apply_cache.apply(&mut interner, instr.collective, &member_ids) {
+                        Ok(after) => {
+                            for (&d, &sid) in group.iter().zip(after) {
+                                next_ids[d] = sid;
+                            }
+                        }
+                        Err(_) => continue 'candidate,
+                    }
+                }
+                for sid in respects.len()..interner.len() {
+                    let state = interner.get(sid as u32);
+                    respects.push(distinct_goals.iter().map(|g| state.le(g)).collect());
+                }
+                // Prune states that can no longer reach the goal (Lemma B.3).
+                if !next_ids
+                    .iter()
+                    .enumerate()
+                    .all(|(d, &sid)| respects[sid as usize][goal_index[d]])
+                {
+                    continue;
+                }
+                if next_ids[..] == state_ids[..] {
+                    continue;
+                }
+                let next_id = match ids.get(next_ids.as_slice()) {
+                    Some(&existing) => existing,
+                    None => {
+                        let new_id = is_goal.len();
+                        let key: Box<[u32]> = next_ids.as_slice().into();
+                        is_goal.push(key == goal_ids);
+                        edges.push(None);
+                        ids.insert(key.clone(), new_id);
+                        queue.push_back((new_id, depth + 1, key));
+                        new_id
+                    }
+                };
+                out.push((ci, next_id));
+            }
+            edges[id] = Some(out);
+        }
+
+        stats.unique_device_states = interner.len();
+        stats.apply_cache_hits = apply_cache.hits();
+        stats.apply_cache_misses = apply_cache.misses();
+        (Self::finish_graph(is_goal, edges), init_id)
+    }
+
+    /// The pre-interning search: synthesis states memoized by their full
+    /// `Vec<State>`, every collective application re-run through the
+    /// semantics. Kept as the oracle [`Synthesizer::synthesize_reference`]
+    /// and the `state_intern` bench compare the interned engine against.
+    fn build_graph_reference(
         &self,
         candidates: &[(Instruction, Vec<Vec<usize>>)],
         max_size: usize,
@@ -271,7 +420,8 @@ impl Synthesizer {
         let mut edges: Vec<Option<Vec<(usize, usize)>>> = Vec::new();
         let mut queue: VecDeque<(usize, usize, Vec<State>)> = VecDeque::new();
 
-        let (init_id, _) = intern_state(&initial, &goals, &mut ids, &mut is_goal, &mut edges);
+        let (init_id, _) =
+            intern_state_reference(&initial, &goals, &mut ids, &mut is_goal, &mut edges);
         queue.push_back((init_id, 0, initial));
         while let Some((id, depth, states)) = queue.pop_front() {
             // The goal is absorbing, and states first reached at the size
@@ -294,7 +444,7 @@ impl Synthesizer {
                     continue;
                 }
                 let (next_id, new) =
-                    intern_state(&next, &goals, &mut ids, &mut is_goal, &mut edges);
+                    intern_state_reference(&next, &goals, &mut ids, &mut is_goal, &mut edges);
                 if new {
                     queue.push_back((next_id, depth + 1, next));
                 }
@@ -303,6 +453,11 @@ impl Synthesizer {
             edges[id] = Some(out);
         }
 
+        (Self::finish_graph(is_goal, edges), init_id)
+    }
+
+    /// Computes per-state distances to the goal, completing a [`SearchGraph`].
+    fn finish_graph(is_goal: Vec<bool>, edges: Vec<Option<Vec<(usize, usize)>>>) -> SearchGraph {
         // Reverse breadth-first search from the goal: minimal steps-to-goal is
         // the admissible pruning bound for the emission pass.
         let n = is_goal.len();
@@ -331,14 +486,11 @@ impl Synthesizer {
             }
         }
 
-        (
-            SearchGraph {
-                edges,
-                is_goal,
-                min_steps,
-            },
-            init_id,
-        )
+        SearchGraph {
+            edges,
+            is_goal,
+            min_steps,
+        }
     }
 
     /// Synthesizes every valid program of at most `max_size` instructions
@@ -354,6 +506,26 @@ impl Synthesizer {
             programs.push(p.clone());
             SinkControl::Continue
         });
+        programs.sort_by_cached_key(|p| (p.len(), p.to_string()));
+        SynthesisResult { programs, stats }
+    }
+
+    /// [`Synthesizer::synthesize`] through the pre-interning reference
+    /// search: synthesis states memoized by their full `Vec<State>`, no
+    /// device-state hash-consing, no transposition cache. Slower by design —
+    /// it exists as the oracle the interned engine is pinned against (same
+    /// program set, same order, same `states_explored`) in the test suite
+    /// and as the "old" side of the `state_intern` bench.
+    pub fn synthesize_reference(&self, max_size: usize) -> SynthesisResult {
+        let mut programs: Vec<Program> = Vec::new();
+        let stats = self.for_each_program_impl(
+            max_size,
+            &mut |p: &Program| {
+                programs.push(p.clone());
+                SinkControl::Continue
+            },
+            false,
+        );
         programs.sort_by_cached_key(|p| (p.len(), p.to_string()));
         SynthesisResult { programs, stats }
     }

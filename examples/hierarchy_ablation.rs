@@ -7,14 +7,16 @@
 //! distinct lowered programs found, search-space statistics and synthesis
 //! time.
 //!
-//! Run with `cargo run --release --example hierarchy_ablation`.
+//! Run with `cargo run --release --example hierarchy_ablation`
+//! `[-- --cost-model alpha-beta|loggp|calibrated]`.
 
 use std::collections::HashSet;
 use std::time::Instant;
 
-use p2::{HierarchyKind, ParallelismMatrix, Synthesizer};
+use p2::{cost_model_from_args, presets, HierarchyKind, P2Config, ParallelismMatrix, Synthesizer};
 
 fn main() -> Result<(), p2::P2Error> {
+    let model_kind = cost_model_from_args();
     // Figure 2d placement on the Figure 2a system, reduction along the
     // parameter-sharding axis.
     let matrix = ParallelismMatrix::new(
@@ -25,12 +27,17 @@ fn main() -> Result<(), p2::P2Error> {
     .map_err(p2::P2Error::Placement)?;
     let reduction_axes = vec![1];
     let max_size = 4;
+    // The placement lives on the Figure 2a system; the best program of every
+    // hierarchy is predicted with the selected cost model.
+    let model = P2Config::new(presets::figure2a_system(), vec![4, 4], vec![1])
+        .make_cost_model(model_kind)?;
 
     println!("Synthesis-hierarchy ablation on placement {matrix}, reduction on axis 1, size limit {max_size}");
+    println!("(predictions by the {model_kind} cost model, select with --cost-model)");
     println!();
     println!(
-        "{:<28} {:>10} {:>12} {:>14} {:>12}",
-        "hierarchy", "space size", "programs", "instr. tried", "time (ms)"
+        "{:<28} {:>10} {:>12} {:>14} {:>12} {:>14}",
+        "hierarchy", "space size", "programs", "instr. tried", "time (ms)", "best pred (s)"
     );
 
     let mut lowered_sets: Vec<(HierarchyKind, HashSet<String>)> = Vec::new();
@@ -40,23 +47,26 @@ fn main() -> Result<(), p2::P2Error> {
         let start = Instant::now();
         let result = synthesizer.synthesize(max_size);
         let elapsed = start.elapsed();
+        let mut best_predicted = f64::INFINITY;
         // Canonical form of each lowered program, for cross-hierarchy comparison.
         let lowered: HashSet<String> = result
             .programs
             .iter()
             .map(|p| {
                 let lp = synthesizer.lower(p).expect("synthesized programs lower");
+                best_predicted = best_predicted.min(model.program_time(&lp));
                 canonical(&lp)
             })
             .collect();
         println!(
-            "({}) {:<24} {:>10} {:>12} {:>14} {:>12.1}",
+            "({}) {:<24} {:>10} {:>12} {:>14} {:>12.1} {:>14.4}",
             kind.letter(),
             format!("{kind:?}"),
             synthesizer.context().space_size(),
             result.programs.len(),
             result.stats.instructions_tried,
-            elapsed.as_secs_f64() * 1e3
+            elapsed.as_secs_f64() * 1e3,
+            best_predicted,
         );
         lowered_sets.push((kind, lowered));
     }

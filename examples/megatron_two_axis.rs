@@ -12,11 +12,13 @@
 //! evaluates the best synthesized reduction for each axis, and picks the
 //! placement minimising a weighted sum of the two.
 //!
-//! Run with `cargo run --release --example megatron_two_axis`.
+//! Run with `cargo run --release --example megatron_two_axis`
+//! `[-- --cost-model alpha-beta|loggp|calibrated]`.
 
-use p2::{presets, NcclAlgo, P2};
+use p2::{cost_model_from_args, presets, NcclAlgo, P2};
 
 fn main() -> Result<(), p2::P2Error> {
+    let kind = cost_model_from_args();
     let system = presets::a100_system(4);
     // Axis 0: tensor/parameter sharding of size 16; axis 1: data parallelism of size 4.
     let axes = vec![16, 4];
@@ -41,6 +43,7 @@ fn main() -> Result<(), p2::P2Error> {
             .algo(NcclAlgo::Ring)
             .bytes_per_device(bytes)
             .repeats(3)
+            .cost_model_kind(kind)
             .run()
     };
 

@@ -4,14 +4,17 @@
 //! data parallelism of size 4 and 4 parameter shards, then synthesizes and
 //! evaluates reduction strategies along the parameter-sharding axis.
 //!
-//! Run with `cargo run --release --example quickstart`.
+//! Run with `cargo run --release --example quickstart`
+//! `[-- --cost-model alpha-beta|loggp|calibrated]`.
 
-use p2::{presets, NcclAlgo, P2};
+use p2::{cost_model_from_args, presets, NcclAlgo, P2};
 
 fn main() -> Result<(), p2::P2Error> {
+    let kind = cost_model_from_args();
     let system = presets::figure2a_system();
     println!("System: {} ({} GPUs)", system.name(), system.num_devices());
     println!("Hierarchy: {:?}", system.hierarchy().arities());
+    println!("Cost model: {kind} (select with --cost-model)");
     println!();
 
     // Data parallelism of size 4 (axis 0) and 4 parameter shards (axis 1);
@@ -22,6 +25,7 @@ fn main() -> Result<(), p2::P2Error> {
         .algo(NcclAlgo::Ring)
         .bytes_per_device(100.0e6) // 100 MB of gradients per GPU
         .repeats(3)
+        .cost_model_kind(kind)
         .run()?;
 
     println!(

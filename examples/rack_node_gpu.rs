@@ -13,11 +13,15 @@
 //!   placements prune expensive ones inside one sweep, deterministically for
 //!   any thread count.
 //!
-//! Run with `cargo run --release --example rack_node_gpu`.
+//! Run with `cargo run --release --example rack_node_gpu`
+//! `[-- --cost-model alpha-beta|loggp|calibrated]`.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use p2::{presets, NcclAlgo, ParallelismMatrix, RunMode, RunObserver, SharedBoundObserver, P2};
+use p2::{
+    cost_model_from_args, presets, NcclAlgo, ParallelismMatrix, RunMode, RunObserver,
+    SharedBoundObserver, P2,
+};
 
 /// Counts sweep events to show the observer contract in action.
 #[derive(Default)]
@@ -44,6 +48,7 @@ impl RunObserver for EventCounter {
 }
 
 fn main() -> Result<(), p2::P2Error> {
+    let kind = cost_model_from_args();
     let system = presets::rack_node_gpu_system(2, 2, 8);
     println!(
         "System: {} ({} GPUs), hierarchy {:?}",
@@ -63,6 +68,7 @@ fn main() -> Result<(), p2::P2Error> {
         .bytes_per_device(64.0e6)
         .repeats(3)
         .keep_top(8)
+        .cost_model_kind(kind)
         .mode(RunMode::Shortlist(10))
         .build()?;
 

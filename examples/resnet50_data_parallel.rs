@@ -7,14 +7,16 @@
 //! of size 32 (pure data parallelism), reduction over the full axis, and the
 //! real ResNet-50 gradient volume (~25.6 M float32 parameters).
 //!
-//! Run with `cargo run --release --example resnet50_data_parallel`.
+//! Run with `cargo run --release --example resnet50_data_parallel`
+//! `[-- --cost-model alpha-beta|loggp|calibrated]`.
 
-use p2::{presets, NcclAlgo, P2};
+use p2::{cost_model_from_args, presets, NcclAlgo, P2};
 
 /// ResNet-50 has ~25.56 million parameters; gradients are float32.
 const RESNET50_PARAMETERS: f64 = 25_557_032.0;
 
 fn main() -> Result<(), p2::P2Error> {
+    let kind = cost_model_from_args();
     let system = presets::v100_system(4);
     let gradient_bytes = RESNET50_PARAMETERS * 4.0;
     println!(
@@ -32,6 +34,7 @@ fn main() -> Result<(), p2::P2Error> {
             .algo(algo)
             .bytes_per_device(gradient_bytes)
             .repeats(5)
+            .cost_model_kind(kind)
             .run()?;
         // Pure data parallelism has a single placement: the hierarchy itself.
         let placement = &result.placements[0];

@@ -50,8 +50,9 @@ pub use p2_core::{
     TwoPassSharedBound, P2,
 };
 pub use p2_cost::{
-    AlphaBetaModel, CacheStats, CachedCostModel, CalibratedModel, CostAccumulator, CostBreakdown,
-    CostModel, CostModelKind, LogGpModel, NcclAlgo, StepClass, StepCost,
+    cost_model_from_args, AlphaBetaModel, CacheStats, CachedCostModel, CalibratedModel,
+    CostAccumulator, CostBreakdown, CostModel, CostModelKind, LogGpModel, NcclAlgo, StepClass,
+    StepCost,
 };
 pub use p2_exec::{ExecConfig, Executor};
 pub use p2_placement::{

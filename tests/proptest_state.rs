@@ -1,0 +1,275 @@
+//! Property-based pinning of the flat bit-matrix [`State`] against a naive
+//! dense boolean-matrix reference model: the word-packed representation, its
+//! cached non-empty-rows mask and the single-pass semantics pre-condition
+//! checks must be observationally identical to `Vec<Vec<bool>>` arithmetic
+//! for union / le / retain-rows (via `ReduceScatter`) / `apply_collective`
+//! round-trips.
+
+use proptest::prelude::*;
+
+use p2::collectives::{apply_collective, Collective, State};
+
+/// The reference model: a `k × k` dense boolean matrix with the Figure 8
+/// semantics spelled out bit by bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Dense {
+    k: usize,
+    bits: Vec<Vec<bool>>,
+}
+
+impl Dense {
+    fn empty(k: usize) -> Self {
+        Dense {
+            k,
+            bits: vec![vec![false; k]; k],
+        }
+    }
+
+    fn initial(k: usize, device: usize) -> Self {
+        let mut d = Dense::empty(k);
+        for r in 0..k {
+            d.bits[r][device] = true;
+        }
+        d
+    }
+
+    fn from_state(state: &State) -> Self {
+        let k = state.dim();
+        let mut d = Dense::empty(k);
+        for r in 0..k {
+            for c in 0..k {
+                d.bits[r][c] = state.get(r, c);
+            }
+        }
+        d
+    }
+
+    fn to_state(&self) -> State {
+        let mut s = State::empty(self.k);
+        for r in 0..self.k {
+            for c in 0..self.k {
+                s.set(r, c, self.bits[r][c]);
+            }
+        }
+        s
+    }
+
+    fn union_with(&mut self, other: &Dense) {
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x |= y;
+            }
+        }
+    }
+
+    fn le(&self, other: &Dense) -> bool {
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .all(|(a, b)| a.iter().zip(b).all(|(x, y)| !x | y))
+    }
+
+    fn row_nonempty(&self, r: usize) -> bool {
+        self.bits[r].iter().any(|&b| b)
+    }
+
+    fn nonempty_rows(&self) -> Vec<usize> {
+        (0..self.k).filter(|&r| self.row_nonempty(r)).collect()
+    }
+
+    fn retain_rows(&self, keep: &[usize]) -> Dense {
+        let mut out = Dense::empty(self.k);
+        for &r in keep {
+            out.bits[r] = self.bits[r].clone();
+        }
+        out
+    }
+}
+
+/// The Figure 8 semantics over the dense model, mirroring `apply_collective`
+/// (returns `None` where the real semantics reports any error).
+fn dense_apply(collective: Collective, states: &[Dense]) -> Option<Vec<Dense>> {
+    if states.len() < 2 {
+        return None;
+    }
+    let k = states[0].k;
+    let reduction_sum = |states: &[Dense]| -> Option<Dense> {
+        let rows = states[0].nonempty_rows();
+        if states.iter().any(|s| s.nonempty_rows() != rows) {
+            return None;
+        }
+        if rows.is_empty() {
+            return None;
+        }
+        // Pairwise-disjoint contributions per chunk, spelled out bit by bit.
+        for &r in &rows {
+            for c in 0..k {
+                if states.iter().filter(|s| s.bits[r][c]).count() > 1 {
+                    return None;
+                }
+            }
+        }
+        let mut sum = Dense::empty(k);
+        for s in states {
+            sum.union_with(s);
+        }
+        Some(sum)
+    };
+    match collective {
+        Collective::AllReduce => {
+            let sum = reduction_sum(states)?;
+            Some(vec![sum; states.len()])
+        }
+        Collective::Reduce => {
+            let sum = reduction_sum(states)?;
+            let mut out = vec![Dense::empty(k); states.len()];
+            out[0] = sum;
+            Some(out)
+        }
+        Collective::ReduceScatter => {
+            let sum = reduction_sum(states)?;
+            let rows = sum.nonempty_rows();
+            if rows.len() % states.len() != 0 {
+                return None;
+            }
+            let per = rows.len() / states.len();
+            Some(
+                (0..states.len())
+                    .map(|i| sum.retain_rows(&rows[i * per..(i + 1) * per]))
+                    .collect(),
+            )
+        }
+        Collective::AllGather => {
+            let count = states[0].nonempty_rows().len();
+            if states.iter().any(|s| s.nonempty_rows().len() != count) || count == 0 {
+                return None;
+            }
+            for r in 0..k {
+                if states.iter().filter(|s| s.row_nonempty(r)).count() > 1 {
+                    return None;
+                }
+            }
+            let mut sum = Dense::empty(k);
+            for s in states {
+                sum.union_with(s);
+            }
+            Some(vec![sum; states.len()])
+        }
+        Collective::Broadcast => {
+            let root = &states[0];
+            if !states.iter().all(|s| s.le(root)) || !states.iter().any(|s| *s != *root) {
+                return None;
+            }
+            Some(vec![root.clone(); states.len()])
+        }
+    }
+}
+
+/// Strategy: a scope size plus a short random script of collectives; applying
+/// the script to the initial states (keeping only successful steps) walks both
+/// models through a diverse set of reachable state shapes.
+fn scope_and_script() -> impl Strategy<Value = (usize, Vec<usize>)> {
+    (2usize..=8).prop_flat_map(|k| {
+        proptest::collection::vec(0usize..5, 0..4).prop_map(move |script| (k, script))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `apply_collective` agrees with the dense model bit for bit — both on
+    /// which applications are valid and on every output matrix — along random
+    /// collective scripts from the initial states.
+    #[test]
+    fn apply_collective_matches_dense_model((k, script) in scope_and_script()) {
+        let mut states: Vec<State> = (0..k).map(|i| State::initial(k, i)).collect();
+        let mut dense: Vec<Dense> = (0..k).map(|i| Dense::initial(k, i)).collect();
+        for (d, s) in dense.iter().zip(&states) {
+            prop_assert_eq!(d, &Dense::from_state(s));
+        }
+        for step in script {
+            let collective = Collective::ALL[step];
+            let real = apply_collective(collective, &states);
+            let model = dense_apply(collective, &dense);
+            prop_assert!(
+                real.is_ok() == model.is_some(),
+                "validity diverged for {collective}"
+            );
+            let (Ok(real), Some(model)) = (real, model) else { continue };
+            for (s, d) in real.iter().zip(&model) {
+                prop_assert_eq!(&Dense::from_state(s), d);
+            }
+            states = real;
+            dense = model;
+        }
+    }
+
+    /// Union and le agree with the dense model on arbitrary bit patterns, and
+    /// the cached non-empty-rows bookkeeping matches a full scan.
+    #[test]
+    fn union_le_and_mask_match_dense_model(
+        (k, bits_a, bits_b) in (1usize..=9).prop_flat_map(|k| {
+            let cells = proptest::collection::vec(any::<bool>(), k * k);
+            (Just(k), cells.clone(), cells)
+        })
+    ) {
+        let build = |bits: &[bool]| {
+            let mut d = Dense::empty(k);
+            for r in 0..k {
+                for c in 0..k {
+                    d.bits[r][c] = bits[r * k + c];
+                }
+            }
+            d
+        };
+        let da = build(&bits_a);
+        let db = build(&bits_b);
+        let sa = da.to_state();
+        let sb = db.to_state();
+        prop_assert_eq!(&Dense::from_state(&sa), &da);
+
+        // Cached mask bookkeeping vs. a full dense scan.
+        prop_assert_eq!(sa.nonempty_rows(), da.nonempty_rows());
+        prop_assert_eq!(sa.num_nonempty_rows(), da.nonempty_rows().len());
+        prop_assert_eq!(sa.is_empty(), da.nonempty_rows().is_empty());
+        let mask = sa.rows_mask();
+        for r in 0..k {
+            prop_assert_eq!(mask.get(r), da.row_nonempty(r));
+        }
+
+        // le both ways, plus union.
+        prop_assert_eq!(sa.le(&sb), da.le(&db));
+        prop_assert_eq!(sb.le(&sa), db.le(&da));
+        let mut su = sa.clone();
+        su.union_with(&sb);
+        let mut du = da.clone();
+        du.union_with(&db);
+        prop_assert_eq!(&Dense::from_state(&su), &du);
+        prop_assert_eq!(su.num_nonempty_rows(), du.nonempty_rows().len());
+
+        // Equality and hashing see exactly the matrix bits.
+        prop_assert_eq!(sa == sb, da == db);
+    }
+
+    /// Clearing bits keeps the cached mask exact (the mutation path the
+    /// synthesizer never takes but the public API allows).
+    #[test]
+    fn bit_clears_keep_the_mask_exact(
+        (k, ops) in (1usize..=9).prop_flat_map(|k| {
+            let ops = proptest::collection::vec(
+                (0usize..k, 0usize..k, any::<bool>()), 0..24);
+            (Just(k), ops)
+        })
+    ) {
+        let mut s = State::empty(k);
+        let mut d = Dense::empty(k);
+        for (r, c, value) in ops {
+            s.set(r, c, value);
+            d.bits[r][c] = value;
+            prop_assert_eq!(s.get(r, c), value);
+        }
+        prop_assert_eq!(&Dense::from_state(&s), &d);
+        prop_assert_eq!(s.nonempty_rows(), d.nonempty_rows());
+        prop_assert_eq!(s.data_fraction(), d.nonempty_rows().len() as f64 / k as f64);
+    }
+}

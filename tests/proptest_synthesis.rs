@@ -102,6 +102,34 @@ proptest! {
         }
     }
 
+    /// The hash-consed search engine is observationally identical to the
+    /// no-interning reference path: same program set, same emission order,
+    /// same `states_explored` and `instructions_tried`, for random small
+    /// matrices — the contract that lets interning replace the
+    /// `Vec<State>`-keyed memoization wholesale.
+    #[test]
+    fn interned_search_matches_reference_path((system, axes, reduction_axis) in small_scenario()) {
+        let arities = system.hierarchy().arities();
+        for matrix in enumerate_matrices(&arities, &axes).unwrap().into_iter().take(2) {
+            prop_assume!(matrix.axis_sizes()[reduction_axis] > 1);
+            let synth =
+                Synthesizer::new(matrix, vec![reduction_axis], HierarchyKind::ReductionAxes)
+                    .unwrap();
+            for max_size in 1..=3 {
+                let interned = synth.synthesize(max_size);
+                let reference = synth.synthesize_reference(max_size);
+                prop_assert_eq!(&interned.programs, &reference.programs);
+                prop_assert_eq!(interned.stats.states_explored, reference.stats.states_explored);
+                prop_assert_eq!(
+                    interned.stats.instructions_tried,
+                    reference.stats.instructions_tried
+                );
+                prop_assert!(interned.stats.unique_device_states > 0);
+                prop_assert_eq!(reference.stats.unique_device_states, 0);
+            }
+        }
+    }
+
     /// The plain AllReduce program is always among the synthesized programs,
     /// and its lowering matches the explicit baseline construction.
     #[test]
@@ -177,5 +205,46 @@ proptest! {
         let min = runs.iter().copied().fold(f64::MAX, f64::min);
         let max = runs.iter().copied().fold(f64::MIN, f64::max);
         prop_assert!(max <= min / 0.95 * 1.05 + 1e-9, "noise envelope exceeded: {runs:?}");
+    }
+}
+
+/// The deterministic acceptance pin for the hash-consed engine: on the
+/// figure-2d running example and the heaviest rack/node/GPU placement, the
+/// interned search must reproduce the reference path's program set, emission
+/// order and `states_explored` at every size the paper (and our size-6
+/// extension) uses.
+#[test]
+fn interned_search_pinned_against_reference_at_sizes_1_to_6() {
+    use p2::placement::ParallelismMatrix;
+    use p2::presets;
+
+    let figure2d = ParallelismMatrix::new(
+        vec![vec![1, 1, 2, 2], vec![1, 2, 1, 2]],
+        vec![1, 2, 2, 4],
+        vec![4, 4],
+    )
+    .unwrap();
+    let rack = presets::rack_node_gpu_system(2, 2, 4);
+    let rack_matrix = enumerate_matrices(&rack.hierarchy().arities(), &[16])
+        .unwrap()
+        .remove(0);
+    for (matrix, reduction) in [(figure2d, vec![1usize]), (rack_matrix, vec![0])] {
+        let synth = Synthesizer::new(matrix, reduction, HierarchyKind::ReductionAxes).unwrap();
+        for max_size in 1..=6 {
+            let interned = synth.synthesize(max_size);
+            let reference = synth.synthesize_reference(max_size);
+            assert_eq!(
+                interned.programs, reference.programs,
+                "program set or order diverged at size {max_size}"
+            );
+            assert_eq!(
+                interned.stats.states_explored, reference.stats.states_explored,
+                "states_explored diverged at size {max_size}"
+            );
+            assert_eq!(
+                interned.stats.instructions_tried, reference.stats.instructions_tried,
+                "instructions_tried diverged at size {max_size}"
+            );
+        }
     }
 }
