@@ -103,6 +103,35 @@ fn bench_synthesis_size6(c: &mut Criterion) {
     group.finish();
 }
 
+/// The suffix-memoized engine against the reference DFS at the size-6/size-7
+/// wall (ROADMAP: "break the size-7 wall"), on the heaviest rack/node/GPU
+/// placement: `reference_full` is the oracle path (admissible `min_steps`
+/// pruning, no memo), `memoized_full` the production emission driven by the
+/// exact suffix-completion counts, and `count_only` the fast path that
+/// aggregates program counts straight from the memo without walking a path.
+fn bench_suffix_memo_modes(c: &mut Criterion) {
+    use p2_topology::presets;
+    let mut group = c.benchmark_group("suffix_memo");
+    let rack = presets::rack_node_gpu_system(2, 2, 4);
+    let matrix = enumerate_matrices(&rack.hierarchy().arities(), &[16])
+        .expect("valid config")
+        .remove(0);
+    let synth =
+        Synthesizer::new(matrix, vec![0], HierarchyKind::ReductionAxes).expect("valid synthesizer");
+    for size in [6usize, 7] {
+        group.bench_with_input(BenchmarkId::new("reference_full", size), &size, |b, &s| {
+            b.iter(|| synth.synthesize_reference(s).programs.len())
+        });
+        group.bench_with_input(BenchmarkId::new("memoized_full", size), &size, |b, &s| {
+            b.iter(|| synth.synthesize(s).programs.len())
+        });
+        group.bench_with_input(BenchmarkId::new("count_only", size), &size, |b, &s| {
+            b.iter(|| synth.count_programs(s).total)
+        });
+    }
+    group.finish();
+}
+
 /// The placement × synthesis sweep, serial vs. fanned out over every core —
 /// the parallel path must win on a multi-core host (and tie on one core).
 fn bench_sweep_parallelism(c: &mut Criterion) {
@@ -140,6 +169,6 @@ fn bench_streaming_vs_materialized(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_synthesis, bench_synthesis_size6, bench_sweep_parallelism, bench_streaming_vs_materialized
+    targets = bench_synthesis, bench_synthesis_size6, bench_suffix_memo_modes, bench_sweep_parallelism, bench_streaming_vs_materialized
 }
 criterion_main!(benches);

@@ -56,10 +56,19 @@ fn main() {
                 result.total_programs_pruned(),
                 bound.bound().map(fmt_s).unwrap_or_else(|| "-".to_string()),
             );
+            let memo_hits = result.total_suffix_memo_hits();
+            let memo_misses = result.total_suffix_memo_misses();
             println!(
-                "  search: {} synthesis states explored, peak device-state interner {}",
+                "  search: {} synthesis states explored, peak device-state interner {} \
+                 (shared across the sweep: {}), suffix-memo hit rate {:.1}%, {} shared-state \
+                 reuses",
                 result.total_states_explored(),
                 result.peak_unique_device_states(),
+                result
+                    .shared_unique_device_states
+                    .map_or_else(|| "off".to_string(), |n| n.to_string()),
+                memo_hits as f64 / (memo_hits + memo_misses).max(1) as f64 * 100.0,
+                result.total_shared_states_reused(),
             );
             println!(
                 "  {:<26} {:>11} {:>11} {:>9}",

@@ -32,11 +32,17 @@ fn main() {
     let mut summary = SpeedupSummary::default();
     let mut states_explored = 0usize;
     let mut peak_interner = 0usize;
+    let mut memo_hits = 0usize;
+    let mut memo_misses = 0usize;
+    let mut shared_reused = 0usize;
     for spec in table4_specs() {
         let result = &run_specs_observed(std::slice::from_ref(&spec), None, kind, &())[0];
         summary.add(result);
         states_explored += result.total_states_explored();
         peak_interner = peak_interner.max(result.peak_unique_device_states());
+        memo_hits += result.total_suffix_memo_hits();
+        memo_misses += result.total_suffix_memo_misses();
+        shared_reused += result.total_shared_states_reused();
         let beating = result.total_programs_beating_allreduce();
         let total = result.total_programs();
         let synth_s = result.synthesis_time.as_secs_f64();
@@ -96,6 +102,12 @@ fn main() {
     println!(
         "Search-space size across the Table 4 sweeps: {states_explored} synthesis states \
          explored, peak device-state interner {peak_interner}"
+    );
+    println!(
+        "Suffix-memo across the Table 4 sweeps: {:.1}% hit rate ({memo_hits} hits / \
+         {memo_misses} misses), {shared_reused} device states reused from the sweep-wide \
+         shared interner",
+        memo_hits as f64 / (memo_hits + memo_misses).max(1) as f64 * 100.0,
     );
     println!("Result 5 aggregate over the Table 4 configurations: {summary}");
     println!("(the paper reports 69% of mappings improved, average 1.27x, max 2.04x over all configurations;");

@@ -14,7 +14,8 @@
 
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
 
 use crate::collective::Collective;
 use crate::semantics::{apply_collective_refs, SemanticsError};
@@ -78,6 +79,10 @@ impl Hasher for FxHasher {
 /// memoization layers.
 pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 
+/// The [`SharedTables`] transposition map: `[collective tag, participant
+/// ids...]` → interned post-state ids or the memoized semantic error.
+type SharedApplyMap = FxHashMap<Box<[u32]>, Result<Arc<[u32]>, SemanticsError>>;
+
 /// An arena hash-consing device [`State`]s to dense `u32` ids.
 ///
 /// # Examples
@@ -131,6 +136,21 @@ impl StateInterner {
     /// Panics if `id` was not returned by this interner.
     pub fn get(&self, id: u32) -> &State {
         self.states[id as usize].as_ref()
+    }
+
+    /// A shared handle to the state an id was assigned to, for callers that
+    /// must outlive a lock on the interner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by this interner.
+    pub fn get_arc(&self, id: u32) -> Arc<State> {
+        Arc::clone(&self.states[id as usize])
+    }
+
+    /// The id of an already-interned state, without interning it.
+    pub fn lookup(&self, state: &State) -> Option<u32> {
+        self.ids.get(state).copied()
     }
 
     /// Number of distinct states interned.
@@ -239,6 +259,137 @@ impl ApplyCache {
     }
 }
 
+/// Sweep-wide hash-consing tables: one [`StateInterner`] and one collective
+/// transposition table shared by every placement of a sweep, behind
+/// reader/writer locks (concurrent-read, locked-grow).
+///
+/// Every placement of one sweep reduces over the same k×k device-state
+/// universe, so sharing the tables means the second placement onward mostly
+/// *reads*: states and `(collective, participants)` entries discovered by one
+/// worker are reused by all. Ids are assigned in thread-arrival order and are
+/// therefore nondeterministic under parallelism — which is sound, because
+/// every consumer uses ids only for equality and memoization, never for
+/// ordering. The final table *sizes* are deterministic: they are set unions
+/// over the (deterministic) per-placement universes.
+#[derive(Debug, Default)]
+pub struct SharedTables {
+    interner: RwLock<StateInterner>,
+    /// `[collective tag, participant ids...]` → interned post-state ids
+    /// (`Arc`ed so a hit clones a pointer, not the slice) or the memoized
+    /// semantic error.
+    apply: RwLock<SharedApplyMap>,
+    apply_hits: AtomicUsize,
+    apply_misses: AtomicUsize,
+}
+
+impl SharedTables {
+    /// Creates empty shared tables.
+    pub fn new() -> Self {
+        SharedTables::default()
+    }
+
+    /// Interns a state, returning `(id, was_present)`: `was_present` is true
+    /// when the state was already in the table (interned by this or any other
+    /// worker).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a lock is poisoned or the interner overflows `u32` ids.
+    pub fn intern(&self, state: State) -> (u32, bool) {
+        if let Some(id) = self.interner.read().expect("interner lock").lookup(&state) {
+            return (id, true);
+        }
+        let mut interner = self.interner.write().expect("interner lock");
+        // Double-checked: another worker may have interned it since the read.
+        if let Some(id) = interner.lookup(&state) {
+            return (id, true);
+        }
+        (interner.intern(state), false)
+    }
+
+    /// A shared handle to the state an id was assigned to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is poisoned or `id` was not produced by this table.
+    pub fn get(&self, id: u32) -> Arc<State> {
+        self.interner.read().expect("interner lock").get_arc(id)
+    }
+
+    /// Applies `collective` to the devices holding the interned states
+    /// `members` (in group order), memoized across all workers. Returns the
+    /// members' post-condition state ids in order, plus whether the entry was
+    /// already cached (`hit`).
+    ///
+    /// # Errors
+    ///
+    /// The [`SemanticsError`] of the violated pre-condition, memoized exactly
+    /// like a success.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a lock is poisoned or any id in `members` was not produced
+    /// by this table.
+    #[allow(clippy::type_complexity)]
+    pub fn apply(
+        &self,
+        collective: Collective,
+        members: &[u32],
+    ) -> (Result<Arc<[u32]>, SemanticsError>, bool) {
+        let mut key = Vec::with_capacity(members.len() + 1);
+        key.push(collective as u32);
+        key.extend_from_slice(members);
+        if let Some(entry) = self.apply.read().expect("apply lock").get(key.as_slice()) {
+            self.apply_hits.fetch_add(1, Ordering::Relaxed);
+            return (entry.clone(), true);
+        }
+        self.apply_misses.fetch_add(1, Ordering::Relaxed);
+        // Run the semantics outside any write lock; participants are cloned
+        // out so the read lock is dropped before the write below.
+        let states: Vec<Arc<State>> = {
+            let interner = self.interner.read().expect("interner lock");
+            members.iter().map(|&id| interner.get_arc(id)).collect()
+        };
+        let refs: Vec<&State> = states.iter().map(Arc::as_ref).collect();
+        let result = apply_collective_refs(collective, &refs);
+        let entry: Result<Arc<[u32]>, SemanticsError> = result.map(|after| {
+            let mut interner = self.interner.write().expect("interner lock");
+            after.into_iter().map(|s| interner.intern(s)).collect()
+        });
+        // Racing workers compute identical entries (same interner), so
+        // keeping the first insert is purely cosmetic.
+        let out = self
+            .apply
+            .write()
+            .expect("apply lock")
+            .entry(key.into_boxed_slice())
+            .or_insert(entry)
+            .clone();
+        (out, false)
+    }
+
+    /// Number of distinct device states interned so far. Deterministic once a
+    /// sweep has drained, for any worker count.
+    pub fn num_states(&self) -> usize {
+        self.interner.read().expect("interner lock").len()
+    }
+
+    /// Number of distinct `(collective, participants)` entries memoized.
+    pub fn num_apply_entries(&self) -> usize {
+        self.apply.read().expect("apply lock").len()
+    }
+
+    /// Total applications answered from the shared cache, across all workers.
+    pub fn apply_hits(&self) -> usize {
+        self.apply_hits.load(Ordering::Relaxed)
+    }
+
+    /// Total applications that ran the semantics, across all workers.
+    pub fn apply_misses(&self) -> usize {
+        self.apply_misses.load(Ordering::Relaxed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,6 +463,86 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, err2);
         assert_eq!((cache.hits(), cache.misses()), (2, 2));
+    }
+
+    #[test]
+    fn shared_tables_match_local_apply_cache() {
+        let shared = SharedTables::new();
+        let mut interner = StateInterner::new();
+        let mut cache = ApplyCache::new();
+        let states: Vec<State> = (0..4).map(|d| State::initial(4, d)).collect();
+        let local_ids: Vec<u32> = states.iter().map(|s| interner.intern(s.clone())).collect();
+        let shared_ids: Vec<u32> = states.iter().map(|s| shared.intern(s.clone()).0).collect();
+        for collective in Collective::ALL {
+            let local = cache
+                .apply(&mut interner, collective, &local_ids)
+                .map(|out| {
+                    out.iter()
+                        .map(|&id| interner.get(id).clone())
+                        .collect::<Vec<_>>()
+                });
+            let (result, hit) = shared.apply(collective, &shared_ids);
+            assert!(!hit);
+            let via_shared =
+                result.map(|out| out.iter().map(|&id| (*shared.get(id)).clone()).collect());
+            assert_eq!(
+                local, via_shared,
+                "{collective} diverged through SharedTables"
+            );
+            // Repeats hit.
+            let (_, hit) = shared.apply(collective, &shared_ids);
+            assert!(hit);
+        }
+        assert_eq!(shared.apply_misses(), Collective::ALL.len());
+        assert_eq!(shared.apply_hits(), Collective::ALL.len());
+        assert!(shared.num_apply_entries() > 0);
+    }
+
+    #[test]
+    fn shared_tables_report_presence_on_intern() {
+        let shared = SharedTables::new();
+        let (a, present) = shared.intern(State::initial(2, 0));
+        assert!(!present);
+        let (b, present) = shared.intern(State::initial(2, 0));
+        assert!(present);
+        assert_eq!(a, b);
+        assert_eq!(shared.num_states(), 1);
+    }
+
+    #[test]
+    fn shared_tables_are_consistent_under_concurrency() {
+        let shared = Arc::new(SharedTables::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    let ids: Vec<u32> = (0..4)
+                        .map(|d| shared.intern(State::initial(4, d)).0)
+                        .collect();
+                    let (result, _) = shared.apply(Collective::AllReduce, &ids);
+                    let out = result.unwrap();
+                    out.iter()
+                        .map(|&id| (*shared.get(id)).clone())
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let outputs: Vec<Vec<State>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for w in outputs.windows(2) {
+            assert_eq!(w[0], w[1]);
+        }
+        // 4 initial states + 1 shared post-AllReduce state.
+        assert_eq!(shared.num_states(), 5);
+        assert_eq!(shared.num_apply_entries(), 1);
+    }
+
+    #[test]
+    fn interner_lookup_and_get_arc() {
+        let mut interner = StateInterner::new();
+        assert_eq!(interner.lookup(&State::initial(2, 0)), None);
+        let id = interner.intern(State::initial(2, 0));
+        assert_eq!(interner.lookup(&State::initial(2, 0)), Some(id));
+        assert_eq!(*interner.get_arc(id), State::initial(2, 0));
     }
 
     #[test]

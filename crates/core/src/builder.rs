@@ -55,6 +55,7 @@ pub struct P2Builder {
     cost_model: Option<Arc<dyn CostModel>>,
     cost_model_kind: Option<CostModelKind>,
     cost_cache: Option<bool>,
+    shared_intern: Option<bool>,
     mode: RunMode,
 }
 
@@ -78,6 +79,7 @@ impl P2Builder {
             cost_model: None,
             cost_model_kind: None,
             cost_cache: None,
+            shared_intern: None,
             mode: RunMode::Measure,
         }
     }
@@ -103,6 +105,7 @@ impl P2Builder {
             cost_model: config.cost_model,
             cost_model_kind: None,
             cost_cache: Some(config.cost_cache),
+            shared_intern: Some(config.shared_intern),
             mode: RunMode::Measure,
             system: config.system,
         }
@@ -213,6 +216,13 @@ impl P2Builder {
         self
     }
 
+    /// Enables or disables the sweep-wide shared interning tables (see
+    /// [`P2Config::shared_intern`]).
+    pub fn shared_intern(mut self, shared_intern: bool) -> Self {
+        self.shared_intern = Some(shared_intern);
+        self
+    }
+
     /// Sets how [`P2::run`] drives the pipeline: [`RunMode::Measure`] (the
     /// default), [`RunMode::Shortlist`] or [`RunMode::PredictOnly`].
     pub fn mode(mut self, mode: RunMode) -> Self {
@@ -269,6 +279,9 @@ impl P2Builder {
         if let Some(cache) = self.cost_cache {
             config.cost_cache = cache;
         }
+        if let Some(shared) = self.shared_intern {
+            config.shared_intern = shared;
+        }
         if let Some(model) = self.cost_model {
             config.cost_model = Some(model);
         } else if let Some(kind) = self.cost_model_kind {
@@ -314,6 +327,8 @@ mod tests {
         assert_eq!(b.threads, config.threads);
         assert_eq!(b.keep_top, config.keep_top);
         assert_eq!(b.prune_slack, config.prune_slack);
+        assert_eq!(b.shared_intern, config.shared_intern);
+        assert!(b.shared_intern, "sweep-wide interning defaults on");
         assert_eq!(built.mode(), RunMode::Measure);
     }
 
@@ -332,10 +347,12 @@ mod tests {
             .threads(2)
             .keep_top(3)
             .prune_slack(1.5)
+            .shared_intern(false)
             .mode(RunMode::Shortlist(5))
             .build()
             .unwrap();
         let c = session.config();
+        assert!(!c.shared_intern);
         assert_eq!(c.algo, NcclAlgo::Tree);
         assert_eq!(c.bytes_per_device, 1.0e8);
         assert_eq!(c.max_program_size, 4);
@@ -361,7 +378,8 @@ mod tests {
             .with_repeats(4)
             .with_threads(3)
             .with_keep_top(6)
-            .with_prune_slack(0.25);
+            .with_prune_slack(0.25)
+            .with_shared_intern(false);
         let rebuilt = P2Builder::from_config(config.clone()).build().unwrap();
         let r = rebuilt.config();
         assert_eq!(r.system.name(), config.system.name());
@@ -377,6 +395,7 @@ mod tests {
         assert_eq!(r.threads, config.threads);
         assert_eq!(r.keep_top, config.keep_top);
         assert_eq!(r.prune_slack, config.prune_slack);
+        assert_eq!(r.shared_intern, config.shared_intern);
         assert_eq!(rebuilt.mode(), RunMode::Measure);
     }
 

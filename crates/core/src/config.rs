@@ -80,6 +80,15 @@ pub struct P2Config {
     /// predictions (the cache key pins the exact step), it only removes
     /// recomputation; defaults to `true`.
     pub cost_cache: bool,
+    /// Whether the sweep shares one device-state interner and collective
+    /// transposition table ([`p2_collectives::SharedTables`]) across all of
+    /// its placements. Every placement reduces over the same k×k device-state
+    /// universe, so sharing lets later placements reuse states and collective
+    /// applications discovered by earlier ones instead of rebuilding them.
+    /// Sharing never changes results: programs, their order, and every
+    /// deterministic statistic are bit-identical for any worker-thread count,
+    /// with shared or private tables; defaults to `true`.
+    pub shared_intern: bool,
 }
 
 impl P2Config {
@@ -123,6 +132,7 @@ impl P2Config {
             prune_slack: 0.5,
             cost_model: None,
             cost_cache: true,
+            shared_intern: true,
         }
     }
 
@@ -240,6 +250,13 @@ impl P2Config {
     /// [`P2Config::cost_cache`]).
     pub fn with_cost_cache(mut self, cost_cache: bool) -> Self {
         self.cost_cache = cost_cache;
+        self
+    }
+
+    /// Enables or disables the sweep-wide shared interning tables (see
+    /// [`P2Config::shared_intern`]).
+    pub fn with_shared_intern(mut self, shared_intern: bool) -> Self {
+        self.shared_intern = shared_intern;
         self
     }
 

@@ -530,6 +530,9 @@ mod tests {
             programs_retained: 0,
             states_explored: 0,
             unique_device_states: 0,
+            suffix_memo_hits: 0,
+            suffix_memo_misses: 0,
+            shared_states_reused: 0,
             allreduce_predicted: 1.0,
             allreduce_measured: 1.0,
             programs: Vec::new(),

@@ -3,6 +3,7 @@ use std::collections::BinaryHeap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use p2_collectives::SharedTables;
 use p2_cost::{AlphaBetaModel, CachedCostModel, CostAccumulator, CostModel};
 use p2_exec::{ExecConfig, Executor};
 use p2_placement::{
@@ -331,12 +332,14 @@ impl P2 {
     /// blocking on this placement's completion (the shared-bound reduction
     /// tree) are released instead of waiting forever; a panicking worker then
     /// fails the sweep fast exactly as it did before observers could block.
+    #[allow(clippy::too_many_arguments)]
     fn evaluate_placement(
         &self,
         index: usize,
         matrix: &ParallelismMatrix,
         model: &Arc<dyn CostModel>,
         executor: &Executor<'_>,
+        shared: Option<&Arc<SharedTables>>,
         measure_programs: bool,
         observer: &dyn RunObserver,
     ) -> Result<PlacementEvaluation, P2Error> {
@@ -362,6 +365,7 @@ impl P2 {
             matrix,
             model,
             executor,
+            shared,
             measure_programs,
             observer,
         );
@@ -369,12 +373,14 @@ impl P2 {
         result
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn evaluate_placement_inner(
         &self,
         index: usize,
         matrix: &ParallelismMatrix,
         model: &Arc<dyn CostModel>,
         executor: &Executor<'_>,
+        shared: Option<&Arc<SharedTables>>,
         measure_programs: bool,
         observer: &dyn RunObserver,
     ) -> Result<PlacementEvaluation, P2Error> {
@@ -386,11 +392,14 @@ impl P2 {
             model.as_ref()
         };
         let bound_seed = observer.on_placement_start(index, matrix);
-        let synthesizer = Synthesizer::new(
+        let mut synthesizer = Synthesizer::new(
             matrix.clone(),
             self.config.reduction_axes.clone(),
             self.config.hierarchy_kind,
         )?;
+        if let Some(tables) = shared {
+            synthesizer = synthesizer.with_shared_tables(Arc::clone(tables));
+        }
         let baseline = baseline_allreduce(matrix, &self.config.reduction_axes)?;
         let allreduce_predicted = cost.program_time(&baseline);
         let allreduce_measured = executor.measure(&baseline);
@@ -545,6 +554,9 @@ impl P2 {
             programs_retained: programs.len(),
             states_explored: stats.states_explored,
             unique_device_states: stats.unique_device_states,
+            suffix_memo_hits: stats.suffix_memo_hits,
+            suffix_memo_misses: stats.suffix_memo_misses,
+            shared_states_reused: stats.shared_states_reused,
             allreduce_predicted,
             allreduce_measured,
             programs,
@@ -579,6 +591,13 @@ impl P2 {
             .with_seed(self.config.seed)
             .with_repeats(self.config.repeats);
         let executor = Executor::new(&self.config.system, exec_config)?;
+        // One set of hash-consing tables for the whole sweep: every placement
+        // reduces over the same device-state universe, so workers reuse each
+        // other's interned states and memoized collective applications.
+        let shared = self
+            .config
+            .shared_intern
+            .then(|| Arc::new(SharedTables::new()));
 
         let arities = self.config.system.hierarchy().arities();
         // `for_each_matrix` raises its errors before emitting anything, so a
@@ -605,6 +624,7 @@ impl P2 {
                     &matrix,
                     &model,
                     &executor,
+                    shared.as_ref(),
                     measure_programs,
                     observer,
                 )
@@ -631,6 +651,7 @@ impl P2 {
             reduction_axes: self.config.reduction_axes.clone(),
             placements,
             synthesis_time: total_synthesis,
+            shared_unique_device_states: shared.map(|tables| tables.num_states()),
         })
     }
 }

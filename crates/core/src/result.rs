@@ -48,9 +48,19 @@ pub struct PlacementEvaluation {
     /// Distinct synthesis-space states the search expanded for this
     /// placement — the size of the memoized search DAG.
     pub states_explored: usize,
-    /// Peak size of the search's device-state interner: distinct `k × k`
-    /// state matrices hash-consed across the whole DAG build.
+    /// Distinct device states in this placement's search universe: distinct
+    /// `k × k` state matrices hash-consed across the whole DAG build (the
+    /// peak size a private interner would reach — identical whether the sweep
+    /// shares its interner or not).
     pub unique_device_states: usize,
+    /// Suffix-memo entries answered without recomputation during emission.
+    pub suffix_memo_hits: usize,
+    /// Suffix-memo entries computed for the first time during emission.
+    pub suffix_memo_misses: usize,
+    /// Device states this placement found already interned in the sweep's
+    /// shared tables (0 when the sweep runs with private tables; under a
+    /// parallel sweep the value depends on worker interleaving).
+    pub shared_states_reused: usize,
     /// Predicted time of the single-step AllReduce baseline.
     pub allreduce_predicted: f64,
     /// Measured time of the single-step AllReduce baseline.
@@ -118,6 +128,11 @@ pub struct ExperimentResult {
     pub placements: Vec<PlacementEvaluation>,
     /// Total wall-clock synthesis time across placements.
     pub synthesis_time: Duration,
+    /// Final size of the sweep-shared device-state interner, when the sweep
+    /// ran with shared tables (`None` with private per-placement interners).
+    /// Deterministic for any worker count: it is the size of the set union of
+    /// the per-placement universes.
+    pub shared_unique_device_states: Option<usize>,
 }
 
 impl ExperimentResult {
@@ -143,14 +158,35 @@ impl ExperimentResult {
         self.placements.iter().map(|p| p.states_explored).sum()
     }
 
-    /// The largest per-placement device-state interner the sweep built — the
-    /// peak interner size a regression watcher should track.
+    /// The peak interner size a regression watcher should track: the final
+    /// size of the sweep-shared interner when the sweep shared one (counting
+    /// each device state once across all placements), otherwise the largest
+    /// per-placement interner the sweep built.
     pub fn peak_unique_device_states(&self) -> usize {
-        self.placements
-            .iter()
-            .map(|p| p.unique_device_states)
-            .max()
-            .unwrap_or(0)
+        self.shared_unique_device_states.unwrap_or_else(|| {
+            self.placements
+                .iter()
+                .map(|p| p.unique_device_states)
+                .max()
+                .unwrap_or(0)
+        })
+    }
+
+    /// Total suffix-memo hits across placements (suffixes whose completion
+    /// counts were reused during emission).
+    pub fn total_suffix_memo_hits(&self) -> usize {
+        self.placements.iter().map(|p| p.suffix_memo_hits).sum()
+    }
+
+    /// Total suffix-memo entries computed across placements.
+    pub fn total_suffix_memo_misses(&self) -> usize {
+        self.placements.iter().map(|p| p.suffix_memo_misses).sum()
+    }
+
+    /// Total device states placements found already present in the sweep's
+    /// shared tables (0 when the sweep ran with private interners).
+    pub fn total_shared_states_reused(&self) -> usize {
+        self.placements.iter().map(|p| p.shared_states_reused).sum()
     }
 
     /// Total number of programs that beat their placement's AllReduce baseline.
@@ -266,6 +302,9 @@ mod tests {
             programs_retained: programs.len(),
             states_explored: 5,
             unique_device_states: 4,
+            suffix_memo_hits: 0,
+            suffix_memo_misses: 0,
+            shared_states_reused: 0,
             allreduce_predicted: allreduce,
             allreduce_measured: allreduce,
             programs,
@@ -290,6 +329,25 @@ mod tests {
     }
 
     #[test]
+    fn peak_unique_device_states_prefers_the_shared_interner_size() {
+        let mut exp = ExperimentResult {
+            label: "test".into(),
+            parallelism_axes: vec![4],
+            reduction_axes: vec![0],
+            placements: vec![placement(10.0, vec![eval(3.0, 5.0)])],
+            synthesis_time: Duration::from_millis(2),
+            shared_unique_device_states: None,
+        };
+        // Private interners: the per-placement maximum.
+        assert_eq!(exp.peak_unique_device_states(), 4);
+        // Shared interner: its final size, counted once for the whole sweep
+        // (it can be smaller than the per-placement sum ever was).
+        exp.shared_unique_device_states = Some(7);
+        assert_eq!(exp.peak_unique_device_states(), 7);
+        assert_eq!(exp.total_shared_states_reused(), 0);
+    }
+
+    #[test]
     fn experiment_top_k() {
         let exp = ExperimentResult {
             label: "test".into(),
@@ -300,6 +358,7 @@ mod tests {
                 placement(10.0, vec![eval(5.0, 1.0)]),
             ],
             synthesis_time: Duration::from_millis(2),
+            shared_unique_device_states: None,
         };
         assert_eq!(exp.total_programs(), 3);
         assert_eq!(exp.total_programs_retained(), 3);

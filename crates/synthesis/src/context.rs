@@ -4,7 +4,7 @@
 use p2_collectives::{apply_to_groups, State};
 use p2_placement::ParallelismMatrix;
 
-use crate::dsl::{Form, Program};
+use crate::dsl::{Form, Instruction, Program};
 use crate::error::SynthesisError;
 use crate::hierarchy::{HierarchyKind, SynthesisHierarchy};
 use crate::lowered::{GroupExec, LoweredProgram, LoweredStep};
@@ -296,37 +296,67 @@ impl SynthesisContext {
         let mut steps = Vec::with_capacity(program.len());
         for (step_idx, instr) in program.instructions.iter().enumerate() {
             let before = &trace[step_idx];
-            let space_groups: Vec<Vec<usize>> = self
-                .derive_groups(instr.slice, instr.form)?
-                .into_iter()
-                .filter(|g| g.len() >= 2)
-                .collect();
-            let mut groups = Vec::new();
-            for coset in &cosets {
-                for space_group in &space_groups {
-                    let devices: Result<Vec<usize>, SynthesisError> = space_group
-                        .iter()
-                        .map(|&idx| self.space_to_physical(idx, coset))
-                        .collect();
-                    let devices = devices?;
-                    let input_fraction = space_group
-                        .iter()
-                        .map(|&idx| before[idx].data_fraction())
-                        .fold(0.0_f64, f64::max);
-                    groups.push(GroupExec {
-                        devices,
-                        input_fraction,
-                    });
-                }
-            }
-            steps.push(LoweredStep {
-                collective: instr.collective,
-                groups,
-            });
+            steps.push(
+                self.lower_step_with(instr, &cosets, &mut |idx| before[idx].data_fraction())?,
+            );
         }
         Ok(LoweredProgram {
             steps,
             num_devices: self.matrix.num_devices(),
+        })
+    }
+
+    /// Lowers one instruction to a [`LoweredStep`], with each group member's
+    /// data fraction supplied by `data_fraction` (called with the member's
+    /// synthesis-space index). This is the per-step core of
+    /// [`SynthesisContext::lower`], exposed so the best-cost search can cost
+    /// a single DAG edge: an edge's lowered step depends only on the
+    /// instruction and the pre-state's per-device fractions, never on how the
+    /// search reached that state.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SynthesisContext::lower`] for one step.
+    pub fn lower_step(
+        &self,
+        instr: &Instruction,
+        data_fraction: &mut dyn FnMut(usize) -> f64,
+    ) -> Result<LoweredStep, SynthesisError> {
+        self.lower_step_with(instr, &self.cosets(), data_fraction)
+    }
+
+    fn lower_step_with(
+        &self,
+        instr: &Instruction,
+        cosets: &[Vec<usize>],
+        data_fraction: &mut dyn FnMut(usize) -> f64,
+    ) -> Result<LoweredStep, SynthesisError> {
+        let space_groups: Vec<Vec<usize>> = self
+            .derive_groups(instr.slice, instr.form)?
+            .into_iter()
+            .filter(|g| g.len() >= 2)
+            .collect();
+        let mut groups = Vec::new();
+        for coset in cosets {
+            for space_group in &space_groups {
+                let devices: Result<Vec<usize>, SynthesisError> = space_group
+                    .iter()
+                    .map(|&idx| self.space_to_physical(idx, coset))
+                    .collect();
+                let devices = devices?;
+                let input_fraction = space_group
+                    .iter()
+                    .map(|&idx| data_fraction(idx))
+                    .fold(0.0_f64, f64::max);
+                groups.push(GroupExec {
+                    devices,
+                    input_fraction,
+                });
+            }
+        }
+        Ok(LoweredStep {
+            collective: instr.collective,
+            groups,
         })
     }
 }

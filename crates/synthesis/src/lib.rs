@@ -49,4 +49,7 @@ pub use dsl::{Form, Instruction, Program};
 pub use error::SynthesisError;
 pub use hierarchy::{HierarchyKind, SynthLevel, SynthesisHierarchy};
 pub use lowered::{baseline_allreduce, GroupExec, LoweredProgram, LoweredStep};
-pub use synthesizer::{ProgramSink, SinkControl, SynthesisResult, SynthesisStats, Synthesizer};
+pub use synthesizer::{
+    BestCostProgram, ProgramCount, ProgramSink, SinkControl, SynthesisResult, SynthesisStats,
+    Synthesizer,
+};

@@ -7,16 +7,22 @@
 //! callers that do want the whole set.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use p2_collectives::{apply_to_groups, ApplyCache, Collective, FxHashMap, State, StateInterner};
+use p2_collectives::{
+    apply_to_groups, ApplyCache, Collective, FxHashMap, SharedTables, State, StateInterner,
+};
 use p2_placement::ParallelismMatrix;
 
 use crate::context::SynthesisContext;
 use crate::dsl::{Form, Instruction, Program};
 use crate::error::SynthesisError;
 use crate::hierarchy::HierarchyKind;
-use crate::lowered::LoweredProgram;
+use crate::lowered::{LoweredProgram, LoweredStep};
+
+/// A `HashSet` through the same hasher as [`FxHashMap`].
+type FxHashSet<T> = HashSet<T, std::hash::BuildHasherDefault<p2_collectives::FxHasher>>;
 
 /// Statistics about one synthesis run.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -43,6 +49,23 @@ pub struct SynthesisStats {
     /// Collective applications that ran the semantics and were then memoized.
     /// Zero on the reference path.
     pub apply_cache_misses: usize,
+    /// Suffix-memo entries answered without recomputation during emission:
+    /// `(state, remaining budget)` pairs whose completion count was already
+    /// known. Zero on the reference path, which walks every suffix.
+    pub suffix_memo_hits: usize,
+    /// Suffix-memo entries computed for the first time (the number of
+    /// distinct `(state, budget)` pairs the emission actually touched).
+    pub suffix_memo_misses: usize,
+    /// Device states this search observed that were already present in a
+    /// sweep-shared [`SharedTables`] (interned by another placement, or by an
+    /// earlier search over the same tables). Zero without shared tables; under
+    /// a parallel sweep the split between "reused" and "added" depends on
+    /// worker interleaving, though their sum (`unique_device_states`) does not.
+    pub shared_states_reused: usize,
+    /// Wall-clock time of the state-graph construction (exploration) phase.
+    pub build_duration: Duration,
+    /// Wall-clock time of the emission (or counting) phase.
+    pub emit_duration: Duration,
     /// Wall-clock time of the search.
     pub duration: Duration,
 }
@@ -113,6 +136,101 @@ struct SearchGraph {
     min_steps: Vec<usize>,
 }
 
+impl SearchGraph {
+    /// Number of synthesis states in the graph.
+    fn len(&self) -> usize {
+        self.is_goal.len()
+    }
+}
+
+/// The suffix memo at the heart of the memoized emission: for every
+/// `(synthesis state, remaining budget)` pair, the number of goal-reaching
+/// paths of *exactly* that many further instructions. Shared DAG suffixes are
+/// thereby counted once, no matter how many prefixes reach them, and
+/// `completions(next, remaining) == 0` is an exact (not merely admissible)
+/// emission prune: every edge the DFS descends leads to at least one emitted
+/// program.
+struct SuffixMemo {
+    /// Row-major `[state][budget]` table; [`SuffixMemo::UNKNOWN`] marks
+    /// entries not yet computed. Counts saturate just below the sentinel.
+    counts: Vec<u64>,
+    width: usize,
+    hits: usize,
+    misses: usize,
+}
+
+impl SuffixMemo {
+    const UNKNOWN: u64 = u64::MAX;
+
+    fn new(num_states: usize, max_size: usize) -> Self {
+        let width = max_size + 1;
+        SuffixMemo {
+            counts: vec![Self::UNKNOWN; num_states * width],
+            width,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The number of goal-reaching paths of exactly `budget` instructions
+    /// from `id`, memoized. Recursion is bounded by `budget` (≤ the synthesis
+    /// size limit): budgets strictly decrease along edges, so cycles in the
+    /// search graph (e.g. a ReduceScatter later undone by an AllGather)
+    /// terminate like any other path.
+    fn completions(&mut self, graph: &SearchGraph, id: usize, budget: usize) -> u64 {
+        let slot = id * self.width + budget;
+        if self.counts[slot] != Self::UNKNOWN {
+            self.hits += 1;
+            return self.counts[slot];
+        }
+        self.misses += 1;
+        let count = if graph.is_goal[id] {
+            // The goal is absorbing: it completes only a zero-length suffix.
+            u64::from(budget == 0)
+        } else if budget == 0 {
+            0
+        } else {
+            match &graph.edges[id] {
+                // Frontier states (never expanded) have no outgoing paths.
+                None => 0,
+                Some(edges) => edges.iter().fold(0u64, |acc, &(_, next)| {
+                    acc.saturating_add(self.completions(graph, next, budget - 1))
+                }),
+            }
+        }
+        .min(Self::UNKNOWN - 1);
+        self.counts[slot] = count;
+        count
+    }
+}
+
+/// The outcome of [`Synthesizer::count_programs`]: program counts aggregated
+/// from the suffix memo without materializing a single path.
+#[derive(Debug, Clone)]
+pub struct ProgramCount {
+    /// Total number of valid programs within the size limit (saturating).
+    pub total: u64,
+    /// Counts by exact program length; `by_length[n]` is the number of valid
+    /// `n`-instruction programs, so `by_length.len() == max_size + 1`.
+    pub by_length: Vec<u64>,
+    /// Search statistics (`programs_emitted` stays 0: nothing is emitted).
+    pub stats: SynthesisStats,
+}
+
+/// The outcome of [`Synthesizer::best_cost_program`]: a provably minimum-cost
+/// program extracted from the search DAG by dynamic programming.
+#[derive(Debug, Clone)]
+pub struct BestCostProgram {
+    /// A minimum-cost program (the shortest such program, ties broken by the
+    /// emission order of the enumeration).
+    pub program: Program,
+    /// Its cost: the sum of per-step costs, folded from the last step to the
+    /// first (the DP recurrence's association).
+    pub cost: f64,
+    /// Search statistics.
+    pub stats: SynthesisStats,
+}
+
 /// Interns `states`, returning `(id, was_new)` — the `Vec<State>`-keyed
 /// memoization of the reference (no-interning) search path.
 fn intern_state_reference(
@@ -132,6 +250,138 @@ fn intern_state_reference(
     (id, true)
 }
 
+/// The hash-consing tables a graph build runs against: either private to this
+/// search, or a sweep-shared [`SharedTables`] every placement reads and grows
+/// concurrently. All consumers use interned ids only for equality and
+/// memoization, so the nondeterministic id assignment of the shared mode
+/// cannot leak into the search's observable results.
+enum Tables<'a> {
+    Local {
+        interner: StateInterner,
+        cache: ApplyCache,
+    },
+    Shared {
+        tables: &'a SharedTables,
+        /// Ids observed by *this* search — the same universe a local interner
+        /// would hold (initial ∪ goal ∪ successful application outputs), so
+        /// `seen.len()` keeps `unique_device_states` deterministic and
+        /// mode-independent.
+        seen: FxHashSet<u32>,
+        reused: usize,
+        hits: usize,
+        misses: usize,
+    },
+}
+
+impl Tables<'_> {
+    fn intern(&mut self, state: State) -> u32 {
+        match self {
+            Tables::Local { interner, .. } => interner.intern(state),
+            Tables::Shared {
+                tables,
+                seen,
+                reused,
+                ..
+            } => {
+                let (id, was_present) = tables.intern(state);
+                if seen.insert(id) && was_present {
+                    *reused += 1;
+                }
+                id
+            }
+        }
+    }
+
+    /// Applies `collective` to `members`, appending the post-state ids to
+    /// `out` on success.
+    fn apply(&mut self, collective: Collective, members: &[u32], out: &mut Vec<u32>) -> bool {
+        match self {
+            Tables::Local {
+                interner, cache, ..
+            } => match cache.apply(interner, collective, members) {
+                Ok(after) => {
+                    out.extend_from_slice(after);
+                    true
+                }
+                Err(_) => false,
+            },
+            Tables::Shared {
+                tables,
+                seen,
+                reused,
+                hits,
+                misses,
+            } => {
+                let (result, hit) = tables.apply(collective, members);
+                if hit {
+                    *hits += 1;
+                } else {
+                    *misses += 1;
+                }
+                match result {
+                    Ok(after) => {
+                        for &id in after.iter() {
+                            // A cache hit's outputs were necessarily already
+                            // interned (by whoever populated the entry).
+                            if seen.insert(id) && hit {
+                                *reused += 1;
+                            }
+                        }
+                        out.extend_from_slice(&after);
+                        true
+                    }
+                    Err(_) => false,
+                }
+            }
+        }
+    }
+
+    fn with_state<R>(&self, id: u32, f: impl FnOnce(&State) -> R) -> R {
+        match self {
+            Tables::Local { interner, .. } => f(interner.get(id)),
+            Tables::Shared { tables, .. } => f(&tables.get(id)),
+        }
+    }
+
+    /// Folds the table counters into `stats` at the end of a build.
+    fn finish(self, stats: &mut SynthesisStats) {
+        match self {
+            Tables::Local {
+                interner, cache, ..
+            } => {
+                stats.unique_device_states = interner.len();
+                stats.apply_cache_hits = cache.hits();
+                stats.apply_cache_misses = cache.misses();
+            }
+            Tables::Shared {
+                seen,
+                reused,
+                hits,
+                misses,
+                ..
+            } => {
+                stats.unique_device_states = seen.len();
+                stats.apply_cache_hits = hits;
+                stats.apply_cache_misses = misses;
+                stats.shared_states_reused = reused;
+            }
+        }
+    }
+}
+
+/// The completed product of a graph build: the search DAG plus (optionally)
+/// the per-state interned id tuples and per-id data fractions the best-cost
+/// DP needs to cost individual edges.
+struct BuiltGraph {
+    graph: SearchGraph,
+    init_id: usize,
+    /// Per synthesis state: the interned device-state id tuple (only kept
+    /// when requested — the enumeration paths never need it).
+    tuples: Option<Vec<Box<[u32]>>>,
+    /// Data fraction of every device-state id appearing in `tuples`.
+    fractions: Option<FxHashMap<u32, f64>>,
+}
+
 /// The P² reduction-program synthesizer for one parallelism matrix and one
 /// set of reduction axes.
 ///
@@ -144,6 +394,8 @@ fn intern_state_reference(
 #[derive(Debug, Clone)]
 pub struct Synthesizer {
     ctx: SynthesisContext,
+    /// Sweep-shared hash-consing tables, when the owning sweep provides them.
+    shared: Option<Arc<SharedTables>>,
 }
 
 impl Synthesizer {
@@ -159,12 +411,29 @@ impl Synthesizer {
     ) -> Result<Self, SynthesisError> {
         Ok(Synthesizer {
             ctx: SynthesisContext::new(matrix, reduction_axes, kind)?,
+            shared: None,
         })
     }
 
     /// Creates a synthesizer from an existing context.
     pub fn from_context(ctx: SynthesisContext) -> Self {
-        Synthesizer { ctx }
+        Synthesizer { ctx, shared: None }
+    }
+
+    /// Runs this synthesizer's searches against sweep-shared hash-consing
+    /// tables instead of private ones: device states and collective
+    /// applications discovered by any search over the same tables are reused
+    /// by all of them. The search's observable results (programs, order,
+    /// `states_explored`, `unique_device_states`) are identical either way —
+    /// only `apply_cache_*` and `shared_states_reused` reflect the sharing.
+    pub fn with_shared_tables(mut self, tables: Arc<SharedTables>) -> Self {
+        self.shared = Some(tables);
+        self
+    }
+
+    /// The sweep-shared tables, if any were attached.
+    pub fn shared_tables(&self) -> Option<&Arc<SharedTables>> {
+        self.shared.as_ref()
     }
 
     /// The underlying synthesis context.
@@ -253,36 +522,251 @@ impl Synthesizer {
             ..SynthesisStats::default()
         };
         let (graph, init_id) = if interned {
-            self.build_graph(&candidates, max_size, &mut stats)
+            let built = self.build_graph(&candidates, max_size, &mut stats, false);
+            (built.graph, built.init_id)
         } else {
             self.build_graph_reference(&candidates, max_size, &mut stats)
         };
+        stats.build_duration = start.elapsed();
+        let emit_start = Instant::now();
         let mut stack: Vec<Instruction> = Vec::with_capacity(max_size);
         let mut scratch = Program::empty();
         // Iterative deepening over exact program lengths: paths of length
         // `target` from the initial state to the (absorbing) goal state are
         // exactly the valid programs of that length.
-        for target in 0..=max_size {
-            if graph.min_steps[init_id] > target {
-                continue;
+        if interned {
+            // Memoized emission: descend only into suffixes whose completion
+            // count for the exact remaining budget is nonzero.
+            let mut memo = SuffixMemo::new(graph.len(), max_size);
+            for target in 0..=max_size {
+                if memo.completions(&graph, init_id, target) == 0 {
+                    continue;
+                }
+                let ctrl = emit_memoized(
+                    &graph,
+                    &mut memo,
+                    &candidates,
+                    init_id,
+                    target,
+                    &mut stack,
+                    &mut scratch,
+                    sink,
+                    &mut stats,
+                );
+                if ctrl == SinkControl::Stop {
+                    break;
+                }
             }
-            let ctrl = emit_exact(
-                &graph,
-                &candidates,
-                init_id,
-                0,
-                target,
-                &mut stack,
-                &mut scratch,
-                sink,
-                &mut stats,
-            );
-            if ctrl == SinkControl::Stop {
-                break;
+            stats.suffix_memo_hits = memo.hits;
+            stats.suffix_memo_misses = memo.misses;
+        } else {
+            for target in 0..=max_size {
+                if graph.min_steps[init_id] > target {
+                    continue;
+                }
+                let ctrl = emit_exact(
+                    &graph,
+                    &candidates,
+                    init_id,
+                    0,
+                    target,
+                    &mut stack,
+                    &mut scratch,
+                    sink,
+                    &mut stats,
+                );
+                if ctrl == SinkControl::Stop {
+                    break;
+                }
             }
         }
+        stats.emit_duration = emit_start.elapsed();
         stats.duration = start.elapsed();
         stats
+    }
+
+    /// Counts the valid programs of at most `max_size` instructions by
+    /// aggregating the suffix memo — no path is ever walked, so counting
+    /// stays cheap even at sizes where the program set itself is beyond
+    /// enumeration (the count-only fast path of the streaming engine: the
+    /// answer a sink that always returns [`SinkControl::Continue`] and merely
+    /// increments a counter would compute, at graph-size cost).
+    pub fn count_programs(&self, max_size: usize) -> ProgramCount {
+        let start = Instant::now();
+        let mut candidates = self.candidate_instructions();
+        candidates.sort_by_cached_key(|(instr, _)| instr.to_string());
+        let mut stats = SynthesisStats {
+            candidate_instructions: candidates.len(),
+            ..SynthesisStats::default()
+        };
+        let built = self.build_graph(&candidates, max_size, &mut stats, false);
+        stats.build_duration = start.elapsed();
+        let emit_start = Instant::now();
+        let mut memo = SuffixMemo::new(built.graph.len(), max_size);
+        let by_length: Vec<u64> = (0..=max_size)
+            .map(|b| memo.completions(&built.graph, built.init_id, b))
+            .collect();
+        let total = by_length
+            .iter()
+            .fold(0u64, |acc, &count| acc.saturating_add(count));
+        stats.suffix_memo_hits = memo.hits;
+        stats.suffix_memo_misses = memo.misses;
+        stats.emit_duration = emit_start.elapsed();
+        stats.duration = start.elapsed();
+        ProgramCount {
+            total,
+            by_length,
+            stats,
+        }
+    }
+
+    /// Finds a minimum-cost program of at most `max_size` instructions by
+    /// dynamic programming over the search DAG, costing each edge once via
+    /// `step_cost` — the best-cost fast path of the streaming engine. The
+    /// returned cost folds per-step costs from the last instruction to the
+    /// first; among minimum-cost programs the shortest is returned, ties
+    /// broken by emission order.
+    ///
+    /// An edge's lowered step is fully determined by its pre-state and
+    /// instruction (a group's input fraction is the maximum of its members'
+    /// data fractions in the pre-state), so per-edge costing is exact: the
+    /// result matches costing every enumerated program, up to floating-point
+    /// association of the per-step sum.
+    ///
+    /// Returns `None` when no valid program exists within the size limit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lowering errors.
+    pub fn best_cost_program(
+        &self,
+        max_size: usize,
+        step_cost: &mut dyn FnMut(&LoweredStep) -> f64,
+    ) -> Result<Option<BestCostProgram>, SynthesisError> {
+        let start = Instant::now();
+        let mut candidates = self.candidate_instructions();
+        candidates.sort_by_cached_key(|(instr, _)| instr.to_string());
+        let mut stats = SynthesisStats {
+            candidate_instructions: candidates.len(),
+            ..SynthesisStats::default()
+        };
+        let built = self.build_graph(&candidates, max_size, &mut stats, true);
+        stats.build_duration = start.elapsed();
+        let emit_start = Instant::now();
+        let graph = &built.graph;
+        let tuples = built.tuples.as_deref().expect("tuples kept for best-cost");
+        let fractions = built
+            .fractions
+            .as_ref()
+            .expect("fractions kept for best-cost");
+
+        // Edge costs, memoized by (candidate, participating member states):
+        // two states agreeing on a candidate's participants share its cost.
+        let members_of: Vec<Vec<usize>> = candidates
+            .iter()
+            .map(|(_, groups)| groups.iter().flatten().copied().collect())
+            .collect();
+        let mut cost_memo: FxHashMap<Box<[u32]>, f64> = FxHashMap::default();
+        let mut key: Vec<u32> = Vec::new();
+        let mut edge_costs: Vec<Vec<f64>> = Vec::with_capacity(graph.len());
+        for (id, edges) in graph.edges.iter().enumerate() {
+            let Some(edges) = edges else {
+                edge_costs.push(Vec::new());
+                continue;
+            };
+            let tuple = &tuples[id];
+            let mut costs = Vec::with_capacity(edges.len());
+            for &(ci, _) in edges {
+                key.clear();
+                key.push(u32::try_from(ci).expect("candidate index fits u32"));
+                key.extend(members_of[ci].iter().map(|&d| tuple[d]));
+                let cost = match cost_memo.get(key.as_slice()) {
+                    Some(&cost) => cost,
+                    None => {
+                        let step = self
+                            .ctx
+                            .lower_step(&candidates[ci].0, &mut |idx| fractions[&tuple[idx]])?;
+                        let cost = step_cost(&step);
+                        cost_memo.insert(key.as_slice().into(), cost);
+                        cost
+                    }
+                };
+                costs.push(cost);
+            }
+            edge_costs.push(costs);
+        }
+
+        // best[id][b]: minimum cost of a goal-reaching path of exactly `b`
+        // steps from `id` (∞ when none exists). Budgets strictly decrease
+        // along edges, so the bottom-up sweep is safe on cyclic graphs.
+        let width = max_size + 1;
+        let mut best = vec![f64::INFINITY; graph.len() * width];
+        for (id, &goal) in graph.is_goal.iter().enumerate() {
+            if goal {
+                best[id * width] = 0.0;
+            }
+        }
+        for b in 1..=max_size {
+            for id in 0..graph.len() {
+                // The goal is absorbing; frontier states have no edges.
+                if graph.is_goal[id] {
+                    continue;
+                }
+                let Some(edges) = &graph.edges[id] else {
+                    continue;
+                };
+                let mut min = f64::INFINITY;
+                for (&(_, next), &cost) in edges.iter().zip(&edge_costs[id]) {
+                    let suffix = best[next * width + b - 1];
+                    if suffix.is_finite() {
+                        min = min.min(cost + suffix);
+                    }
+                }
+                best[id * width + b] = min;
+            }
+        }
+
+        // Shortest length first makes the < comparison pick the shortest
+        // among equal-cost programs.
+        let mut best_cost = f64::INFINITY;
+        let mut best_len = None;
+        for b in 0..=max_size {
+            let cost = best[built.init_id * width + b];
+            if cost < best_cost {
+                best_cost = cost;
+                best_len = Some(b);
+            }
+        }
+        let Some(len) = best_len else {
+            return Ok(None);
+        };
+
+        // Reconstruct by following, at every state, the first edge achieving
+        // the memoized optimum (the same f64 sums recomputed, so the equality
+        // test is exact) — the emission-order tie-break.
+        let mut instructions = Vec::with_capacity(len);
+        let mut id = built.init_id;
+        for remaining in (1..=len).rev() {
+            let target = best[id * width + remaining];
+            let edges = graph.edges[id].as_ref().expect("optimal state expanded");
+            let (ci, next) = edges
+                .iter()
+                .zip(&edge_costs[id])
+                .find_map(|(&(ci, next), &cost)| {
+                    let suffix = best[next * width + remaining - 1];
+                    (suffix.is_finite() && cost + suffix == target).then_some((ci, next))
+                })
+                .expect("an edge achieves the memoized optimum");
+            instructions.push(candidates[ci].0);
+            id = next;
+        }
+        stats.emit_duration = emit_start.elapsed();
+        stats.duration = start.elapsed();
+        Ok(Some(BestCostProgram {
+            program: Program { instructions },
+            cost: best_cost,
+            stats,
+        }))
     }
 
     /// Explores the state space once (breadth-first, each state expanded a
@@ -305,35 +789,65 @@ impl Synthesizer {
         candidates: &[(Instruction, Vec<Vec<usize>>)],
         max_size: usize,
         stats: &mut SynthesisStats,
-    ) -> (SearchGraph, usize) {
-        let mut interner = StateInterner::new();
-        let mut apply_cache = ApplyCache::new();
+        keep_tuples: bool,
+    ) -> BuiltGraph {
+        let mut tables = match &self.shared {
+            Some(shared) => Tables::Shared {
+                tables: shared,
+                seen: FxHashSet::default(),
+                reused: 0,
+                hits: 0,
+                misses: 0,
+            },
+            None => Tables::Local {
+                interner: StateInterner::new(),
+                cache: ApplyCache::new(),
+            },
+        };
         let (distinct_goals, goal_index) = self.ctx.distinct_goal_states();
-        // respects[id][g]: whether interned state `id` is ≤ distinct goal `g`
-        // (extended whenever the interner grows).
-        let mut respects: Vec<Box<[bool]>> = Vec::new();
+        // respects[id][g]: whether interned state `id` is ≤ distinct goal `g`,
+        // computed lazily per id — a shared interner also holds other
+        // placements' states, which this search must never scan.
+        let mut respects: Vec<Option<Box<[bool]>>> = Vec::new();
+        let respects_entry =
+            |tables: &Tables, respects: &mut Vec<Option<Box<[bool]>>>, sid: u32| -> usize {
+                let i = sid as usize;
+                if i >= respects.len() {
+                    respects.resize_with(i + 1, || None);
+                }
+                if respects[i].is_none() {
+                    respects[i] = Some(tables.with_state(sid, |state| {
+                        distinct_goals.iter().map(|g| state.le(g)).collect()
+                    }));
+                }
+                i
+            };
 
         let init_ids: Box<[u32]> = self
             .ctx
             .initial_states()
             .into_iter()
-            .map(|s| interner.intern(s))
+            .map(|s| tables.intern(s))
             .collect();
         let goal_ids: Box<[u32]> = self
             .ctx
             .goal_states()
             .into_iter()
-            .map(|s| interner.intern(s))
+            .map(|s| tables.intern(s))
             .collect();
 
         let mut ids: FxHashMap<Box<[u32]>, usize> = FxHashMap::default();
         let mut is_goal: Vec<bool> = Vec::new();
         let mut edges: Vec<Option<Vec<(usize, usize)>>> = Vec::new();
+        let mut tuples: Vec<Box<[u32]>> = Vec::new();
         let mut queue: VecDeque<(usize, usize, Box<[u32]>)> = VecDeque::new();
 
         let init_id = 0usize;
         is_goal.push(init_ids == goal_ids);
         edges.push(None);
+        if keep_tuples {
+            tuples.push(init_ids.clone());
+        }
         ids.insert(init_ids.clone(), init_id);
         queue.push_back((init_id, 0, init_ids));
 
@@ -356,25 +870,22 @@ impl Synthesizer {
                 for group in groups {
                     member_ids.clear();
                     member_ids.extend(group.iter().map(|&d| state_ids[d]));
-                    match apply_cache.apply(&mut interner, instr.collective, &member_ids) {
-                        Ok(after) => {
-                            for (&d, &sid) in group.iter().zip(after) {
-                                next_ids[d] = sid;
-                            }
-                        }
-                        Err(_) => continue 'candidate,
+                    let base = next_ids.len();
+                    if !tables.apply(instr.collective, &member_ids, &mut next_ids) {
+                        continue 'candidate;
                     }
-                }
-                for sid in respects.len()..interner.len() {
-                    let state = interner.get(sid as u32);
-                    respects.push(distinct_goals.iter().map(|g| state.le(g)).collect());
+                    for (i, &d) in group.iter().enumerate() {
+                        next_ids[d] = next_ids[base + i];
+                    }
+                    next_ids.truncate(base);
                 }
                 // Prune states that can no longer reach the goal (Lemma B.3).
-                if !next_ids
-                    .iter()
-                    .enumerate()
-                    .all(|(d, &sid)| respects[sid as usize][goal_index[d]])
-                {
+                let respects_all = (0..next_ids.len()).all(|d| {
+                    let sid = next_ids[d];
+                    let i = respects_entry(&tables, &mut respects, sid);
+                    respects[i].as_ref().expect("entry just filled")[goal_index[d]]
+                });
+                if !respects_all {
                     continue;
                 }
                 if next_ids[..] == state_ids[..] {
@@ -387,6 +898,9 @@ impl Synthesizer {
                         let key: Box<[u32]> = next_ids.as_slice().into();
                         is_goal.push(key == goal_ids);
                         edges.push(None);
+                        if keep_tuples {
+                            tuples.push(key.clone());
+                        }
                         ids.insert(key.clone(), new_id);
                         queue.push_back((new_id, depth + 1, key));
                         new_id
@@ -397,10 +911,24 @@ impl Synthesizer {
             edges[id] = Some(out);
         }
 
-        stats.unique_device_states = interner.len();
-        stats.apply_cache_hits = apply_cache.hits();
-        stats.apply_cache_misses = apply_cache.misses();
-        (Self::finish_graph(is_goal, edges), init_id)
+        let fractions = keep_tuples.then(|| {
+            let mut fractions: FxHashMap<u32, f64> = FxHashMap::default();
+            for tuple in &tuples {
+                for &sid in tuple.iter() {
+                    fractions
+                        .entry(sid)
+                        .or_insert_with(|| tables.with_state(sid, State::data_fraction));
+                }
+            }
+            fractions
+        });
+        tables.finish(stats);
+        BuiltGraph {
+            graph: Self::finish_graph(is_goal, edges),
+            init_id,
+            tuples: keep_tuples.then_some(tuples),
+            fractions,
+        }
     }
 
     /// The pre-interning search: synthesis states memoized by their full
@@ -549,8 +1077,67 @@ impl Synthesizer {
     }
 }
 
+/// Depth-first emission of every goal-reaching path of exactly `remaining`
+/// further instructions, pruned by the suffix memo: an edge is descended only
+/// when its successor completes a nonzero number of programs in the exact
+/// remaining budget, so (unlike the `min_steps` bound of the reference
+/// emission) every recursive call ends in at least one emission. Callers
+/// guarantee `memo.completions(graph, id, remaining) > 0`.
+#[allow(clippy::too_many_arguments)]
+fn emit_memoized<S>(
+    graph: &SearchGraph,
+    memo: &mut SuffixMemo,
+    candidates: &[(Instruction, Vec<Vec<usize>>)],
+    id: usize,
+    remaining: usize,
+    stack: &mut Vec<Instruction>,
+    scratch: &mut Program,
+    sink: &mut S,
+    stats: &mut SynthesisStats,
+) -> SinkControl
+where
+    S: ProgramSink + ?Sized,
+{
+    if remaining == 0 {
+        // Positive completions with no budget left means this is the goal.
+        debug_assert!(graph.is_goal[id]);
+        scratch.instructions.clear();
+        scratch.instructions.extend_from_slice(stack);
+        stats.programs_emitted += 1;
+        return sink.accept(scratch);
+    }
+    let Some(edges) = &graph.edges[id] else {
+        debug_assert!(false, "a state with completions left was never expanded");
+        return SinkControl::Continue;
+    };
+    for &(ci, next) in edges {
+        if memo.completions(graph, next, remaining - 1) == 0 {
+            continue;
+        }
+        stack.push(candidates[ci].0);
+        let ctrl = emit_memoized(
+            graph,
+            memo,
+            candidates,
+            next,
+            remaining - 1,
+            stack,
+            scratch,
+            sink,
+            stats,
+        );
+        stack.pop();
+        if ctrl == SinkControl::Stop {
+            return SinkControl::Stop;
+        }
+    }
+    SinkControl::Continue
+}
+
 /// Depth-first emission of every goal-reaching path of exactly `target`
-/// instructions, reusing one instruction stack and one scratch program.
+/// instructions, reusing one instruction stack and one scratch program —
+/// pruned only by the admissible `min_steps` bound. Kept as the reference
+/// path's emission, the oracle the memoized engine is pinned against.
 #[allow(clippy::too_many_arguments)]
 fn emit_exact<S>(
     graph: &SearchGraph,
@@ -771,6 +1358,123 @@ mod tests {
             };
             norm(sa) == norm(sb)
         })
+    }
+
+    #[test]
+    fn count_only_agrees_with_full_enumeration() {
+        let s = synth_d();
+        for max_size in 0..=6 {
+            let full = s.synthesize(max_size);
+            let count = s.count_programs(max_size);
+            assert_eq!(count.total, full.len() as u64, "size {max_size}");
+            assert_eq!(count.by_length.len(), max_size + 1);
+            assert_eq!(
+                count.total,
+                count.by_length.iter().sum::<u64>(),
+                "by_length must partition the total"
+            );
+            for (n, &c) in count.by_length.iter().enumerate() {
+                let at_n = full.programs.iter().filter(|p| p.len() == n).count() as u64;
+                assert_eq!(c, at_n, "length {n} at size {max_size}");
+            }
+            assert_eq!(count.stats.programs_emitted, 0);
+            assert_eq!(count.stats.states_explored, full.stats.states_explored);
+        }
+    }
+
+    #[test]
+    fn suffix_memo_counters_are_populated() {
+        let s = synth_d();
+        let mut emitted = 0usize;
+        let stats = s.for_each_program(5, &mut |_: &Program| {
+            emitted += 1;
+            SinkControl::Continue
+        });
+        assert!(emitted > 0);
+        assert!(stats.suffix_memo_misses > 0);
+        assert!(stats.suffix_memo_hits > 0, "shared suffixes must be reused");
+        assert!(stats.build_duration <= stats.duration);
+    }
+
+    #[test]
+    fn best_cost_program_matches_exhaustive_minimum() {
+        // Cost each step by (groups × max group size): an arbitrary but
+        // prefix-sensitive stand-in for a real cost model (fractions shrink
+        // after a ReduceScatter, so identical instructions cost differently
+        // at different states).
+        let mut cost = |step: &LoweredStep| {
+            step.groups
+                .iter()
+                .map(|g| g.input_fraction * g.devices.len() as f64)
+                .sum::<f64>()
+        };
+        let s = synth_d();
+        for max_size in 1..=5 {
+            let best = s
+                .best_cost_program(max_size, &mut cost)
+                .unwrap()
+                .expect("programs exist");
+            // Exhaustive check: fold each enumerated program's step costs in
+            // the DP's (suffix-first) association and take the minimum.
+            let mut min = f64::INFINITY;
+            let mut min_lens: Vec<usize> = Vec::new();
+            for p in &s.synthesize(max_size).programs {
+                let lowered = s.lower(p).unwrap();
+                let total = lowered
+                    .steps
+                    .iter()
+                    .rev()
+                    .fold(0.0_f64, |acc, step| cost(step) + acc);
+                if total < min {
+                    min = total;
+                    min_lens.clear();
+                }
+                if total == min {
+                    min_lens.push(p.len());
+                }
+            }
+            assert_eq!(best.cost, min, "cost diverged at size {max_size}");
+            assert_eq!(
+                best.program.len(),
+                min_lens.iter().copied().min().unwrap(),
+                "tie-break must pick the shortest minimum at size {max_size}"
+            );
+            s.validate(&best.program).unwrap();
+        }
+    }
+
+    #[test]
+    fn best_cost_program_handles_unreachable_goals() {
+        // Size 0 with a non-trivial reduction: no program reaches the goal.
+        let s = synth_d();
+        let best = s.best_cost_program(0, &mut |_| 1.0).unwrap();
+        assert!(best.is_none());
+    }
+
+    #[test]
+    fn shared_tables_do_not_change_results() {
+        use p2_collectives::SharedTables;
+        let local = synth_d();
+        let shared_tables = Arc::new(SharedTables::new());
+        let shared = synth_d().with_shared_tables(Arc::clone(&shared_tables));
+        assert!(shared.shared_tables().is_some());
+        for max_size in 1..=5 {
+            let a = local.synthesize(max_size);
+            let b = shared.synthesize(max_size);
+            assert_eq!(a.programs, b.programs, "programs diverged at {max_size}");
+            assert_eq!(a.stats.states_explored, b.stats.states_explored);
+            assert_eq!(a.stats.unique_device_states, b.stats.unique_device_states);
+            assert_eq!(a.stats.programs_emitted, b.stats.programs_emitted);
+        }
+        assert!(shared_tables.num_states() > 0);
+        // A second synthesizer over the same tables reuses every state.
+        let again = synth_d().with_shared_tables(Arc::clone(&shared_tables));
+        let rerun = again.synthesize(5);
+        assert_eq!(
+            rerun.stats.shared_states_reused, rerun.stats.unique_device_states,
+            "an identical search must find its whole universe already interned"
+        );
+        assert_eq!(rerun.stats.apply_cache_misses, 0);
     }
 
     #[test]

@@ -127,6 +127,63 @@ fn bounded_retention_is_identical_across_thread_counts() {
     }
 }
 
+/// The sweep-wide shared interner must be invisible in the results: the same
+/// experiment with shared tables on (the default) and off, serial and
+/// parallel, is bit-identical everywhere rankings are built from, and the
+/// deterministic statistics (states explored, per-placement device-state
+/// universes, final shared-interner size) agree for any thread count.
+#[test]
+fn shared_interning_is_invisible_in_results() {
+    let shared_serial = P2::new(config(0x5eed).with_threads(1))
+        .unwrap()
+        .run()
+        .unwrap();
+    let private_serial = P2::new(config(0x5eed).with_shared_intern(false).with_threads(1))
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_identical(&shared_serial, &private_serial);
+    assert!(shared_serial.shared_unique_device_states.is_some());
+    assert!(private_serial.shared_unique_device_states.is_none());
+    for (a, b) in shared_serial
+        .placements
+        .iter()
+        .zip(&private_serial.placements)
+    {
+        assert_eq!(a.states_explored, b.states_explored);
+        assert_eq!(
+            a.unique_device_states, b.unique_device_states,
+            "a placement's device-state universe must not depend on sharing"
+        );
+    }
+    // The shared interner holds each device state once for the whole sweep,
+    // so its final size never exceeds the sum of per-placement universes.
+    let per_placement_sum: usize = shared_serial
+        .placements
+        .iter()
+        .map(|p| p.unique_device_states)
+        .sum();
+    let shared_size = shared_serial.shared_unique_device_states.unwrap();
+    assert!(shared_size > 0 && shared_size <= per_placement_sum);
+    assert_eq!(shared_serial.peak_unique_device_states(), shared_size);
+    for threads in [0, 2, 4] {
+        let parallel = P2::new(config(0x5eed).with_threads(threads))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_identical(&shared_serial, &parallel);
+        assert_eq!(
+            parallel.shared_unique_device_states, shared_serial.shared_unique_device_states,
+            "the final shared-interner size is a set union: thread-count independent"
+        );
+        for (a, b) in shared_serial.placements.iter().zip(&parallel.placements) {
+            assert_eq!(a.unique_device_states, b.unique_device_states);
+            assert_eq!(a.suffix_memo_hits, b.suffix_memo_hits);
+            assert_eq!(a.suffix_memo_misses, b.suffix_memo_misses);
+        }
+    }
+}
+
 #[test]
 fn different_seeds_produce_different_measurements() {
     let a = P2::new(config(1)).unwrap().run().unwrap();

@@ -1,0 +1,184 @@
+//! Property-based and pinned tests for the suffix-memoized emission engine:
+//! the memoized production path must be bit-identical (programs and order) to
+//! the `synthesize_reference` oracle, the count-only fast path must agree
+//! with what a counting sink would see, and early [`SinkControl::Stop`]
+//! prefixes must be exact prefixes of the full enumeration.
+
+use proptest::prelude::*;
+
+use p2::cost::{AlphaBetaModel, CostModel, NcclAlgo};
+use p2::placement::{enumerate_matrices, ordered_factorizations, ParallelismMatrix};
+use p2::synthesis::{HierarchyKind, Program, SinkControl, Synthesizer};
+use p2::topology::{Hierarchy, Interconnect, SystemTopology};
+
+/// Strategy: a 2-level system, a factorization of its device count into 1–2
+/// axes, and a reduction axis (the same scenario space the synthesis
+/// proptests use).
+fn small_scenario() -> impl Strategy<Value = (SystemTopology, Vec<usize>, usize)> {
+    (2usize..=4, 2usize..=8, 1usize..=2).prop_flat_map(|(nodes, gpus, num_axes)| {
+        let devices = nodes * gpus;
+        let factorizations = ordered_factorizations(devices, num_axes);
+        (0..factorizations.len(), 0..num_axes).prop_map(move |(fi, reduction_axis)| {
+            let hierarchy = Hierarchy::from_pairs([("node", nodes), ("gpu", gpus)]).unwrap();
+            let links = vec![
+                Interconnect::new("nic", 8.0e9, 20.0e-6).unwrap(),
+                Interconnect::new("nvlink", 150.0e9, 2.0e-6).unwrap(),
+            ];
+            let system = SystemTopology::new(hierarchy, links).unwrap();
+            (system, factorizations[fi].clone(), reduction_axis)
+        })
+    })
+}
+
+fn figure2d() -> ParallelismMatrix {
+    ParallelismMatrix::new(
+        vec![vec![1, 1, 2, 2], vec![1, 2, 1, 2]],
+        vec![1, 2, 2, 4],
+        vec![4, 4],
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The memoized emission is bit-identical to the reference oracle, and
+    /// the count-only fast path agrees with the emitted stream, for random
+    /// small matrices.
+    #[test]
+    fn memoized_emission_matches_reference_and_count((system, axes, reduction_axis) in small_scenario()) {
+        let arities = system.hierarchy().arities();
+        for matrix in enumerate_matrices(&arities, &axes).unwrap().into_iter().take(2) {
+            prop_assume!(matrix.axis_sizes()[reduction_axis] > 1);
+            let synth =
+                Synthesizer::new(matrix, vec![reduction_axis], HierarchyKind::ReductionAxes)
+                    .unwrap();
+            for max_size in 1..=3 {
+                let mut streamed: Vec<Program> = Vec::new();
+                let stats = synth.for_each_program(max_size, &mut |p: &Program| {
+                    streamed.push(p.clone());
+                    SinkControl::Continue
+                });
+                let reference = synth.synthesize_reference(max_size);
+                prop_assert_eq!(&streamed, &reference.programs);
+                let count = synth.count_programs(max_size);
+                prop_assert_eq!(count.total, stats.programs_emitted as u64);
+                prop_assert_eq!(count.stats.states_explored, stats.states_explored);
+            }
+        }
+    }
+
+    /// A sink stopping after a random number of programs sees exactly that
+    /// prefix of the full enumeration, and the count-only total predicts the
+    /// full stream's `programs_emitted`.
+    #[test]
+    fn random_stop_prefixes_are_exact(
+        (system, axes, reduction_axis) in small_scenario(),
+        stop_after in 1usize..=64,
+    ) {
+        let arities = system.hierarchy().arities();
+        let matrix = enumerate_matrices(&arities, &axes).unwrap().remove(0);
+        prop_assume!(matrix.axis_sizes()[reduction_axis] > 1);
+        let synth = Synthesizer::new(matrix, vec![reduction_axis], HierarchyKind::ReductionAxes)
+            .unwrap();
+        let full = synth.synthesize(3);
+        let total = full.programs.len();
+        let count = synth.count_programs(3);
+        prop_assert_eq!(count.total, full.stats.programs_emitted as u64);
+        prop_assume!(total > 0);
+        let mut prefix: Vec<Program> = Vec::new();
+        let stats = synth.for_each_program(3, &mut |p: &Program| {
+            prefix.push(p.clone());
+            if prefix.len() == stop_after {
+                SinkControl::Stop
+            } else {
+                SinkControl::Continue
+            }
+        });
+        let expected = stop_after.min(total);
+        prop_assert_eq!(stats.programs_emitted, expected);
+        prop_assert_eq!(&prefix[..], &full.programs[..expected]);
+    }
+
+    /// The best-cost DP returns exactly the minimum cost over the enumerated
+    /// program set under the paper's α–β model (up to the DP's fixed
+    /// floating-point association), and a program achieving it.
+    #[test]
+    fn best_cost_dp_matches_enumerated_minimum((system, axes, reduction_axis) in small_scenario()) {
+        let arities = system.hierarchy().arities();
+        let matrix = enumerate_matrices(&arities, &axes).unwrap().remove(0);
+        prop_assume!(matrix.axis_sizes()[reduction_axis] > 1);
+        let model = AlphaBetaModel::new(system.clone(), NcclAlgo::Ring, 1.0e8).unwrap();
+        let synth = Synthesizer::new(matrix, vec![reduction_axis], HierarchyKind::ReductionAxes)
+            .unwrap();
+        let best = synth
+            .best_cost_program(3, &mut |step| model.step_time(step))
+            .unwrap()
+            .expect("valid programs exist");
+        let mut min = f64::INFINITY;
+        for p in &synth.synthesize(3).programs {
+            let lowered = synth.lower(p).unwrap();
+            // The DP folds suffix-first; reproduce its association exactly.
+            let total = lowered
+                .steps
+                .iter()
+                .rev()
+                .fold(0.0_f64, |acc, step| model.step_time(step) + acc);
+            min = min.min(total);
+        }
+        prop_assert_eq!(best.cost, min);
+        synth.validate(&best.program).unwrap();
+        let relowered = synth.lower(&best.program).unwrap();
+        let recost = relowered
+            .steps
+            .iter()
+            .rev()
+            .fold(0.0_f64, |acc, step| model.step_time(step) + acc);
+        prop_assert_eq!(recost, best.cost);
+    }
+}
+
+/// The deterministic acceptance pin for the suffix-memoized engine: on the
+/// figure-2d running example and the heaviest rack/node/GPU placement, the
+/// memoized emission must reproduce the reference oracle's program set and
+/// order at every size up to 6, and the count-only fast path must partition
+/// the same totals by length.
+#[test]
+fn memoized_emission_pinned_against_reference_at_sizes_1_to_6() {
+    use p2::presets;
+
+    let rack = presets::rack_node_gpu_system(2, 2, 4);
+    let rack_matrix = enumerate_matrices(&rack.hierarchy().arities(), &[16])
+        .unwrap()
+        .remove(0);
+    for (matrix, reduction) in [(figure2d(), vec![1usize]), (rack_matrix, vec![0])] {
+        let synth = Synthesizer::new(matrix, reduction, HierarchyKind::ReductionAxes).unwrap();
+        for max_size in 1..=6 {
+            let mut streamed: Vec<Program> = Vec::new();
+            let stats = synth.for_each_program(max_size, &mut |p: &Program| {
+                streamed.push(p.clone());
+                SinkControl::Continue
+            });
+            let reference = synth.synthesize_reference(max_size);
+            assert_eq!(
+                streamed, reference.programs,
+                "program set or order diverged at size {max_size}"
+            );
+            let count = synth.count_programs(max_size);
+            assert_eq!(
+                count.total, stats.programs_emitted as u64,
+                "count-only total diverged at size {max_size}"
+            );
+            for (n, &c) in count.by_length.iter().enumerate() {
+                let at_n = streamed.iter().filter(|p| p.len() == n).count() as u64;
+                assert_eq!(c, at_n, "count at length {n} diverged at size {max_size}");
+            }
+            if max_size >= 3 {
+                assert!(
+                    stats.suffix_memo_hits > 0,
+                    "shared suffixes must be reused at size {max_size}"
+                );
+            }
+        }
+    }
+}
