@@ -3,26 +3,34 @@
 //! core-switch oversubscription ratios (ROADMAP: "paper-style tables for
 //! 3-level topologies").
 //!
-//! The sweep runs with the *single-pass* shared bound
-//! ([`p2_core::SharedBoundObserver`]): cheap placements prune expensive ones
-//! inside one pass, deterministically for any thread count, without the
-//! two-pass's duplicate predictions.
+//! All six (racks × oversubscription) bins run as ONE batch on one
+//! work-stealing pool ([`p2_bench::run_batch`]): placement jobs of every bin
+//! coexist in the deques, so a `--threads` budget is a global cap instead of
+//! a per-bin one. Bound sharing is on — each bin is its own sharing group
+//! (the systems differ), so within a bin cheap placements prune expensive
+//! ones through the single-pass dyadic bound, deterministically for any
+//! thread count, exactly as the old per-bin
+//! [`p2_core::SharedBoundObserver`] did.
 //!
 //! Run with `cargo run --release -p p2_bench --bin rack_table4`
-//! `[-- --cost-model alpha-beta|loggp|calibrated]`.
+//! `[-- --cost-model alpha-beta|loggp|calibrated] [--threads N]`.
 
-use p2_bench::{cost_model_from_args, fmt_s, fmt_speedup};
-use p2_core::{RunMode, SharedBoundObserver, P2};
+use p2_bench::{cost_model_from_args, fmt_s, fmt_speedup, threads_from_args, BatchOptions};
+use p2_core::{run_batch, RunMode, P2};
 use p2_topology::presets;
 
 const NODES_PER_RACK: usize = 2;
 const GPUS_PER_NODE: usize = 4;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     let kind = cost_model_from_args();
+    let threads = threads_from_args(&args);
     println!("Rack-scale Table 4: AllReduce vs. synthesized optimum on the rack/node/GPU preset");
     println!("(single-pass shared bound; cost model: {kind})\n");
 
+    let mut bins = Vec::new();
+    let mut sessions = Vec::new();
     for racks in [2usize, 4] {
         for oversubscription in [1.0f64, 2.0, 4.0] {
             let system = presets::rack_node_gpu_system_oversubscribed(
@@ -32,76 +40,91 @@ fn main() {
                 oversubscription,
             );
             let devices = system.num_devices();
-            let session = P2::builder(system)
-                .parallelism_axes([4, devices / 4])
-                .reduction_axes([1])
-                .bytes_per_device((1u64 << 26) as f64 * racks as f64 * 4.0)
-                .repeats(2)
-                .seed(0xb2b2)
-                .keep_top(8)
-                .cost_model_kind(kind)
-                .mode(RunMode::Shortlist(10))
-                .build()
-                .expect("session builds");
-            let mut bound = SharedBoundObserver::new();
-            let result = bound.run(&session).expect("pipeline runs");
-
-            println!(
-                "{} — core switch {oversubscription}:1: {} placements, {} programs \
-                 ({} retained, {} pruned), shared bound {}",
-                result.label,
-                result.placements.len(),
-                result.total_programs(),
-                result.total_programs_retained(),
-                result.total_programs_pruned(),
-                bound.bound().map(fmt_s).unwrap_or_else(|| "-".to_string()),
+            bins.push(oversubscription);
+            sessions.push(
+                P2::builder(system)
+                    .parallelism_axes([4, devices / 4])
+                    .reduction_axes([1])
+                    .bytes_per_device((1u64 << 26) as f64 * racks as f64 * 4.0)
+                    .repeats(2)
+                    .seed(0xb2b2)
+                    .keep_top(8)
+                    .cost_model_kind(kind)
+                    .mode(RunMode::Shortlist(10))
+                    .build()
+                    .expect("session builds"),
             );
-            let memo_hits = result.total_suffix_memo_hits();
-            let memo_misses = result.total_suffix_memo_misses();
-            println!(
-                "  search: {} synthesis states explored, peak device-state interner {} \
-                 (shared across the sweep: {}), suffix-memo hit rate {:.1}%, {} shared-state \
-                 reuses",
-                result.total_states_explored(),
-                result.peak_unique_device_states(),
-                result
-                    .shared_unique_device_states
-                    .map_or_else(|| "off".to_string(), |n| n.to_string()),
-                memo_hits as f64 / (memo_hits + memo_misses).max(1) as f64 * 100.0,
-                result.total_shared_states_reused(),
-            );
-            println!(
-                "  {:<26} {:>11} {:>11} {:>9}",
-                "parallelism matrix", "AllReduce", "Optimal", "Speedup"
-            );
-            let best_overall = result
-                .best_overall()
-                .map(|p| p.measured_seconds)
-                .unwrap_or(f64::INFINITY);
-            for placement in &result.placements {
-                let optimal = placement.optimal_measured();
-                let marker = if (optimal - best_overall).abs() < 1e-12 {
-                    "*"
-                } else {
-                    " "
-                };
-                println!(
-                    "  {:<26} {:>11} {:>10}{} {:>9}",
-                    placement.matrix.to_string(),
-                    fmt_s(placement.allreduce_measured),
-                    fmt_s(optimal),
-                    marker,
-                    fmt_speedup(placement.speedup()),
-                );
-            }
-            if let Some(best) = result.best_overall() {
-                println!(
-                    "  best strategy: {} in {}s\n",
-                    best.signature(),
-                    fmt_s(best.measured_seconds)
-                );
-            }
         }
     }
-    println!("('*' marks the overall optimum; speedups are vs. each placement's own AllReduce)");
+
+    let options = BatchOptions {
+        threads,
+        ..BatchOptions::default()
+    }
+    .sharing();
+    let outcome = run_batch(&sessions, &options, &()).expect("pipeline runs");
+
+    for (i, (result, oversubscription)) in outcome.results.iter().zip(&bins).enumerate() {
+        let bound = outcome.bounds[outcome.group_of[i]];
+        println!(
+            "{} — core switch {oversubscription}:1: {} placements, {} programs \
+             ({} retained, {} pruned), shared bound {}",
+            result.label,
+            result.placements.len(),
+            result.total_programs(),
+            result.total_programs_retained(),
+            result.total_programs_pruned(),
+            bound.map(fmt_s).unwrap_or_else(|| "-".to_string()),
+        );
+        let memo_hits = result.total_suffix_memo_hits();
+        let memo_misses = result.total_suffix_memo_misses();
+        println!(
+            "  search: {} synthesis states explored, peak device-state interner {} \
+             (shared across the sweep: {}), suffix-memo hit rate {:.1}%, {} shared-state \
+             reuses",
+            result.total_states_explored(),
+            result.peak_unique_device_states(),
+            result
+                .shared_unique_device_states
+                .map_or_else(|| "off".to_string(), |n| n.to_string()),
+            memo_hits as f64 / (memo_hits + memo_misses).max(1) as f64 * 100.0,
+            result.total_shared_states_reused(),
+        );
+        println!(
+            "  {:<26} {:>11} {:>11} {:>9}",
+            "parallelism matrix", "AllReduce", "Optimal", "Speedup"
+        );
+        let best_overall = result
+            .best_overall()
+            .map(|p| p.measured_seconds)
+            .unwrap_or(f64::INFINITY);
+        for placement in &result.placements {
+            let optimal = placement.optimal_measured();
+            let marker = if (optimal - best_overall).abs() < 1e-12 {
+                "*"
+            } else {
+                " "
+            };
+            println!(
+                "  {:<26} {:>11} {:>10}{} {:>9}",
+                placement.matrix.to_string(),
+                fmt_s(placement.allreduce_measured),
+                fmt_s(optimal),
+                marker,
+                fmt_speedup(placement.speedup()),
+            );
+        }
+        if let Some(best) = result.best_overall() {
+            println!(
+                "  best strategy: {} in {}s\n",
+                best.signature(),
+                fmt_s(best.measured_seconds)
+            );
+        }
+    }
+    println!(
+        "(batch: {} sharing groups on {} threads, {} steals; '*' marks the overall optimum; \
+         speedups are vs. each placement's own AllReduce)",
+        outcome.groups, outcome.threads, outcome.steals
+    );
 }

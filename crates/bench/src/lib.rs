@@ -10,7 +10,9 @@
 
 use std::sync::Arc;
 
-use p2_core::{ExperimentResult, P2Builder, P2Config, RunObserver};
+use p2_core::{ExperimentResult, P2Builder, P2Config, P2Error, RunObserver, P2};
+
+pub use p2_core::{run_batch, BatchOptions, BatchOutcome};
 use p2_cost::{CachedCostModel, CostAccumulator, CostModel, CostModelKind, NcclAlgo};
 use p2_placement::{for_each_matrix, MatrixControl, ParallelismMatrix};
 use p2_synthesis::{HierarchyKind, Program, SinkControl, Synthesizer};
@@ -147,15 +149,18 @@ impl ExperimentSpec {
     }
 }
 
-/// Runs a batch of experiment specifications, fanning the specs out across
-/// worker threads. Each spec's own placement sweep then runs serially so the
-/// two levels of parallelism do not oversubscribe the machine. Results come
-/// back in spec order and are bit-identical to serial runs.
+/// Runs a batch of experiment specifications on **one** work-stealing pool:
+/// every spec's placement-evaluation jobs are queued spec-major onto the same
+/// scheduler and workers steal across spec boundaries, so the whole batch
+/// respects a single global thread budget instead of oversubscribing with
+/// nested per-spec pools. Results come back in spec order and are
+/// bit-identical to serial per-spec runs, for any thread count.
 ///
 /// `keep_top` bounds the per-placement retention of every spec (`None` runs
 /// the exhaustive, keep-everything pipeline). Predictions use the default
 /// α–β cost model; use [`run_specs_observed`] to select another model or to
-/// watch progress.
+/// watch progress, and [`run_specs_batch`] for the full scheduling knobs
+/// (thread budget, steal seed, cross-spec bound/table sharing).
 pub fn run_specs(specs: &[ExperimentSpec], keep_top: Option<usize>) -> Vec<ExperimentResult> {
     run_specs_observed(specs, keep_top, CostModelKind::AlphaBeta, &())
 }
@@ -170,17 +175,76 @@ pub fn run_specs_observed(
     cost_model: CostModelKind,
     observer: &dyn RunObserver,
 ) -> Vec<ExperimentResult> {
-    p2_par::par_map(specs, |_, spec| {
-        let mut session = spec.session().threads(1).cost_model_kind(cost_model);
-        if let Some(k) = keep_top {
-            session = session.keep_top(k);
-        }
-        session
-            .build()
-            .expect("spec builds")
-            .run_observed(observer)
-            .expect("pipeline runs")
-    })
+    run_specs_batch(
+        specs,
+        keep_top,
+        cost_model,
+        &BatchOptions::default(),
+        observer,
+    )
+    .expect("specs build and run")
+    .results
+}
+
+/// The full batch entry point behind [`run_specs`]: builds one session per
+/// spec ([`spec_sessions`]) and schedules them with [`p2_core::run_batch`],
+/// exposing every [`BatchOptions`] knob and the scheduler telemetry in the
+/// returned [`BatchOutcome`].
+///
+/// # Errors
+///
+/// Propagates builder validation failures and the first (in spec order)
+/// pipeline error.
+pub fn run_specs_batch(
+    specs: &[ExperimentSpec],
+    keep_top: Option<usize>,
+    cost_model: CostModelKind,
+    options: &BatchOptions,
+    observer: &dyn RunObserver,
+) -> Result<BatchOutcome, P2Error> {
+    let sessions = spec_sessions(specs, keep_top, cost_model)?;
+    run_batch(&sessions, options, observer)
+}
+
+/// Builds one ready-to-run [`P2`] session per spec, applying the retention
+/// bound and cost model the batch entry points take.
+///
+/// # Errors
+///
+/// Propagates builder validation failures.
+pub fn spec_sessions(
+    specs: &[ExperimentSpec],
+    keep_top: Option<usize>,
+    cost_model: CostModelKind,
+) -> Result<Vec<P2>, P2Error> {
+    specs
+        .iter()
+        .map(|spec| {
+            let mut session = spec.session().cost_model_kind(cost_model);
+            if let Some(k) = keep_top {
+                session = session.keep_top(k);
+            }
+            session.build()
+        })
+        .collect()
+}
+
+/// Parses `--threads N` from command-line arguments, defaulting to `0`
+/// (= every available core) when absent — the shared CLI convention of the
+/// rack-table and batch binaries.
+///
+/// # Panics
+///
+/// Panics with a usage message when `--threads` is present without a valid
+/// count.
+pub fn threads_from_args(args: &[String]) -> usize {
+    match args.iter().position(|a| a == "--threads") {
+        None => 0,
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("--threads needs a worker count, e.g. --threads 8")),
+    }
 }
 
 /// The number of placements the specs will sweep in total, without

@@ -3,6 +3,7 @@
 
 use std::sync::Arc;
 
+use p2_collectives::SharedTables;
 use p2_cost::{CostModel, CostModelKind, NcclAlgo};
 use p2_synthesis::HierarchyKind;
 use p2_topology::SystemTopology;
@@ -56,6 +57,7 @@ pub struct P2Builder {
     cost_model_kind: Option<CostModelKind>,
     cost_cache: Option<bool>,
     shared_intern: Option<bool>,
+    shared_tables: Option<Arc<SharedTables>>,
     mode: RunMode,
 }
 
@@ -80,6 +82,7 @@ impl P2Builder {
             cost_model_kind: None,
             cost_cache: None,
             shared_intern: None,
+            shared_tables: None,
             mode: RunMode::Measure,
         }
     }
@@ -106,6 +109,7 @@ impl P2Builder {
             cost_model_kind: None,
             cost_cache: Some(config.cost_cache),
             shared_intern: Some(config.shared_intern),
+            shared_tables: config.shared_tables,
             mode: RunMode::Measure,
             system: config.system,
         }
@@ -223,6 +227,14 @@ impl P2Builder {
         self
     }
 
+    /// Supplies externally-owned interning tables, extending sharing across
+    /// every session holding the same tables (see
+    /// [`P2Config::shared_tables`]).
+    pub fn shared_tables(mut self, tables: Arc<SharedTables>) -> Self {
+        self.shared_tables = Some(tables);
+        self
+    }
+
     /// Sets how [`P2::run`] drives the pipeline: [`RunMode::Measure`] (the
     /// default), [`RunMode::Shortlist`] or [`RunMode::PredictOnly`].
     pub fn mode(mut self, mode: RunMode) -> Self {
@@ -281,6 +293,9 @@ impl P2Builder {
         }
         if let Some(shared) = self.shared_intern {
             config.shared_intern = shared;
+        }
+        if let Some(tables) = self.shared_tables {
+            config.shared_tables = Some(tables);
         }
         if let Some(model) = self.cost_model {
             config.cost_model = Some(model);

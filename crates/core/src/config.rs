@@ -89,6 +89,16 @@ pub struct P2Config {
     /// deterministic statistic are bit-identical for any worker-thread count,
     /// with shared or private tables; defaults to `true`.
     pub shared_intern: bool,
+    /// Externally-supplied interning tables, extending
+    /// [`P2Config::shared_intern`]'s sweep-wide sharing across every session
+    /// holding the same tables (the batch scheduler's cross-spec sharing).
+    /// `None` — the default — lets the sweep build its own tables when
+    /// `shared_intern` is set. When `Some`, the session uses these tables
+    /// regardless of `shared_intern` and reports
+    /// `shared_unique_device_states` as `None` (the final size belongs to
+    /// whoever owns the tables). Set via
+    /// [`P2::with_shared_tables`](crate::P2::with_shared_tables).
+    pub shared_tables: Option<Arc<p2_collectives::SharedTables>>,
 }
 
 impl P2Config {
@@ -133,6 +143,7 @@ impl P2Config {
             cost_model: None,
             cost_cache: true,
             shared_intern: true,
+            shared_tables: None,
         }
     }
 

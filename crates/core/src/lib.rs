@@ -36,6 +36,7 @@
 #![deny(missing_docs)]
 
 mod accuracy;
+mod batch;
 mod builder;
 mod config;
 mod error;
@@ -44,9 +45,13 @@ mod pipeline;
 mod result;
 
 pub use accuracy::{top_k_accuracy, TopKReport};
+pub use batch::{run_batch, BatchOptions, BatchOutcome};
 pub use builder::P2Builder;
 pub use config::P2Config;
 pub use error::P2Error;
-pub use observer::{ProgressObserver, RunObserver, SharedBoundObserver, TwoPassSharedBound};
-pub use pipeline::{RunMode, P2};
+pub use observer::{
+    ProgressObserver, RunObserver, SharedBoundObserver, SharedBoundTree, SlotBoundObserver,
+    TwoPassSharedBound,
+};
+pub use pipeline::{PendingSweep, RunMode, P2};
 pub use result::{ExperimentResult, PlacementEvaluation, ProgramEvaluation};

@@ -1,11 +1,11 @@
 //! Run observers: streaming visibility into the placement × synthesis sweep,
-//! the single-pass [`SharedBoundObserver`] implementing deterministic
-//! cross-placement pruning inside one sweep, the reference
-//! [`TwoPassSharedBound`], and the [`ProgressObserver`] progress/ETA
-//! reporter.
+//! the [`SharedBoundTree`] dyadic reduction tree behind deterministic
+//! cross-placement (and, via [`SlotBoundObserver`], cross-spec) pruning, the
+//! single-pass [`SharedBoundObserver`], the reference [`TwoPassSharedBound`],
+//! and the [`ProgressObserver`] progress/ETA reporter.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use p2_placement::ParallelismMatrix;
@@ -121,6 +121,143 @@ impl BoundTree {
     }
 }
 
+/// A shared, slot-addressed dyadic reduction tree over published predicted
+/// minima — the synchronization primitive behind [`SharedBoundObserver`]
+/// (slots = one sweep's placements) and the batch scheduler's cross-spec
+/// bound sharing (slots = every placement of every spec in a group, numbered
+/// spec-major in production order).
+///
+/// Slot `i` seeds its pruning bound from the tree node covering the dyadic
+/// prefix `[0, 2^⌊log₂ i⌋)`, blocking until every slot of that prefix has
+/// published. The dependency set of a slot is a pure function of its index
+/// and every published minimum is deterministic, so any consumer built on
+/// this tree is bit-identical for any thread count or steal schedule.
+/// Waiting cannot deadlock as long as slots are *started* in ascending order
+/// along each work queue: a slot only ever waits on strictly lower slots.
+#[derive(Debug, Default)]
+pub struct SharedBoundTree {
+    state: Mutex<BoundTree>,
+    published: Condvar,
+}
+
+impl SharedBoundTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seeds slot `index`: blocks until the slot's dyadic prefix
+    /// `[0, 2^⌊log₂ index⌋)` is fully published, then returns its minimum
+    /// (`None` for slot 0, which has no predecessors, and for prefixes whose
+    /// published minima are all infinite).
+    pub fn seed(&self, index: usize) -> Option<f64> {
+        if index == 0 {
+            // The tree root has no predecessors; slot 0 runs unpruned.
+            return None;
+        }
+        let k = (usize::BITS - 1 - index.leading_zeros()) as usize;
+        let mut state = self.state.lock().expect("bound tree poisoned");
+        loop {
+            if let Some(bound) = state.prefix_min(k) {
+                return bound.is_finite().then_some(bound);
+            }
+            state = self
+                .published
+                .wait(state)
+                .expect("bound tree poisoned while waiting");
+        }
+    }
+
+    /// Publishes `value` into slot `index` and wakes every waiter.
+    /// Non-finite or non-positive values are recorded as `f64::INFINITY`:
+    /// degenerate slots never poison the bound but still unblock their tree
+    /// ancestors.
+    pub fn publish(&self, index: usize, value: f64) {
+        let value = if value.is_finite() && value > 0.0 {
+            value
+        } else {
+            f64::INFINITY
+        };
+        let mut state = self.state.lock().expect("bound tree poisoned");
+        state.publish(index, value);
+        self.published.notify_all();
+    }
+
+    /// Publishes a neutral (infinite) value into slot `index` — the abort
+    /// path: waiters blocked on the slot drain instead of hanging, and the
+    /// bound is unaffected.
+    pub fn publish_neutral(&self, index: usize) {
+        self.publish(index, f64::INFINITY);
+    }
+
+    /// The minimum over all published finite slots so far, if any.
+    pub fn bound(&self) -> Option<f64> {
+        let state = self.state.lock().expect("bound tree poisoned");
+        let bound = state
+            .slots
+            .iter()
+            .flatten()
+            .fold(f64::INFINITY, |a, &b| a.min(b));
+        bound.is_finite().then_some(bound)
+    }
+
+    /// Clears every slot and memoized prefix, ready for a fresh run.
+    pub fn reset(&self) {
+        *self.state.lock().expect("bound tree poisoned") = BoundTree::default();
+    }
+}
+
+/// A completed placement's contribution to the shared bound: its AllReduce
+/// baseline prediction or its best retained program, whichever is smaller.
+fn predicted_minimum(evaluation: &PlacementEvaluation) -> f64 {
+    let mut best = evaluation.allreduce_predicted;
+    for program in &evaluation.programs {
+        best = best.min(program.predicted_seconds);
+    }
+    best
+}
+
+/// An observer window into a [`SharedBoundTree`] shared by several sweeps:
+/// placement `i` of this observer's sweep maps to tree slot `offset + i`.
+///
+/// This is how the batch scheduler generalizes [`SharedBoundObserver`] across
+/// specs: each spec in a sharing group gets a `SlotBoundObserver` onto the
+/// group's tree, with offsets assigned spec-major in production order so the
+/// combined slot numbering is exactly one big sweep's. Completed placements
+/// anywhere in the group tighten the bound every other spec prunes against.
+#[derive(Debug, Clone)]
+pub struct SlotBoundObserver {
+    tree: Arc<SharedBoundTree>,
+    offset: usize,
+}
+
+impl SlotBoundObserver {
+    /// Creates a window onto `tree` starting at slot `offset`.
+    pub fn new(tree: Arc<SharedBoundTree>, offset: usize) -> Self {
+        SlotBoundObserver { tree, offset }
+    }
+
+    /// The shared tree this window publishes into.
+    pub fn tree(&self) -> &Arc<SharedBoundTree> {
+        &self.tree
+    }
+}
+
+impl RunObserver for SlotBoundObserver {
+    fn on_placement_start(&self, index: usize, _matrix: &ParallelismMatrix) -> Option<f64> {
+        self.tree.seed(self.offset + index)
+    }
+
+    fn on_placement_done(&self, index: usize, evaluation: &PlacementEvaluation) {
+        self.tree
+            .publish(self.offset + index, predicted_minimum(evaluation));
+    }
+
+    fn on_placement_aborted(&self, index: usize) {
+        self.tree.publish_neutral(self.offset + index);
+    }
+}
+
 /// Cross-placement pruning inside a *single* sweep (the ROADMAP's
 /// "shared bound inside one pass" item), deterministic for any worker-thread
 /// count.
@@ -182,8 +319,7 @@ impl BoundTree {
 /// ```
 #[derive(Debug, Default)]
 pub struct SharedBoundObserver {
-    state: Mutex<BoundTree>,
-    published: Condvar,
+    tree: SharedBoundTree,
 }
 
 impl SharedBoundObserver {
@@ -195,13 +331,7 @@ impl SharedBoundObserver {
     /// The global best published predicted minimum so far, if any placement
     /// published a finite one.
     pub fn bound(&self) -> Option<f64> {
-        let state = self.state.lock().expect("bound tree poisoned");
-        let bound = state
-            .slots
-            .iter()
-            .flatten()
-            .fold(f64::INFINITY, |a, &b| a.min(b));
-        bound.is_finite().then_some(bound)
+        self.tree.bound()
     }
 
     /// Runs `session` once with this observer, resetting the reduction tree
@@ -215,54 +345,22 @@ impl SharedBoundObserver {
     ///
     /// Propagates the sweep's errors.
     pub fn run(&mut self, session: &P2) -> Result<ExperimentResult, P2Error> {
-        *self.state.lock().expect("bound tree poisoned") = BoundTree::default();
+        self.tree.reset();
         session.run_observed(self)
     }
 }
 
 impl RunObserver for SharedBoundObserver {
     fn on_placement_start(&self, index: usize, _matrix: &ParallelismMatrix) -> Option<f64> {
-        if index == 0 {
-            // The tree root has no predecessors; placement 0 runs unpruned.
-            return None;
-        }
-        let k = (usize::BITS - 1 - index.leading_zeros()) as usize;
-        let mut state = self.state.lock().expect("bound tree poisoned");
-        loop {
-            if let Some(bound) = state.prefix_min(k) {
-                return bound.is_finite().then_some(bound);
-            }
-            state = self
-                .published
-                .wait(state)
-                .expect("bound tree poisoned while waiting");
-        }
+        self.tree.seed(index)
     }
 
     fn on_placement_done(&self, index: usize, evaluation: &PlacementEvaluation) {
-        let mut best = evaluation.allreduce_predicted;
-        for program in &evaluation.programs {
-            best = best.min(program.predicted_seconds);
-        }
-        // Degenerate placements (nothing to reduce, zero-cost predictions)
-        // publish infinity so they never poison the bound but still unblock
-        // their tree ancestors.
-        let value = if best.is_finite() && best > 0.0 {
-            best
-        } else {
-            f64::INFINITY
-        };
-        let mut state = self.state.lock().expect("bound tree poisoned");
-        state.publish(index, value);
-        self.published.notify_all();
+        self.tree.publish(index, predicted_minimum(evaluation));
     }
 
     fn on_placement_aborted(&self, index: usize) {
-        // The run is failing, but workers already waiting on this slot must
-        // be released: publish a neutral value so the tree still completes.
-        let mut state = self.state.lock().expect("bound tree poisoned");
-        state.publish(index, f64::INFINITY);
-        self.published.notify_all();
+        self.tree.publish_neutral(index);
     }
 }
 
@@ -354,10 +452,7 @@ impl RunObserver for TwoPassSharedBound {
         if !self.seeding.load(Ordering::SeqCst) {
             return;
         }
-        let mut best = evaluation.allreduce_predicted;
-        for program in &evaluation.programs {
-            best = best.min(program.predicted_seconds);
-        }
+        let best = predicted_minimum(evaluation);
         if best.is_finite() && best > 0.0 {
             self.bound_bits.fetch_min(best.to_bits(), Ordering::SeqCst);
         }
@@ -505,6 +600,41 @@ mod tests {
         // The memoized node is frozen: later publishes cannot change it.
         tree.publish(0, 0.5);
         assert_eq!(tree.prefix_min(2), Some(1.0));
+    }
+
+    #[test]
+    fn shared_bound_tree_sanitizes_and_resets() {
+        let tree = SharedBoundTree::new();
+        tree.publish(0, f64::NAN);
+        tree.publish(1, -3.0);
+        assert_eq!(tree.bound(), None, "degenerate publishes stay neutral");
+        // Slot 2's prefix [0, 2) is complete (all infinite) → no bound.
+        assert_eq!(tree.seed(2), None);
+        tree.publish(2, 0.25);
+        assert_eq!(tree.bound(), Some(0.25));
+        tree.publish(3, 0.125);
+        // [0, 4) complete: slots 4..8 seed from its minimum.
+        assert_eq!(tree.seed(4), Some(0.125));
+        tree.reset();
+        assert_eq!(tree.bound(), None);
+        assert_eq!(tree.seed(0), None);
+    }
+
+    #[test]
+    fn slot_observer_windows_share_one_tree_across_offsets() {
+        let tree = Arc::new(SharedBoundTree::new());
+        let first = SlotBoundObserver::new(Arc::clone(&tree), 0);
+        let second = SlotBoundObserver::new(Arc::clone(&tree), 2);
+        let matrix = ParallelismMatrix::new(vec![vec![2, 2]], vec![2, 2], vec![4]).unwrap();
+        // The two windows' local indices land in disjoint global slots.
+        tree.publish(0, 4.0);
+        tree.publish(1, 2.0);
+        // second's placement 0 is global slot 2: its prefix [0, 2) is ready.
+        assert_eq!(second.on_placement_start(0, &matrix), Some(2.0));
+        second.on_placement_aborted(1); // global slot 3 → neutral publish
+                                        // first's placement 0 is the root and never waits.
+        assert_eq!(first.on_placement_start(0, &matrix), None);
+        assert_eq!(tree.bound(), Some(2.0));
     }
 
     #[test]

@@ -1,14 +1,14 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 use p2_collectives::SharedTables;
 use p2_cost::{AlphaBetaModel, CachedCostModel, CostAccumulator, CostModel};
 use p2_exec::{ExecConfig, Executor};
+use p2_par::{JobHandle, Scheduler};
 use p2_placement::{
     enumerate_matrices, for_each_matrix, MatrixControl, MatrixSink, ParallelismMatrix,
-    PlacementError,
 };
 use p2_synthesis::{
     baseline_allreduce, LoweredProgram, Program, SinkControl, SynthesisError, Synthesizer,
@@ -208,27 +208,111 @@ impl P2 {
     /// Events from different placements interleave when the sweep runs on
     /// more than one thread; the per-placement sequences are deterministic.
     ///
+    /// The session owns its pool here: a work-stealing scope of
+    /// [`P2Config::threads`](crate::P2Config) workers is spun up for this run
+    /// alone. To schedule several sessions onto *one* pool — the batch path —
+    /// use [`P2::run_on`] (or [`P2::spawn_sweep`]) with a caller-supplied
+    /// [`Scheduler`].
+    ///
     /// # Errors
     ///
     /// Same as [`P2::run`].
     pub fn run_observed(&self, observer: &dyn RunObserver) -> Result<ExperimentResult, P2Error> {
-        match self.mode {
-            RunMode::Measure => self.sweep(true, observer),
-            RunMode::PredictOnly => self.sweep(false, observer),
-            // Rejected here as well as in the builder so sessions assembled
-            // via `with_mode` get the same error instead of silently
-            // degrading to a predict-only run.
-            RunMode::Shortlist(0) => Err(P2Error::InvalidConfig {
+        p2_par::scope(self.config.threads, |scheduler| {
+            self.run_on(scheduler, observer)
+        })
+    }
+
+    /// Runs the session's full pipeline on a caller-supplied work-stealing
+    /// scheduler: [`P2::spawn_sweep`] immediately followed by
+    /// [`PendingSweep::collect`].
+    ///
+    /// This is the building block batch drivers use to run many sessions on
+    /// one thread pool without oversubscription; results are bit-identical to
+    /// [`P2::run_observed`] for any pool size or steal schedule.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`P2::run`].
+    pub fn run_on<'env>(
+        &'env self,
+        scheduler: &Scheduler<'_, 'env>,
+        observer: &'env dyn RunObserver,
+    ) -> Result<ExperimentResult, P2Error> {
+        self.spawn_sweep(scheduler, observer)?.collect(scheduler)
+    }
+
+    /// Submits one placement-evaluation job per placement to `scheduler` and
+    /// returns without waiting: the session no longer owns its fan-out, so a
+    /// batch driver can spawn *several* sessions' sweeps onto one pool and the
+    /// scheduler steals across their boundaries. Redeem the returned
+    /// [`PendingSweep`] with [`PendingSweep::collect`].
+    ///
+    /// Jobs are spawned in placement production order. Observers that block on
+    /// other placements' slots (the shared-bound reduction tree) rely on that:
+    /// a placement only ever waits on strictly earlier spawns, which is what
+    /// keeps the pool deadlock-free under any steal schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`P2Error::InvalidConfig`] for [`RunMode::Shortlist`]`(0)` and
+    /// propagates placement-enumeration and cost-model errors — all before
+    /// any job is spawned.
+    pub fn spawn_sweep<'env>(
+        &'env self,
+        scheduler: &Scheduler<'_, 'env>,
+        observer: &'env dyn RunObserver,
+    ) -> Result<PendingSweep<'env>, P2Error> {
+        // Rejected here as well as in the builder so sessions assembled via
+        // `with_mode` get the same error instead of silently degrading to a
+        // predict-only run.
+        if let RunMode::Shortlist(0) = self.mode {
+            return Err(P2Error::InvalidConfig {
                 reason: "shortlist length must be positive (use RunMode::PredictOnly to \
                          measure nothing)"
                     .into(),
-            }),
-            RunMode::Shortlist(n) => {
-                let mut result = self.sweep(false, observer)?;
-                self.measure_shortlist(&mut result, n)?;
-                Ok(result)
-            }
+            });
         }
+        let measure_programs = matches!(self.mode, RunMode::Measure);
+        let model = self.resolve_model()?;
+        // One set of hash-consing tables for the whole sweep: every placement
+        // reduces over the same device-state universe, so workers reuse each
+        // other's interned states and memoized collective applications. A
+        // batch driver may supply the tables instead, extending the sharing
+        // across every spec of a group.
+        let (shared, external_tables) = match &self.config.shared_tables {
+            Some(tables) => (Some(Arc::clone(tables)), true),
+            None => (
+                self.config
+                    .shared_intern
+                    .then(|| Arc::new(SharedTables::new())),
+                false,
+            ),
+        };
+        let mut handles = Vec::new();
+        self.for_each_placement(&mut |matrix: &ParallelismMatrix| {
+            let index = handles.len();
+            let matrix = matrix.clone();
+            let model = Arc::clone(&model);
+            let shared = shared.clone();
+            handles.push(scheduler.spawn(move || {
+                self.evaluate_placement(
+                    index,
+                    &matrix,
+                    &model,
+                    shared.as_ref(),
+                    measure_programs,
+                    observer,
+                )
+            }));
+            MatrixControl::Continue
+        })?;
+        Ok(PendingSweep {
+            session: self,
+            handles,
+            shared,
+            external_tables,
+        })
     }
 
     /// Runs the paper's deployment mode with a shortlist of `shortlist`
@@ -263,8 +347,9 @@ impl P2 {
     /// can still drop a candidate predicting worse than `1 + prune_slack`
     /// times its placement's best, so the shortlist is only guaranteed
     /// identical to the exhaustive one up to such far-from-optimal entries.
-    fn measure_shortlist(
-        &self,
+    fn measure_shortlist_on<'env>(
+        &'env self,
+        scheduler: &Scheduler<'_, 'env>,
         result: &mut ExperimentResult,
         shortlist: usize,
     ) -> Result<(), P2Error> {
@@ -281,19 +366,26 @@ impl P2 {
             })
             .collect();
         order.sort_by(|a, b| a.2.total_cmp(&b.2));
-        let exec_config = ExecConfig::new(self.config.algo, self.config.bytes_per_device)
-            .with_noise(self.config.noise_fraction)
-            .with_seed(self.config.seed)
-            .with_repeats(self.config.repeats);
-        let executor = Executor::new(&self.config.system, exec_config)?;
-        let chosen = &order[..shortlist.min(order.len())];
-        // Measurements fan out across threads; noise depends only on the seed
-        // and program content, so the values match a serial run exactly.
-        let measured = p2_par::par_map_threads(self.config.threads, chosen, |_, &(pi, qi, _)| {
-            executor.measure(&result.placements[pi].programs[qi].lowered)
-        });
-        for (&(pi, qi, _), seconds) in chosen.iter().zip(measured) {
-            result.placements[pi].programs[qi].measured_seconds = seconds;
+        let chosen: Vec<(usize, usize)> = order[..shortlist.min(order.len())]
+            .iter()
+            .map(|&(pi, qi, _)| (pi, qi))
+            .collect();
+        // Measurements fan out as scheduler jobs (each clones its lowered
+        // program, so nothing borrows the result being patched); noise depends
+        // only on the seed and program content and the per-job executor is
+        // stateless, so the values match a serial run exactly.
+        let handles: Vec<JobHandle<Result<f64, P2Error>>> = chosen
+            .iter()
+            .map(|&(pi, qi)| {
+                let lowered = result.placements[pi].programs[qi].lowered.clone();
+                scheduler.spawn(move || {
+                    let executor = Executor::new(&self.config.system, self.exec_config())?;
+                    Ok(executor.measure(&lowered))
+                })
+            })
+            .collect();
+        for (&(pi, qi), handle) in chosen.iter().zip(handles) {
+            result.placements[pi].programs[qi].measured_seconds = handle.join()?;
         }
         for placement in &mut result.placements {
             placement
@@ -301,6 +393,30 @@ impl P2 {
                 .sort_by(|a, b| a.measured_seconds.total_cmp(&b.measured_seconds));
         }
         Ok(())
+    }
+
+    /// The execution-substrate configuration every measurement in this session
+    /// uses: measurements are a pure function of (this config, program), which
+    /// is what lets each job build its own [`Executor`] without changing a
+    /// single measured bit.
+    fn exec_config(&self) -> ExecConfig {
+        ExecConfig::new(self.config.algo, self.config.bytes_per_device)
+            .with_noise(self.config.noise_fraction)
+            .with_seed(self.config.seed)
+            .with_repeats(self.config.repeats)
+    }
+
+    /// The session's cost model: the configured one, or the paper's α–β model
+    /// over the configured system — bit-identical to the pre-trait pipeline.
+    fn resolve_model(&self) -> Result<Arc<dyn CostModel>, P2Error> {
+        Ok(match &self.config.cost_model {
+            Some(model) => Arc::clone(model),
+            None => Arc::new(AlphaBetaModel::new(
+                self.config.system.clone(),
+                self.config.algo,
+                self.config.bytes_per_device,
+            )?),
+        })
     }
 
     /// Synthesizes, predicts and optionally measures every program of one
@@ -330,15 +446,14 @@ impl P2 {
     /// Errors — and panics unwinding through this frame — fire
     /// [`RunObserver::on_placement_aborted`] before propagating, so observers
     /// blocking on this placement's completion (the shared-bound reduction
-    /// tree) are released instead of waiting forever; a panicking worker then
-    /// fails the sweep fast exactly as it did before observers could block.
-    #[allow(clippy::too_many_arguments)]
+    /// tree) are released instead of waiting forever; a panic is re-raised on
+    /// the thread joining the sweep, failing the run exactly as it did before
+    /// observers could block.
     fn evaluate_placement(
         &self,
         index: usize,
         matrix: &ParallelismMatrix,
         model: &Arc<dyn CostModel>,
-        executor: &Executor<'_>,
         shared: Option<&Arc<SharedTables>>,
         measure_programs: bool,
         observer: &dyn RunObserver,
@@ -360,30 +475,25 @@ impl P2 {
             index,
             armed: true,
         };
-        let result = self.evaluate_placement_inner(
-            index,
-            matrix,
-            model,
-            executor,
-            shared,
-            measure_programs,
-            observer,
-        );
+        let result =
+            self.evaluate_placement_inner(index, matrix, model, shared, measure_programs, observer);
         guard.armed = result.is_err();
         result
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn evaluate_placement_inner(
         &self,
         index: usize,
         matrix: &ParallelismMatrix,
         model: &Arc<dyn CostModel>,
-        executor: &Executor<'_>,
         shared: Option<&Arc<SharedTables>>,
         measure_programs: bool,
         observer: &dyn RunObserver,
     ) -> Result<PlacementEvaluation, P2Error> {
+        // Each placement job builds its own (cheap, stateless) executor, so
+        // jobs spawned onto a shared batch scheduler borrow nothing but the
+        // session itself.
+        let executor = Executor::new(&self.config.system, self.exec_config())?;
         let cache;
         let cost: &dyn CostModel = if self.config.cost_cache {
             cache = CachedCostModel::new(Arc::clone(model));
@@ -565,94 +675,82 @@ impl P2 {
         Ok(evaluation)
     }
 
-    /// The placement × synthesis sweep: placements stream from the enumerator
-    /// into worker threads through a bounded channel, so the full matrix list
-    /// is never materialized. `p2_par::par_map_stream` returns results in
-    /// enumeration order, and measurement noise is a pure function of (seed,
-    /// program content), so any thread count — including a serial run —
-    /// produces bit-identical results.
-    fn sweep(
-        &self,
-        measure_programs: bool,
-        observer: &dyn RunObserver,
-    ) -> Result<ExperimentResult, P2Error> {
-        let model: Arc<dyn CostModel> = match &self.config.cost_model {
-            Some(model) => Arc::clone(model),
-            // The default: the paper's α–β model over the configured system,
-            // bit-identical to the pre-trait pipeline.
-            None => Arc::new(AlphaBetaModel::new(
-                self.config.system.clone(),
-                self.config.algo,
-                self.config.bytes_per_device,
-            )?),
-        };
-        let exec_config = ExecConfig::new(self.config.algo, self.config.bytes_per_device)
-            .with_noise(self.config.noise_fraction)
-            .with_seed(self.config.seed)
-            .with_repeats(self.config.repeats);
-        let executor = Executor::new(&self.config.system, exec_config)?;
-        // One set of hash-consing tables for the whole sweep: every placement
-        // reduces over the same device-state universe, so workers reuse each
-        // other's interned states and memoized collective applications.
-        let shared = self
-            .config
-            .shared_intern
-            .then(|| Arc::new(SharedTables::new()));
+    /// Returns the session with its synthesis hash-consing tables replaced by
+    /// caller-supplied ones, extending state interning and collective-apply
+    /// memoization across every session sharing the `tables`.
+    ///
+    /// Sharing is result-invisible — programs, predictions, measurements and
+    /// the deterministic per-placement statistics are bit-identical — with one
+    /// reporting exception: a session running on external tables reports
+    /// [`ExperimentResult::shared_unique_device_states`] as `None`, because
+    /// the tables' *final* size is only known once every sharing session has
+    /// finished (mid-batch it would depend on the steal schedule). Batch
+    /// drivers fill the field in afterwards.
+    pub fn with_shared_tables(mut self, tables: Arc<SharedTables>) -> Self {
+        self.config.shared_tables = Some(tables);
+        self
+    }
+}
 
-        let arities = self.config.system.hierarchy().arities();
-        // `for_each_matrix` raises its errors before emitting anything, so a
-        // recorded error always means zero placements were evaluated.
-        let enumeration_error: Mutex<Option<PlacementError>> = Mutex::new(None);
-        let evaluations = p2_par::par_map_stream(
-            self.config.threads,
-            |emit| {
-                let outcome = for_each_matrix(
-                    &arities,
-                    &self.config.parallelism_axes,
-                    &mut |matrix: &ParallelismMatrix| {
-                        emit(matrix.clone());
-                        MatrixControl::Continue
-                    },
-                );
-                if let Err(e) = outcome {
-                    *enumeration_error.lock().expect("enumeration error mutex") = Some(e);
-                }
-            },
-            |index, matrix| {
-                self.evaluate_placement(
-                    index,
-                    &matrix,
-                    &model,
-                    &executor,
-                    shared.as_ref(),
-                    measure_programs,
-                    observer,
-                )
-            },
-        );
-        if let Some(e) = enumeration_error
-            .into_inner()
-            .expect("enumeration error mutex")
-        {
-            return Err(e.into());
-        }
+/// A sweep whose placement-evaluation jobs have been submitted to a
+/// [`Scheduler`] by [`P2::spawn_sweep`] but not yet joined.
+///
+/// Dropping a `PendingSweep` does not cancel its jobs — they drain on the
+/// pool (their observer events still fire, releasing any shared-bound
+/// waiters); only their results are discarded.
+pub struct PendingSweep<'env> {
+    session: &'env P2,
+    handles: Vec<JobHandle<Result<PlacementEvaluation, P2Error>>>,
+    shared: Option<Arc<SharedTables>>,
+    external_tables: bool,
+}
 
-        let mut placements = Vec::with_capacity(evaluations.len());
+impl<'env> PendingSweep<'env> {
+    /// Number of placement jobs in flight.
+    pub fn placements(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Joins every placement job in production order, assembles the
+    /// [`ExperimentResult`], and — for [`RunMode::Shortlist`] sessions — runs
+    /// the shortlist measurements as jobs on the same `scheduler`.
+    ///
+    /// Joining in production order is what keeps batch results bit-identical:
+    /// placements land in the result exactly where the serial pipeline puts
+    /// them, whatever order the pool actually finished them in.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (in production order) placement error; remaining
+    /// jobs drain in the background. Panics inside jobs are re-raised here.
+    pub fn collect(self, scheduler: &Scheduler<'_, 'env>) -> Result<ExperimentResult, P2Error> {
+        let session = self.session;
+        let mut placements = Vec::with_capacity(self.handles.len());
         let mut total_synthesis = std::time::Duration::ZERO;
-        for evaluation in evaluations {
-            let placement = evaluation?;
+        for handle in self.handles {
+            let placement = handle.join()?;
             total_synthesis += placement.synthesis_time;
             placements.push(placement);
         }
-
-        Ok(ExperimentResult {
-            label: self.config.label(),
-            parallelism_axes: self.config.parallelism_axes.clone(),
-            reduction_axes: self.config.reduction_axes.clone(),
+        let mut result = ExperimentResult {
+            label: session.config.label(),
+            parallelism_axes: session.config.parallelism_axes.clone(),
+            reduction_axes: session.config.reduction_axes.clone(),
             placements,
             synthesis_time: total_synthesis,
-            shared_unique_device_states: shared.map(|tables| tables.num_states()),
-        })
+            // External tables are still growing while other sessions of the
+            // batch run; their final (deterministic, set-union) size is only
+            // known to the batch driver, which stamps it afterwards.
+            shared_unique_device_states: if self.external_tables {
+                None
+            } else {
+                self.shared.map(|tables| tables.num_states())
+            },
+        };
+        if let RunMode::Shortlist(n) = session.mode {
+            session.measure_shortlist_on(scheduler, &mut result, n)?;
+        }
+        Ok(result)
     }
 }
 

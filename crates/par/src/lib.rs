@@ -187,6 +187,292 @@ where
     })
 }
 
+// ---------------------------------------------------------------------------
+// Work-stealing scheduler
+// ---------------------------------------------------------------------------
+
+/// Options for [`scope_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SchedulerOptions {
+    /// Worker-thread count. `0` resolves to [`default_threads()`].
+    pub threads: usize,
+    /// Seed for the deque-assignment permutation. `0` assigns jobs to worker
+    /// deques round-robin in spawn order; any other value scatters them
+    /// pseudo-randomly (SplitMix64 of `seed ^ spawn_index`). Results of
+    /// deterministic jobs are identical for every seed — the knob exists so
+    /// tests can exercise arbitrary steal schedules.
+    pub seed: u64,
+}
+
+type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// Per-worker FIFO deques plus the shutdown flag, all behind one mutex. Jobs
+/// here are coarse (a whole placement evaluation), so a single global lock is
+/// cheaper than per-deque locks and makes the scheduling invariants below easy
+/// to state exactly.
+struct Queues<'env> {
+    deques: Vec<std::collections::VecDeque<Job<'env>>>,
+    shutdown: bool,
+}
+
+struct SchedulerState<'env> {
+    queues: Mutex<Queues<'env>>,
+    work: std::sync::Condvar,
+    threads: usize,
+    seed: u64,
+    spawned: AtomicUsize,
+    steals: AtomicUsize,
+    in_flight: AtomicUsize,
+    peak_in_flight: AtomicUsize,
+}
+
+impl<'env> SchedulerState<'env> {
+    fn new(threads: usize, seed: u64) -> Self {
+        SchedulerState {
+            queues: Mutex::new(Queues {
+                deques: (0..threads)
+                    .map(|_| std::collections::VecDeque::new())
+                    .collect(),
+                shutdown: false,
+            }),
+            work: std::sync::Condvar::new(),
+            threads,
+            seed,
+            spawned: AtomicUsize::new(0),
+            steals: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
+            peak_in_flight: AtomicUsize::new(0),
+        }
+    }
+
+    /// Takes the next job for worker `id`: front of its own deque first, then
+    /// — only when its own deque is empty — the front of another worker's.
+    ///
+    /// Both ends are FIFO on purpose. Jobs land in each deque in ascending
+    /// global spawn order, a worker steals only when its own deque is empty,
+    /// and pipeline jobs only ever block on *strictly lower* spawn indices
+    /// (the dyadic bound tree's prefix). Under those invariants the minimal
+    /// incomplete job is always at the front of some deque and some non-blocked
+    /// worker will reach it, so the pool cannot deadlock — for any deque
+    /// assignment, which is what makes [`SchedulerOptions::seed`] safe to
+    /// randomize.
+    fn take(&self, queues: &mut Queues<'env>, id: usize) -> Option<Job<'env>> {
+        if let Some(job) = queues.deques[id].pop_front() {
+            return Some(job);
+        }
+        for offset in 1..self.threads {
+            let victim = (id + offset) % self.threads;
+            if let Some(job) = queues.deques[victim].pop_front() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn worker(&self, id: usize) {
+        let mut queues = self.queues.lock().expect("scheduler queues poisoned");
+        loop {
+            if let Some(job) = self.take(&mut queues, id) {
+                drop(queues);
+                let running = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+                self.peak_in_flight.fetch_max(running, Ordering::Relaxed);
+                job();
+                self.in_flight.fetch_sub(1, Ordering::Relaxed);
+                queues = self.queues.lock().expect("scheduler queues poisoned");
+                continue;
+            }
+            // Drain-before-exit: shutdown is only honoured once every deque is
+            // empty, so jobs queued before the scope body returned (or
+            // panicked) still run and release anyone joined on them.
+            if queues.shutdown {
+                return;
+            }
+            queues = self.work.wait(queues).expect("scheduler queues poisoned");
+        }
+    }
+}
+
+/// Flips the shutdown flag (and wakes every worker) when dropped, so workers
+/// exit even when the scope body panics.
+struct ShutdownGuard<'a, 'env>(&'a SchedulerState<'env>);
+
+impl Drop for ShutdownGuard<'_, '_> {
+    fn drop(&mut self) {
+        self.0
+            .queues
+            .lock()
+            .expect("scheduler queues poisoned")
+            .shutdown = true;
+        self.0.work.notify_all();
+    }
+}
+
+struct JobSlot<R> {
+    result: Mutex<Option<std::thread::Result<R>>>,
+    done: std::sync::Condvar,
+}
+
+/// A handle to a job spawned on a [`Scheduler`], redeemable exactly once for
+/// the job's result via [`JobHandle::join`].
+pub struct JobHandle<R> {
+    slot: Arc<JobSlot<R>>,
+}
+
+impl<R> JobHandle<R> {
+    /// Blocks until the job completes and returns its result.
+    ///
+    /// If the job panicked, the panic is resumed on the joining thread, so a
+    /// failure inside the pool surfaces exactly like a failure inline.
+    pub fn join(self) -> R {
+        let mut slot = self.slot.result.lock().expect("job slot poisoned");
+        loop {
+            if let Some(outcome) = slot.take() {
+                match outcome {
+                    Ok(value) => return value,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            slot = self.slot.done.wait(slot).expect("job slot poisoned");
+        }
+    }
+}
+
+/// A scoped work-stealing thread pool: jobs may borrow from the environment
+/// (`'env`) of the [`scope`] call that created the pool.
+///
+/// Workers keep per-worker FIFO deques and steal from each other's fronts
+/// when idle, so a batch of jobs with wildly skewed costs (one placement can
+/// synthesize orders of magnitude more programs than another) keeps every
+/// core busy without any static partitioning. Jobs must not [`join`] other
+/// jobs from *inside* a job body — a worker blocked in a nested join would
+/// shrink the pool; join from the scope body instead.
+///
+/// [`join`]: JobHandle::join
+pub struct Scheduler<'scope, 'env> {
+    state: &'scope SchedulerState<'env>,
+}
+
+impl<'scope, 'env> Scheduler<'scope, 'env> {
+    /// Spawns `f` onto the pool and returns a handle to its result.
+    ///
+    /// The target deque is chosen from the spawn index (round-robin, or
+    /// seed-scattered — see [`SchedulerOptions::seed`]); each deque therefore
+    /// holds jobs in ascending spawn order, which the deadlock-freedom
+    /// argument on the pool relies on.
+    pub fn spawn<R, F>(&self, f: F) -> JobHandle<R>
+    where
+        R: Send + 'env,
+        F: FnOnce() -> R + Send + 'env,
+    {
+        let slot = Arc::new(JobSlot {
+            result: Mutex::new(None),
+            done: std::sync::Condvar::new(),
+        });
+        let publish = Arc::clone(&slot);
+        let job: Job<'env> = Box::new(move || {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            *publish.result.lock().expect("job slot poisoned") = Some(outcome);
+            publish.done.notify_all();
+        });
+        let index = self.state.spawned.fetch_add(1, Ordering::Relaxed);
+        let target = self.pick_deque(index);
+        {
+            let mut queues = self.state.queues.lock().expect("scheduler queues poisoned");
+            queues.deques[target].push_back(job);
+        }
+        self.state.work.notify_one();
+        JobHandle { slot }
+    }
+
+    /// Spawns one job per item and joins them in order: a work-stolen
+    /// [`par_map`] over owned items, usable from inside a scope.
+    pub fn map<T, R, F>(&self, items: impl IntoIterator<Item = T>, f: F) -> Vec<R>
+    where
+        T: Send + 'env,
+        R: Send + 'env,
+        F: Fn(usize, T) -> R + Send + Sync + 'env,
+    {
+        let f = Arc::new(f);
+        let handles: Vec<JobHandle<R>> = items
+            .into_iter()
+            .enumerate()
+            .map(|(index, item)| {
+                let f = Arc::clone(&f);
+                self.spawn(move || f(index, item))
+            })
+            .collect();
+        handles.into_iter().map(JobHandle::join).collect()
+    }
+
+    /// The pool's worker-thread count (after resolving `threads == 0`).
+    pub fn threads(&self) -> usize {
+        self.state.threads
+    }
+
+    /// Number of jobs executed by a worker other than the one they were
+    /// queued on, so far.
+    pub fn steals(&self) -> usize {
+        self.state.steals.load(Ordering::Relaxed)
+    }
+
+    /// Highest number of jobs observed executing simultaneously, so far.
+    /// Never exceeds [`Scheduler::threads`] — the oversubscription guard.
+    pub fn peak_in_flight(&self) -> usize {
+        self.state.peak_in_flight.load(Ordering::Relaxed)
+    }
+
+    fn pick_deque(&self, index: usize) -> usize {
+        if self.state.seed == 0 {
+            return index % self.state.threads;
+        }
+        // SplitMix64 of seed ^ index: a deterministic pseudo-random
+        // assignment, still ascending-in-spawn-order within each deque.
+        let mut z = self
+            .state
+            .seed
+            .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(index as u64 + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        ((z ^ (z >> 31)) % self.state.threads as u64) as usize
+    }
+}
+
+/// Runs `f` with a work-stealing pool of `threads` workers (`0` resolves to
+/// [`default_threads()`]); equivalent to [`scope_with`] with a round-robin
+/// deque assignment. The pool is torn down — after draining every queued job —
+/// when `f` returns, and `f`'s value is returned.
+pub fn scope<'env, T>(threads: usize, f: impl FnOnce(&Scheduler<'_, 'env>) -> T) -> T {
+    scope_with(SchedulerOptions { threads, seed: 0 }, f)
+}
+
+/// Runs `f` with a work-stealing pool configured by `options`.
+///
+/// The calling thread never executes jobs itself, so the worker budget is
+/// exactly `options.threads`: submitting N nested batches to one scope cannot
+/// oversubscribe the machine the way N independent pools would.
+pub fn scope_with<'env, T>(
+    options: SchedulerOptions,
+    f: impl FnOnce(&Scheduler<'_, 'env>) -> T,
+) -> T {
+    let threads = if options.threads == 0 {
+        default_threads()
+    } else {
+        options.threads
+    };
+    // Declared before `thread::scope` so workers may borrow it: locals inside
+    // the scope closure are dropped before the scope joins its threads.
+    let state: SchedulerState<'env> = SchedulerState::new(threads, options.seed);
+    std::thread::scope(|ts| {
+        for id in 0..threads {
+            let state = &state;
+            ts.spawn(move || state.worker(id));
+        }
+        let _shutdown = ShutdownGuard(&state);
+        f(&Scheduler { state: &state })
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,5 +557,118 @@ mod tests {
     fn stream_with_more_threads_than_items_is_fine() {
         let out = par_map_stream(64, |emit| [1u8, 2].into_iter().for_each(emit), |_, x| x);
         assert_eq!(out, vec![1, 2]);
+    }
+
+    #[test]
+    fn scheduler_spawn_join_returns_results() {
+        for threads in [1usize, 2, 4] {
+            let values: Vec<u64> = scope(threads, |sched| {
+                let handles: Vec<JobHandle<u64>> =
+                    (0..37u64).map(|i| sched.spawn(move || i * i)).collect();
+                handles.into_iter().map(JobHandle::join).collect()
+            });
+            assert_eq!(values, (0..37u64).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn scheduler_jobs_can_borrow_the_environment() {
+        let input: Vec<u64> = (0..64).collect();
+        let total = AtomicUsize::new(0);
+        scope(4, |sched| {
+            let handles: Vec<JobHandle<()>> = input
+                .iter()
+                .map(|&x| {
+                    let total = &total;
+                    sched.spawn(move || {
+                        total.fetch_add(x as usize, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            handles.into_iter().for_each(JobHandle::join);
+        });
+        assert_eq!(total.into_inner(), (0..64).sum::<u64>() as usize);
+    }
+
+    #[test]
+    fn scheduler_map_preserves_order_for_any_seed() {
+        let expected: Vec<u64> = (0..100u64).map(|x| x.wrapping_mul(7)).collect();
+        for seed in [0u64, 1, 0xdead_beef] {
+            for threads in [1usize, 3, 8] {
+                let out = scope_with(SchedulerOptions { threads, seed }, |sched| {
+                    sched.map(0..100u64, |i, x| {
+                        assert_eq!(i as u64, x);
+                        x.wrapping_mul(7)
+                    })
+                });
+                assert_eq!(out, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn scheduler_propagates_job_panics_on_join() {
+        let outcome = std::panic::catch_unwind(|| {
+            scope(2, |sched| {
+                let ok = sched.spawn(|| 1u32);
+                let bad = sched.spawn(|| panic!("boom in job"));
+                assert_eq!(ok.join(), 1);
+                bad.join();
+            })
+        });
+        assert!(outcome.is_err(), "job panic must surface at join()");
+    }
+
+    #[test]
+    fn scheduler_never_exceeds_its_thread_budget() {
+        for budget in [1usize, 2, 3] {
+            let peak = scope(budget, |sched| {
+                let handles: Vec<JobHandle<()>> = (0..24)
+                    .map(|_| {
+                        sched.spawn(|| {
+                            std::thread::sleep(std::time::Duration::from_millis(2));
+                        })
+                    })
+                    .collect();
+                handles.into_iter().for_each(JobHandle::join);
+                sched.peak_in_flight()
+            });
+            assert!(
+                peak >= 1 && peak <= budget,
+                "peak {peak} vs budget {budget}"
+            );
+        }
+    }
+
+    #[test]
+    fn scheduler_steals_across_deques() {
+        // One deque gets every job (seed 0 round-robin over 1... use an
+        // uneven load instead): worker 0's deque receives jobs 0 and 2 with
+        // job 0 long-running, so an idle worker must steal job 2.
+        let steals = scope(2, |sched| {
+            let slow = sched.spawn(|| std::thread::sleep(std::time::Duration::from_millis(50)));
+            let handles: Vec<JobHandle<()>> = (0..8).map(|_| sched.spawn(|| ())).collect();
+            handles.into_iter().for_each(JobHandle::join);
+            slow.join();
+            sched.steals()
+        });
+        assert!(steals > 0, "idle worker should have stolen queued jobs");
+    }
+
+    #[test]
+    fn scheduler_drains_queued_jobs_after_the_scope_body_returns() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        let ran_in_scope = Arc::clone(&ran);
+        scope(1, move |sched| {
+            for _ in 0..16 {
+                let ran = Arc::clone(&ran_in_scope);
+                sched.spawn(move || {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            // Handles dropped without joining: the jobs must still run
+            // before the scope tears the pool down.
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 16);
     }
 }

@@ -45,8 +45,9 @@ pub use p2_topology as topology;
 
 pub use p2_collectives::{Collective, State};
 pub use p2_core::{
-    top_k_accuracy, ExperimentResult, P2Builder, P2Config, P2Error, PlacementEvaluation,
-    ProgramEvaluation, ProgressObserver, RunMode, RunObserver, SharedBoundObserver, TopKReport,
+    run_batch, top_k_accuracy, BatchOptions, BatchOutcome, ExperimentResult, P2Builder, P2Config,
+    P2Error, PendingSweep, PlacementEvaluation, ProgramEvaluation, ProgressObserver, RunMode,
+    RunObserver, SharedBoundObserver, SharedBoundTree, SlotBoundObserver, TopKReport,
     TwoPassSharedBound, P2,
 };
 pub use p2_cost::{

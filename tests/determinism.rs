@@ -4,7 +4,10 @@
 //! same way. This pins down the `--seed` reproducibility contract: noise is a
 //! pure function of (seed, program content), never of evaluation order.
 
-use p2::{presets, ExperimentResult, NcclAlgo, P2Config, RunMode, SystemTopology, P2};
+use p2::{
+    presets, run_batch, BatchOptions, ExperimentResult, NcclAlgo, P2Config, RunMode,
+    SystemTopology, P2,
+};
 
 fn config(seed: u64) -> P2Config {
     P2Config::new(presets::a100_system(2), vec![8, 4], vec![0])
@@ -213,4 +216,57 @@ fn different_seeds_produce_different_measurements() {
 fn repeated_runs_of_the_same_tool_are_identical() {
     let tool = P2::new(config(0x7777)).unwrap();
     assert_identical(&tool.run().unwrap(), &tool.run().unwrap());
+}
+
+fn batch_config(axes: Vec<usize>, reduction: Vec<usize>) -> P2Config {
+    P2Config::new(presets::a100_system(2), axes, reduction)
+        .with_algo(NcclAlgo::Ring)
+        .with_bytes_per_device(1.0e9)
+        .with_repeats(2)
+        .with_seed(0x5eed)
+}
+
+/// The batch-scheduling contract: a [`run_batch`] of several sessions on one
+/// work-stealing pool is bit-identical to running each session alone with a
+/// single thread — for 1, 2 and 8 workers and across steal-schedule seeds.
+/// One session runs in `Shortlist` mode so the measurement stage is scheduled
+/// through the shared pool too.
+#[test]
+fn batched_sessions_are_identical_to_serial_runs_for_any_thread_count() {
+    let cases: [(Vec<usize>, Vec<usize>); 3] = [
+        (vec![8, 4], vec![0]),
+        (vec![16, 2], vec![1]),
+        (vec![4, 8], vec![0]),
+    ];
+    let build = |axes: &Vec<usize>, reduction: &Vec<usize>, threads: usize| {
+        let session =
+            P2::new(batch_config(axes.clone(), reduction.clone()).with_threads(threads)).unwrap();
+        if *axes == vec![16, 2] {
+            session.with_mode(RunMode::Shortlist(5))
+        } else {
+            session
+        }
+    };
+    let serial: Vec<ExperimentResult> = cases
+        .iter()
+        .map(|(axes, reduction)| build(axes, reduction, 1).run().unwrap())
+        .collect();
+    let sessions: Vec<P2> = cases
+        .iter()
+        .map(|(axes, reduction)| build(axes, reduction, 1))
+        .collect();
+    for threads in [1usize, 2, 8] {
+        for steal_seed in [0u64, 0xdead_beef] {
+            let options = BatchOptions {
+                threads,
+                steal_seed,
+                ..BatchOptions::default()
+            };
+            let outcome = run_batch(&sessions, &options, &()).unwrap();
+            assert_eq!(outcome.results.len(), serial.len());
+            for (a, b) in serial.iter().zip(&outcome.results) {
+                assert_identical(a, b);
+            }
+        }
+    }
 }
