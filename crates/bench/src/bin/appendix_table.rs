@@ -6,13 +6,15 @@
 //! This is the full sweep behind the Result 1 (448×) and Result 5 (69 % of
 //! mappings, average 1.27×) headlines; expect a few minutes of runtime.
 //!
-//! Run with `cargo run --release -p p2-bench --bin appendix_table`.
+//! Run with `cargo run --release -p p2-bench --bin appendix_table`
+//! `[-- --threads N]`.
 
 use p2_bench::{
-    appendix_axes, fmt_s, fmt_speedup, total_placements, ExperimentSpec, SpeedupSummary, SystemKind,
+    appendix_axes, fmt_s, fmt_speedup, run_specs_batch, threads_from_args, total_placements,
+    ExperimentSpec, SpeedupSummary, SystemKind,
 };
-use p2_core::{ExperimentResult, ProgressObserver};
-use p2_cost::NcclAlgo;
+use p2_core::{BatchOptions, ExperimentResult, ProgressObserver};
+use p2_cost::{CostModelKind, NcclAlgo};
 
 /// Every (system, nodes) block the appendix sweeps, in print order.
 const BLOCKS: [(SystemKind, usize); 4] = [
@@ -81,6 +83,8 @@ fn print_block(result_ring: &ExperimentResult, result_tree: &ExperimentResult) {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let options = BatchOptions::with_threads(threads_from_args(&args));
     println!("Appendix table: full experiment results");
     println!("(columns: matrix, programs beating AllReduce / total for Ring and Tree,");
     println!(" AllReduce Ring/Tree, Optimal Ring/Tree, Speedup Ring/Tree)\n");
@@ -108,8 +112,19 @@ fn main() {
             system
         );
         for (ring_spec, tree_spec) in pairs {
-            let ring = ring_spec.run_observed(&progress);
-            let tree = tree_spec.run_observed(&progress);
+            // Each (ring, tree) pair shares one work-stealing pool so the
+            // sweep respects the --threads budget while the tables stream.
+            let mut pair_results = run_specs_batch(
+                &[ring_spec.clone(), tree_spec.clone()],
+                None,
+                CostModelKind::AlphaBeta,
+                &options,
+                &progress,
+            )
+            .expect("appendix specs build and run")
+            .results;
+            let tree = pair_results.pop().expect("tree result");
+            let ring = pair_results.pop().expect("ring result");
             println!(
                 "  axes {:?} reduce {:?}  (synthesis {:.3}s ring / {:.3}s tree)",
                 ring_spec.axes,

@@ -5,14 +5,17 @@
 //! plus the Result 5 comparison of when each one wins.
 //!
 //! Run with `cargo run --release -p p2-bench --bin figure10`
-//! `[-- --cost-model alpha-beta|loggp|calibrated]`.
+//! `[-- --cost-model alpha-beta|loggp|calibrated] [--threads N]`.
 
-use p2_bench::{cost_model_from_args, fmt_s, table4_specs};
+use p2_bench::{cost_model_from_args, fmt_s, run_specs_batch, table4_specs, threads_from_args};
+use p2_core::BatchOptions;
 use p2_placement::ParallelismMatrix;
 use p2_synthesis::{HierarchyKind, Synthesizer};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     let kind = cost_model_from_args();
+    let threads = threads_from_args(&args);
     // The Figure 2d placement of the running example, reduction along the
     // parameter-sharding axis.
     let matrix = ParallelismMatrix::new(
@@ -68,12 +71,17 @@ fn main() {
     );
     let mut wins_i = 0usize;
     let mut wins_ii = 0usize;
-    for spec in table4_specs() {
-        let result = spec
-            .session()
-            .cost_model_kind(kind)
-            .run()
-            .expect("pipeline runs");
+    let specs = table4_specs();
+    let results = run_specs_batch(
+        &specs,
+        None,
+        kind,
+        &BatchOptions::with_threads(threads),
+        &(),
+    )
+    .expect("table 4 specs build and run")
+    .results;
+    for (spec, result) in specs.iter().zip(&results) {
         for placement in &result.placements {
             let find = |sig: &str| {
                 placement

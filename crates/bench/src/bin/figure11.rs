@@ -3,20 +3,21 @@
 //! measured time, for the two captioned configurations.
 //!
 //! Run with `cargo run --release -p p2-bench --bin figure11`
-//! `[-- --cost-model alpha-beta|loggp|calibrated]`.
+//! `[-- --cost-model alpha-beta|loggp|calibrated] [--threads N]`.
 
 use std::time::Instant;
 
-use p2_bench::{ExperimentSpec, SystemKind};
+use p2_bench::{threads_from_args, ExperimentSpec, SystemKind};
 use p2_cost::{CostModelKind, NcclAlgo};
 
-fn panel(title: &str, spec: ExperimentSpec, kind: CostModelKind) {
+fn panel(title: &str, spec: ExperimentSpec, kind: CostModelKind, threads: usize) {
     println!("{title}");
     println!("  ({})", spec.describe());
     let start = Instant::now();
     let result = spec
         .session()
         .cost_model_kind(kind)
+        .threads(threads)
         .run()
         .expect("pipeline runs");
     let wall = start.elapsed();
@@ -56,7 +57,9 @@ fn panel(title: &str, spec: ExperimentSpec, kind: CostModelKind) {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     let kind = p2_bench::cost_model_from_args();
+    let threads = threads_from_args(&args);
     println!("Figure 11: simulation vs. measurement, in increasing order of measured time");
     println!("(predictions by the {kind} cost model, select with --cost-model)\n");
     panel(
@@ -70,10 +73,12 @@ fn main() {
             NcclAlgo::Ring,
         ),
         kind,
+        threads,
     );
     panel(
         "(b) 4 nodes of A100, NCCL Tree, parallelism axes [4 2 8], reduction on the 0th and 2nd axes",
         ExperimentSpec::new("11b", SystemKind::A100, 4, vec![4, 2, 8], vec![0, 2], NcclAlgo::Tree),
         kind,
+        threads,
     );
 }

@@ -1,0 +1,164 @@
+//! Planner-service benchmark: quantifies what the content-addressed plan
+//! cache buys — the cold-miss cost of synthesizing a rack-preset plan versus
+//! the warm-hit cost of serving the same fingerprint from the in-memory
+//! store, and the restart cost of promoting it from disk. CI archives the
+//! JSON record next to `BENCH_synthesis.json` / `BENCH_sweep.json` so cache
+//! regressions show up as artifact diffs.
+//!
+//! Usage: `cargo run --release -p p2_bench --bin service_bench --`
+//! `[--threads N] [--json PATH] [--assert-warm-ratio X]`
+//!
+//! The warm-ratio assertion (cold-miss latency ÷ warm-hit latency, CI passes
+//! `--assert-warm-ratio 100`) is opt-in because absolute latencies depend on
+//! the machine; the hit/miss source accounting is asserted always.
+
+use std::time::Instant;
+
+use p2_bench::threads_from_args;
+use p2_core::RunMode;
+use p2_service::{PlanRequest, PlanSource, Planner, PlannerConfig};
+use p2_topology::presets;
+
+const WARM_PROBES: usize = 64;
+
+/// The benchmarked request: the 2×2×4 rack preset, 16 devices on a 3-level
+/// hierarchy — big enough that synthesis dominates, small enough for CI.
+fn rack_request() -> PlanRequest {
+    PlanRequest::new(presets::rack_node_gpu_system(2, 2, 4), vec![4, 4], vec![0])
+        .with_bytes_per_device(1.0e9)
+        .with_repeats(2)
+        .with_keep_top(8)
+        .with_mode(RunMode::Measure)
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn planner_config(threads: usize, store_dir: &std::path::Path) -> PlannerConfig {
+    PlannerConfig {
+        threads,
+        store_dir: Some(store_dir.to_path_buf()),
+        ..PlannerConfig::default()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let threads = threads_from_args(&args);
+    let json_path = flag_value(&args, "--json");
+    let assert_warm_ratio: Option<f64> = flag_value(&args, "--assert-warm-ratio").map(|v| {
+        v.parse()
+            .expect("--assert-warm-ratio needs a ratio, e.g. 100")
+    });
+
+    let store_dir = std::env::temp_dir().join(format!("p2-service-bench-{}", std::process::id()));
+    let request = rack_request();
+    println!(
+        "Planner-service benchmark: rack 2x2x4 preset, fingerprint {}",
+        request.fingerprint()
+    );
+
+    // Cold miss: an empty planner synthesizes the plan.
+    let planner = Planner::new(planner_config(threads, &store_dir)).expect("planner starts");
+    let cold_start = Instant::now();
+    let cold = planner
+        .plan("bench", request.clone())
+        .expect("cold plan succeeds");
+    let cold_s = cold_start.elapsed().as_secs_f64();
+    assert_eq!(
+        cold.source,
+        PlanSource::Synthesized,
+        "first request must miss"
+    );
+
+    // Warm hits: the same fingerprint served from the in-memory store. The
+    // minimum over many probes is the steady-state hit cost (the first probe
+    // can eat a cache-cold code path).
+    let mut warm_s = f64::INFINITY;
+    for _ in 0..WARM_PROBES {
+        let warm_start = Instant::now();
+        let warm = planner
+            .plan("bench", request.clone())
+            .expect("warm plan succeeds");
+        warm_s = warm_s.min(warm_start.elapsed().as_secs_f64());
+        assert_eq!(
+            warm.source,
+            PlanSource::Warm,
+            "repeat request must hit warm"
+        );
+        assert_eq!(
+            *warm.plan, *cold.plan,
+            "warm hit must return the cached plan"
+        );
+    }
+    planner.shutdown();
+
+    // Restart: a fresh planner on the same directory promotes from disk.
+    let planner = Planner::new(planner_config(threads, &store_dir)).expect("planner restarts");
+    let disk_start = Instant::now();
+    let disk = planner
+        .plan("bench", request.clone())
+        .expect("disk plan succeeds");
+    let disk_s = disk_start.elapsed().as_secs_f64();
+    assert_eq!(
+        disk.source,
+        PlanSource::Disk,
+        "restart must serve from disk"
+    );
+    assert_eq!(*disk.plan, *cold.plan, "disk plan must be bit-identical");
+    planner.shutdown();
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    let warm_ratio = cold_s / warm_s;
+    let disk_ratio = cold_s / disk_s;
+    println!("  cold miss (synthesis): {:>10.1} us", cold_s * 1e6);
+    println!(
+        "  warm hit  (memory):    {:>10.1} us (min of {WARM_PROBES} probes) — {warm_ratio:.0}x",
+        warm_s * 1e6
+    );
+    println!(
+        "  disk hit  (restart):   {:>10.1} us — {disk_ratio:.0}x",
+        disk_s * 1e6
+    );
+
+    if let Some(path) = json_path {
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"fingerprint\": \"{}\",\n",
+                "  \"threads\": {},\n",
+                "  \"warm_probes\": {},\n",
+                "  \"cold_us\": {:.1},\n",
+                "  \"warm_us\": {:.1},\n",
+                "  \"disk_us\": {:.1},\n",
+                "  \"warm_ratio\": {:.1},\n",
+                "  \"disk_ratio\": {:.1}\n",
+                "}}\n"
+            ),
+            cold.fingerprint,
+            threads,
+            WARM_PROBES,
+            cold_s * 1e6,
+            warm_s * 1e6,
+            disk_s * 1e6,
+            warm_ratio,
+            disk_ratio,
+        );
+        std::fs::write(&path, json).expect("write JSON report");
+        println!("  wrote {path}");
+    }
+
+    if let Some(min) = assert_warm_ratio {
+        assert!(
+            warm_ratio >= min,
+            "warm-hit speedup {warm_ratio:.1}x below the required {min:.1}x \
+             (cold {:.1}us vs warm {:.1}us)",
+            cold_s * 1e6,
+            warm_s * 1e6
+        );
+        println!("  warm-ratio assertion passed (>= {min:.0}x)");
+    }
+}

@@ -3,14 +3,19 @@
 //! the selected configurations F–L.
 //!
 //! Run with `cargo run --release -p p2-bench --bin table4`
-//! `[-- --cost-model alpha-beta|loggp|calibrated]`.
+//! `[-- --cost-model alpha-beta|loggp|calibrated] [--threads N]`.
 
 use p2_bench::{
-    cost_model_from_args, fmt_s, fmt_speedup, run_specs_observed, table4_specs, SpeedupSummary,
+    cost_model_from_args, fmt_s, fmt_speedup, run_specs_batch, table4_specs, threads_from_args,
+    SpeedupSummary,
 };
+use p2_core::BatchOptions;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     let kind = cost_model_from_args();
+    let threads = threads_from_args(&args);
+    let options = BatchOptions::with_threads(threads);
     println!(
         "Table 4: reduction time in seconds for AllReduce and the synthesized optimal strategy"
     );
@@ -35,8 +40,11 @@ fn main() {
     let mut memo_hits = 0usize;
     let mut memo_misses = 0usize;
     let mut shared_reused = 0usize;
-    for spec in table4_specs() {
-        let result = &run_specs_observed(std::slice::from_ref(&spec), None, kind, &())[0];
+    let specs = table4_specs();
+    let results = run_specs_batch(&specs, None, kind, &options, &())
+        .expect("table 4 specs build and run")
+        .results;
+    for (spec, result) in specs.iter().zip(&results) {
         summary.add(result);
         states_explored += result.total_states_explored();
         peak_interner = peak_interner.max(result.peak_unique_device_states());
@@ -117,8 +125,9 @@ fn main() {
     // prunes and displaces most candidates yet lands on the same optima.
     println!();
     println!("Streaming retention check (keep_top = 8):");
-    let specs = table4_specs();
-    let bounded = run_specs_observed(&specs, Some(8), kind, &());
+    let bounded = run_specs_batch(&specs, Some(8), kind, &options, &())
+        .expect("table 4 specs build and run")
+        .results;
     for (spec, result) in specs.iter().zip(&bounded) {
         println!(
             "  {:<4} retained {:>4} of {:>5} programs ({} pruned), optimal {}",

@@ -2,13 +2,14 @@
 //! simulator (the cost model) against measurement (the execution substrate),
 //! per GPU system and overall.
 //!
-//! Run with `cargo run --release -p p2-bench --bin table5`.
+//! Run with `cargo run --release -p p2-bench --bin table5`
+//! `[-- --cost-model alpha-beta|loggp|calibrated] [--threads N]`.
 
 use p2_bench::{
-    appendix_axes, cost_model_from_args, run_specs_observed, total_placements, ExperimentSpec,
-    SystemKind,
+    appendix_axes, cost_model_from_args, run_specs_batch, threads_from_args, total_placements,
+    ExperimentSpec, SystemKind,
 };
-use p2_core::{top_k_accuracy, ExperimentResult, ProgressObserver};
+use p2_core::{top_k_accuracy, BatchOptions, ExperimentResult, ProgressObserver};
 use p2_cost::{CostModelKind, NcclAlgo};
 
 fn system_specs(system: SystemKind, nodes_list: &[usize]) -> Vec<ExperimentSpec> {
@@ -37,16 +38,22 @@ fn system_specs(system: SystemKind, nodes_list: &[usize]) -> Vec<ExperimentSpec>
 fn run_system(
     specs: &[ExperimentSpec],
     kind: CostModelKind,
+    options: &BatchOptions,
     progress: &ProgressObserver,
 ) -> Vec<ExperimentResult> {
-    // The sweep is the slow part of this table: fan the specs out. Top-k
-    // accuracy compares predictions against *every* measurement, so this
-    // table keeps the exhaustive (keep-everything) pipeline.
-    run_specs_observed(specs, None, kind, progress)
+    // The sweep is the slow part of this table: fan the specs out onto one
+    // shared work-stealing pool. Top-k accuracy compares predictions against
+    // *every* measurement, so this table keeps the exhaustive
+    // (keep-everything) pipeline.
+    run_specs_batch(specs, None, kind, options, progress)
+        .expect("table 5 specs build and run")
+        .results
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     let kind = cost_model_from_args();
+    let options = BatchOptions::with_threads(threads_from_args(&args));
     let ks = [1usize, 2, 3, 5, 6, 10];
     println!("Table 5: prediction accuracy of the {kind} cost model vs. measurement\n");
     println!(
@@ -59,8 +66,8 @@ fn main() {
     let progress = ProgressObserver::new("table5")
         .with_total(total_placements(&a100_specs) + total_placements(&v100_specs))
         .with_every(16);
-    let a100 = run_system(&a100_specs, kind, &progress);
-    let v100 = run_system(&v100_specs, kind, &progress);
+    let a100 = run_system(&a100_specs, kind, &options, &progress);
+    let v100 = run_system(&v100_specs, kind, &options, &progress);
     let mut all = a100.clone();
     all.extend(v100.clone());
 

@@ -12,8 +12,6 @@
 //! synthesis state that reproduces the same participants — the cache-hit
 //! path allocates nothing.
 
-use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
 
@@ -21,63 +19,11 @@ use crate::collective::Collective;
 use crate::semantics::{apply_collective_refs, SemanticsError};
 use crate::state::State;
 
-/// The FxHash word-folding hasher (rustc's interner hash): multiply-xor per
-/// word, no finalization. Far cheaper than SipHash for the short `u32`/`u64`
-/// slices the interner and caches key on; these tables are never fed
-/// attacker-controlled keys, so HashDoS resistance is not needed.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct FxHasher {
-    hash: u64,
-}
-
-impl FxHasher {
-    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
-
-    #[inline]
-    fn add(&mut self, word: u64) {
-        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
-    }
-}
-
-impl Hasher for FxHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.hash
-    }
-
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        let mut chunks = bytes.chunks_exact(8);
-        for chunk in chunks.by_ref() {
-            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
-        }
-        let rest = chunks.remainder();
-        if !rest.is_empty() {
-            let mut word = [0u8; 8];
-            word[..rest.len()].copy_from_slice(rest);
-            self.add(u64::from_le_bytes(word));
-        }
-    }
-
-    #[inline]
-    fn write_u32(&mut self, value: u32) {
-        self.add(value as u64);
-    }
-
-    #[inline]
-    fn write_u64(&mut self, value: u64) {
-        self.add(value);
-    }
-
-    #[inline]
-    fn write_usize(&mut self, value: usize) {
-        self.add(value as u64);
-    }
-}
-
-/// A `HashMap` keyed through [`FxHasher`] — the map type of the interning and
-/// memoization layers.
-pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+// The word-folding hasher these tables key through lives in `p2_hash` (it is
+// also the core of the plan service's persisted content addresses); the
+// re-export keeps the long-standing `p2_collectives::{FxHasher, FxHashMap}`
+// paths working.
+pub use p2_hash::{FxHashMap, FxHasher};
 
 /// The [`SharedTables`] transposition map: `[collective tag, participant
 /// ids...]` → interned post-state ids or the memoized semantic error.

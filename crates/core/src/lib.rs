@@ -38,6 +38,7 @@
 mod accuracy;
 mod batch;
 mod builder;
+pub mod canonical;
 mod config;
 mod error;
 mod observer;
@@ -47,6 +48,7 @@ mod result;
 pub use accuracy::{top_k_accuracy, TopKReport};
 pub use batch::{run_batch, BatchOptions, BatchOutcome};
 pub use builder::P2Builder;
+pub use canonical::{canonical_mode, canonical_session, canonical_system, CANONICAL_VERSION};
 pub use config::P2Config;
 pub use error::P2Error;
 pub use observer::{

@@ -315,24 +315,6 @@ impl P2 {
         })
     }
 
-    /// Runs the paper's deployment mode with a shortlist of `shortlist`
-    /// measured programs. A `shortlist` of `0` keeps this entry point's
-    /// historical behaviour — predict everything, measure nothing — which the
-    /// session API spells [`RunMode::PredictOnly`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use P2::builder(...).mode(RunMode::Shortlist(n)) — or \
-                with_mode(RunMode::Shortlist(n)) — and run()"
-    )]
-    pub fn run_with_shortlist(&self, shortlist: usize) -> Result<ExperimentResult, P2Error> {
-        let mode = if shortlist == 0 {
-            RunMode::PredictOnly
-        } else {
-            RunMode::Shortlist(shortlist)
-        };
-        self.clone().with_mode(mode).run()
-    }
-
     /// Ranks all programs of a predict-only sweep by predicted time and
     /// measures only the best `shortlist` of them — the post-pass of
     /// [`RunMode::Shortlist`]. With the simulator's top-10 accuracy, a
@@ -901,15 +883,18 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shortlist_shim_matches_the_mode() {
+    fn with_mode_matches_the_builder_mode() {
+        // The two ways to select a run mode — builder `.mode(...)` and
+        // `P2::new(config).with_mode(...)` — are one code path. (These pins
+        // belonged to the `run_with_shortlist` shim until its removal.)
         let via_mode = small_builder().mode(RunMode::Shortlist(5)).run().unwrap();
-        #[allow(deprecated)]
-        let via_shim = P2::new(small_config())
+        let via_with_mode = P2::new(small_config())
             .unwrap()
-            .run_with_shortlist(5)
+            .with_mode(RunMode::Shortlist(5))
+            .run()
             .unwrap();
-        assert_eq!(via_mode.placements.len(), via_shim.placements.len());
-        for (a, b) in via_mode.placements.iter().zip(&via_shim.placements) {
+        assert_eq!(via_mode.placements.len(), via_with_mode.placements.len());
+        for (a, b) in via_mode.placements.iter().zip(&via_with_mode.placements) {
             assert_eq!(a.matrix, b.matrix);
             for (pa, pb) in a.programs.iter().zip(&b.programs) {
                 assert_eq!(pa.signature(), pb.signature());
@@ -922,19 +907,18 @@ mod tests {
     #[test]
     fn zero_length_shortlist_is_rejected_consistently() {
         // Both session entry points refuse Shortlist(0) instead of silently
-        // degrading to a predict-only run...
+        // degrading to a predict-only run — callers who want that spell it
+        // RunMode::PredictOnly.
         assert!(small_builder().mode(RunMode::Shortlist(0)).run().is_err());
         assert!(P2::new(small_config())
             .unwrap()
             .with_mode(RunMode::Shortlist(0))
             .run()
             .is_err());
-        // ...while the deprecated shim keeps its historical degenerate
-        // behaviour: predict everything, measure nothing.
-        #[allow(deprecated)]
         let old = P2::new(small_config())
             .unwrap()
-            .run_with_shortlist(0)
+            .with_mode(RunMode::PredictOnly)
+            .run()
             .unwrap();
         let predict_only = small_builder().mode(RunMode::PredictOnly).run().unwrap();
         assert_eq!(old.total_programs(), predict_only.total_programs());

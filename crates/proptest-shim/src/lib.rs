@@ -314,7 +314,8 @@ pub mod prelude {
     /// Re-export so `proptest::...` paths work inside test bodies.
     pub use crate as proptest;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assume, proptest, Just, ProptestConfig, Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy,
     };
 }
 
@@ -398,6 +399,31 @@ macro_rules! prop_assert_eq {
             return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
                 "assertion failed: `{:?}` == `{:?}`",
                 left, right
+            )));
+        }
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                left,
+                right,
+                format!($($fmt)*)
             )));
         }
     }};

@@ -1,0 +1,286 @@
+//! The unit the service stores and serves: a [`Plan`] — the top-K programs
+//! of one planned experiment plus its synthesis statistics — and its
+//! versioned JSON record format.
+//!
+//! Records are persisted under the request fingerprint, so the decode path
+//! is strict about identity: floats travel as exact IEEE-754 bit patterns
+//! (hex strings — JSON numbers round-trip through decimal and are only kept
+//! as a human-readable shadow), and a schema-version mismatch makes a record
+//! invisible rather than misread. Bit-exactness is what lets the acceptance
+//! tests compare a disk-round-tripped plan against a fresh `P2` run with
+//! `==` on the raw bits.
+
+use p2_core::ExperimentResult;
+use p2_hash::Fingerprint;
+
+use crate::error::ServiceError;
+use crate::json::{Json, JsonObject};
+
+/// Version of the on-disk/wire plan record. Bump on any change to the
+/// record's shape *or* to the fingerprint function it is addressed by (see
+/// the pinned-digest tests in `p2_hash`).
+pub const PLAN_SCHEMA_VERSION: u64 = 1;
+
+/// One retained program of a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanEntry {
+    /// The parallelism matrix the program belongs to.
+    pub matrix: String,
+    /// The lowered program's stable signature.
+    pub signature: String,
+    /// The synthesized program rendered in the paper's DSL.
+    pub program: String,
+    /// Predicted time in seconds (exact bits preserved end to end).
+    pub predicted_seconds: f64,
+    /// Measured time in seconds (exact bits preserved end to end).
+    pub measured_seconds: f64,
+}
+
+/// Deterministic synthesis statistics of the planned experiment (wall-clock
+/// synthesis time is carried separately — it is the one field that never
+/// reproduces).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanStats {
+    /// Placements evaluated.
+    pub placements: usize,
+    /// Programs enumerated across all placements.
+    pub programs: usize,
+    /// Programs retained after bounded retention.
+    pub programs_retained: usize,
+    /// Synthesis-state expansions across all placements.
+    pub states_explored: usize,
+    /// Wall-clock synthesis time of the run that produced this plan, in
+    /// microseconds. Nondeterministic; excluded from bit-identity checks.
+    pub synthesis_micros: u64,
+}
+
+/// A stored plan: the top-K programs of one content-addressed experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// The request fingerprint this plan answers.
+    pub fingerprint: Fingerprint,
+    /// The experiment's human-readable label.
+    pub label: String,
+    /// Top-K programs, best first.
+    pub entries: Vec<PlanEntry>,
+    /// Synthesis statistics.
+    pub stats: PlanStats,
+}
+
+impl Plan {
+    /// Extracts the top-`top_k` programs of `result`, ranked by measured
+    /// time with a fully deterministic tie-break (predicted bits, then
+    /// matrix, then signature) so the same result always yields the same
+    /// plan bytes.
+    pub fn from_result(fingerprint: Fingerprint, result: &ExperimentResult, top_k: usize) -> Plan {
+        let mut ranked: Vec<PlanEntry> = result
+            .placements
+            .iter()
+            .flat_map(|placement| {
+                let matrix = placement.matrix.to_string();
+                placement.programs.iter().map(move |program| PlanEntry {
+                    matrix: matrix.clone(),
+                    signature: program.signature(),
+                    program: program.program.to_string(),
+                    predicted_seconds: program.predicted_seconds,
+                    measured_seconds: program.measured_seconds,
+                })
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            a.measured_seconds
+                .total_cmp(&b.measured_seconds)
+                .then_with(|| a.predicted_seconds.total_cmp(&b.predicted_seconds))
+                .then_with(|| a.matrix.cmp(&b.matrix))
+                .then_with(|| a.signature.cmp(&b.signature))
+        });
+        ranked.truncate(top_k);
+        Plan {
+            fingerprint,
+            label: result.label.clone(),
+            entries: ranked,
+            stats: PlanStats {
+                placements: result.placements.len(),
+                programs: result.total_programs(),
+                programs_retained: result.total_programs_retained(),
+                states_explored: result.total_states_explored(),
+                synthesis_micros: result.synthesis_time.as_micros() as u64,
+            },
+        }
+    }
+
+    /// Renders the versioned record (one line of JSON).
+    pub fn to_json(&self) -> Json {
+        let entries: Vec<Json> = self
+            .entries
+            .iter()
+            .map(|entry| {
+                JsonObject::new()
+                    .push("matrix", Json::Str(entry.matrix.clone()))
+                    .push("signature", Json::Str(entry.signature.clone()))
+                    .push("program", Json::Str(entry.program.clone()))
+                    .push(
+                        "predicted_bits",
+                        Json::Str(format!("0x{:016x}", entry.predicted_seconds.to_bits())),
+                    )
+                    .push(
+                        "measured_bits",
+                        Json::Str(format!("0x{:016x}", entry.measured_seconds.to_bits())),
+                    )
+                    // Human-readable shadows; the decoder ignores them.
+                    .push("predicted_seconds", Json::Num(entry.predicted_seconds))
+                    .push("measured_seconds", Json::Num(entry.measured_seconds))
+                    .build()
+            })
+            .collect();
+        let stats = JsonObject::new()
+            .push("placements", Json::Num(self.stats.placements as f64))
+            .push("programs", Json::Num(self.stats.programs as f64))
+            .push(
+                "programs_retained",
+                Json::Num(self.stats.programs_retained as f64),
+            )
+            .push(
+                "states_explored",
+                Json::Num(self.stats.states_explored as f64),
+            )
+            .push(
+                "synthesis_micros",
+                Json::Num(self.stats.synthesis_micros as f64),
+            )
+            .build();
+        JsonObject::new()
+            .push("schema", Json::Num(PLAN_SCHEMA_VERSION as f64))
+            .push("fingerprint", Json::Str(self.fingerprint.to_string()))
+            .push("label", Json::Str(self.label.clone()))
+            .push("entries", Json::Arr(entries))
+            .push("stats", stats)
+            .build()
+    }
+
+    /// Decodes a record, refusing unknown schema versions and malformed
+    /// fields.
+    pub fn from_json(json: &Json) -> Result<Plan, ServiceError> {
+        let bad = |what: &str| ServiceError::Store(format!("plan record: {what}"));
+        let schema = json
+            .get("schema")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("missing schema"))?;
+        if schema != PLAN_SCHEMA_VERSION {
+            return Err(bad(&format!(
+                "schema {schema} != supported {PLAN_SCHEMA_VERSION}"
+            )));
+        }
+        let fingerprint = json
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .and_then(Fingerprint::parse_hex)
+            .ok_or_else(|| bad("bad fingerprint"))?;
+        let label = json
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing label"))?
+            .to_string();
+        let parse_bits = |entry: &Json, key: &str| -> Result<f64, ServiceError> {
+            let text = entry
+                .get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad(&format!("missing {key}")))?;
+            let hex = text
+                .strip_prefix("0x")
+                .ok_or_else(|| bad(&format!("bad {key}")))?;
+            let bits = u64::from_str_radix(hex, 16).map_err(|_| bad(&format!("bad {key}")))?;
+            Ok(f64::from_bits(bits))
+        };
+        let mut entries = Vec::new();
+        for entry in json
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| bad("missing entries"))?
+        {
+            let text = |key: &str| -> Result<String, ServiceError> {
+                Ok(entry
+                    .get(key)
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad(&format!("missing entry {key}")))?
+                    .to_string())
+            };
+            entries.push(PlanEntry {
+                matrix: text("matrix")?,
+                signature: text("signature")?,
+                program: text("program")?,
+                predicted_seconds: parse_bits(entry, "predicted_bits")?,
+                measured_seconds: parse_bits(entry, "measured_bits")?,
+            });
+        }
+        let stats = json.get("stats").ok_or_else(|| bad("missing stats"))?;
+        let stat = |key: &str| -> Result<u64, ServiceError> {
+            stats
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad(&format!("missing stat {key}")))
+        };
+        Ok(Plan {
+            fingerprint,
+            label,
+            entries,
+            stats: PlanStats {
+                placements: stat("placements")? as usize,
+                programs: stat("programs")? as usize,
+                programs_retained: stat("programs_retained")? as usize,
+                states_explored: stat("states_explored")? as usize,
+                synthesis_micros: stat("synthesis_micros")?,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Plan {
+        Plan {
+            fingerprint: Fingerprint::of_bytes(b"sample"),
+            label: "a100-2node [8,4] r[0]".to_string(),
+            entries: vec![PlanEntry {
+                matrix: "[[8,0],[4,0]]".to_string(),
+                signature: "rs@0|ag@0".to_string(),
+                program: "ReduceScatter(0); AllGather(0)".to_string(),
+                predicted_seconds: 1.25e-3,
+                measured_seconds: f64::from_bits(0x3f50_6272_a3b1_0000),
+            }],
+            stats: PlanStats {
+                placements: 5,
+                programs: 93,
+                programs_retained: 93,
+                states_explored: 1234,
+                synthesis_micros: 45678,
+            },
+        }
+    }
+
+    #[test]
+    fn record_round_trips_bit_exactly() {
+        let plan = sample();
+        let line = plan.to_json().to_string();
+        let back = Plan::from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(back, plan);
+        assert_eq!(
+            back.entries[0].measured_seconds.to_bits(),
+            plan.entries[0].measured_seconds.to_bits()
+        );
+    }
+
+    #[test]
+    fn unknown_schema_is_refused() {
+        let mut json = sample().to_json();
+        if let Json::Obj(fields) = &mut json {
+            fields[0].1 = Json::Num(99.0);
+        }
+        assert!(matches!(
+            Plan::from_json(&json),
+            Err(ServiceError::Store(_))
+        ));
+    }
+}

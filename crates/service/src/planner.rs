@@ -1,0 +1,623 @@
+//! The planner front end: admission, single-flight dedup, fair batching
+//! onto one `p2_par` pool, and the plan-store read/write path.
+//!
+//! One background worker thread drains the admission queue in fair
+//! round-robin order across tenants, builds the queued requests into `P2`
+//! sessions, and runs each batch through [`p2_core::run_batch`] on a single
+//! work-stealing pool. Everything else — cache probes, coalescing, refusal
+//! — happens synchronously on the caller's thread, so warm hits never touch
+//! the worker at all.
+//!
+//! **Lock order** (outermost first): `pending` → `store` → `queue`. Each
+//! [`PendingPlan`]'s own slot mutex is a leaf acquired with none of the
+//! above held. Violating this order is the only way this module can
+//! deadlock; every multi-lock section below follows it.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use p2_collectives::SharedTables;
+use p2_core::{run_batch, BatchOptions, RunObserver, P2};
+use p2_hash::{Fingerprint, FxHashMap};
+
+use crate::error::ServiceError;
+use crate::plan::Plan;
+use crate::request::PlanRequest;
+use crate::store::{PlanSource, PlanStore};
+
+/// Planner tuning knobs. `Default` gives a service-ready middle ground;
+/// tests tighten `queue_capacity`/`lru_capacity` to force the edges.
+#[derive(Debug, Clone)]
+pub struct PlannerConfig {
+    /// Worker threads of the shared synthesis pool (`0` = all cores).
+    pub threads: usize,
+    /// Steal-schedule seed of the pool (results are bit-identical for any
+    /// value; exposed so tests can vary it).
+    pub steal_seed: u64,
+    /// Maximum queued (admitted, not yet planned) requests before new
+    /// misses are refused with [`ServiceError::Overloaded`]. Coalescing
+    /// onto an in-flight request never counts against this.
+    pub queue_capacity: usize,
+    /// Maximum requests drained into one `run_batch` call.
+    pub max_batch: usize,
+    /// In-memory LRU capacity of the plan store.
+    pub lru_capacity: usize,
+    /// Persistent store directory; `None` keeps plans in memory only.
+    pub store_dir: Option<std::path::PathBuf>,
+    /// Keep one [`SharedTables`] across every batch, so later syntheses
+    /// reuse interned states and memoized collective applications from
+    /// earlier ones (result-invisible; pinned by the determinism suite).
+    pub warm_tables: bool,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            threads: 0,
+            steal_seed: 0,
+            queue_capacity: 64,
+            max_batch: 8,
+            lru_capacity: 256,
+            store_dir: None,
+            warm_tables: true,
+        }
+    }
+}
+
+/// A snapshot of the planner's counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlannerStats {
+    /// Requests received (including refused ones).
+    pub requests: u64,
+    /// Served from the in-memory LRU.
+    pub warm_hits: u64,
+    /// Served from the on-disk store.
+    pub disk_hits: u64,
+    /// Attached to another request's in-flight synthesis.
+    pub coalesced: u64,
+    /// Sessions actually synthesized.
+    pub syntheses: u64,
+    /// `run_batch` calls issued.
+    pub batches: u64,
+    /// Requests refused at admission.
+    pub rejected: u64,
+    /// Plans that synthesized fine but failed to persist.
+    pub store_errors: u64,
+    /// Current admission-queue depth.
+    pub queue_depth: usize,
+    /// Highest queue depth observed at any admission.
+    pub peak_queue_depth: u64,
+    /// Plans currently in the LRU.
+    pub lru_len: usize,
+    /// LRU evictions so far.
+    pub evictions: u64,
+    /// Disk records that existed but failed to decode.
+    pub disk_misreads: u64,
+}
+
+/// Per-request response telemetry around the served plan.
+#[derive(Debug, Clone)]
+pub struct PlanResponse {
+    /// The plan.
+    pub plan: Arc<Plan>,
+    /// Where it came from.
+    pub source: PlanSource,
+    /// The request's content address.
+    pub fingerprint: Fingerprint,
+    /// Admission-queue depth observed while handling this request.
+    pub queue_depth: usize,
+    /// End-to-end latency of [`Planner::plan`] for this request.
+    pub latency: Duration,
+}
+
+/// The single-flight rendezvous: every request for one in-flight
+/// fingerprint waits on the same slot.
+struct PendingPlan {
+    slot: Mutex<Option<Result<Arc<Plan>, ServiceError>>>,
+    done: Condvar,
+}
+
+impl PendingPlan {
+    fn new() -> Self {
+        PendingPlan {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) -> Result<Arc<Plan>, ServiceError> {
+        let mut slot = self.slot.lock().expect("pending slot poisoned");
+        while slot.is_none() {
+            slot = self.done.wait(slot).expect("pending slot poisoned");
+        }
+        slot.clone().expect("checked above")
+    }
+
+    fn complete(&self, result: Result<Arc<Plan>, ServiceError>) {
+        *self.slot.lock().expect("pending slot poisoned") = Some(result);
+        self.done.notify_all();
+    }
+}
+
+/// One admitted, not-yet-planned request.
+struct Queued {
+    fingerprint: Fingerprint,
+    request: PlanRequest,
+    pending: Arc<PendingPlan>,
+}
+
+/// Per-tenant FIFOs drained round-robin: within a tenant, strict arrival
+/// order; across tenants, one request per turn, so a tenant flooding the
+/// queue cannot starve anyone. Deterministic given the arrival order.
+struct AdmissionQueue {
+    tenants: Vec<(String, VecDeque<Queued>)>,
+    /// Index of the tenant whose turn is next.
+    cursor: usize,
+    len: usize,
+}
+
+impl AdmissionQueue {
+    fn new() -> Self {
+        AdmissionQueue {
+            tenants: Vec::new(),
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn push(&mut self, tenant: &str, item: Queued) {
+        match self.tenants.iter_mut().find(|(name, _)| name == tenant) {
+            Some((_, fifo)) => fifo.push_back(item),
+            None => {
+                let mut fifo = VecDeque::new();
+                fifo.push_back(item);
+                self.tenants.push((tenant.to_string(), fifo));
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Pops up to `max` requests in fair order and drops tenants that went
+    /// empty (rotating the cursor so the round-robin resumes after the last
+    /// tenant served).
+    fn drain(&mut self, max: usize) -> Vec<Queued> {
+        let mut out = Vec::new();
+        while out.len() < max && self.len > 0 {
+            let index = self.cursor % self.tenants.len();
+            if let Some(item) = self.tenants[index].1.pop_front() {
+                out.push(item);
+                self.len -= 1;
+            }
+            self.cursor = (index + 1) % self.tenants.len();
+        }
+        // Compact away empty tenants while preserving the cursor's position
+        // in the rotation.
+        let next_tenant = self
+            .tenants
+            .get(self.cursor % self.tenants.len().max(1))
+            .map(|(name, _)| name.clone());
+        self.tenants.retain(|(_, fifo)| !fifo.is_empty());
+        self.cursor = next_tenant
+            .and_then(|name| self.tenants.iter().position(|(n, _)| *n == name))
+            .unwrap_or(0);
+        out
+    }
+
+    /// Drains everything in fair order (shutdown path).
+    fn drain_all(&mut self) -> Vec<Queued> {
+        self.drain(usize::MAX)
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    warm_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    coalesced: AtomicU64,
+    syntheses: AtomicU64,
+    batches: AtomicU64,
+    rejected: AtomicU64,
+    store_errors: AtomicU64,
+    peak_queue_depth: AtomicU64,
+}
+
+struct PlannerInner {
+    config: PlannerConfig,
+    store: Mutex<PlanStore>,
+    pending: Mutex<FxHashMap<u128, Arc<PendingPlan>>>,
+    queue: Mutex<AdmissionQueue>,
+    queue_wake: Condvar,
+    stats: Counters,
+    shutdown: AtomicBool,
+    tables: Option<Arc<SharedTables>>,
+    observer: Option<Arc<dyn RunObserver + Send + Sync>>,
+}
+
+/// The planner service: content-addressed caching, single-flight dedup,
+/// and fair batched synthesis behind one synchronous [`plan`](Planner::plan)
+/// call.
+///
+/// # Examples
+///
+/// ```
+/// use p2_service::{Planner, PlannerConfig, PlanRequest};
+/// use p2_topology::presets;
+///
+/// let planner = Planner::new(PlannerConfig::default()).unwrap();
+/// let request = PlanRequest::new(presets::a100_system(2), vec![8, 4], vec![0])
+///     .with_bytes_per_device(1.0e9)
+///     .with_repeats(2);
+/// let miss = planner.plan("docs", request.clone()).unwrap();
+/// let hit = planner.plan("docs", request).unwrap();
+/// assert_eq!(hit.plan, miss.plan);
+/// assert_eq!(planner.stats().warm_hits, 1);
+/// ```
+pub struct Planner {
+    inner: Arc<PlannerInner>,
+    worker: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Planner {
+    /// Starts a planner (and its worker thread) with `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Store`] if the persistent store directory
+    /// cannot be created.
+    pub fn new(config: PlannerConfig) -> Result<Planner, ServiceError> {
+        Planner::start(config, None)
+    }
+
+    /// [`Planner::new`] with a [`RunObserver`] attached to every synthesis
+    /// the planner runs — the hook the cache-bypass tests count
+    /// placements through.
+    pub fn with_observer(
+        config: PlannerConfig,
+        observer: Arc<dyn RunObserver + Send + Sync>,
+    ) -> Result<Planner, ServiceError> {
+        Planner::start(config, Some(observer))
+    }
+
+    fn start(
+        config: PlannerConfig,
+        observer: Option<Arc<dyn RunObserver + Send + Sync>>,
+    ) -> Result<Planner, ServiceError> {
+        let store = match &config.store_dir {
+            Some(dir) => PlanStore::persistent(config.lru_capacity, dir)?,
+            None => PlanStore::in_memory(config.lru_capacity),
+        };
+        let tables = config.warm_tables.then(|| Arc::new(SharedTables::new()));
+        let inner = Arc::new(PlannerInner {
+            config,
+            store: Mutex::new(store),
+            pending: Mutex::new(FxHashMap::default()),
+            queue: Mutex::new(AdmissionQueue::new()),
+            queue_wake: Condvar::new(),
+            stats: Counters::default(),
+            shutdown: AtomicBool::new(false),
+            tables,
+            observer,
+        });
+        let worker_inner = Arc::clone(&inner);
+        let worker = std::thread::Builder::new()
+            .name("p2-planner".to_string())
+            .spawn(move || worker_loop(&worker_inner))
+            .map_err(|e| ServiceError::Store(format!("spawn worker: {e}")))?;
+        Ok(Planner {
+            inner,
+            worker: Mutex::new(Some(worker)),
+        })
+    }
+
+    /// Plans one request for `tenant`, blocking until the plan is available
+    /// (immediately on cache hits).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Overloaded`] if the admission queue is full,
+    /// [`ServiceError::ShuttingDown`] during shutdown, or the pipeline /
+    /// store error of a failed synthesis (shared verbatim by every
+    /// coalesced waiter).
+    pub fn plan(&self, tenant: &str, request: PlanRequest) -> Result<PlanResponse, ServiceError> {
+        let start = Instant::now();
+        let inner = &*self.inner;
+        inner.stats.requests.fetch_add(1, Ordering::Relaxed);
+        if inner.shutdown.load(Ordering::Acquire) {
+            return Err(ServiceError::ShuttingDown);
+        }
+        let fingerprint = request.fingerprint();
+
+        let hit = |plan: Arc<Plan>, source: PlanSource| {
+            match source {
+                PlanSource::Warm => inner.stats.warm_hits.fetch_add(1, Ordering::Relaxed),
+                _ => inner.stats.disk_hits.fetch_add(1, Ordering::Relaxed),
+            };
+            PlanResponse {
+                plan,
+                source,
+                fingerprint,
+                queue_depth: self.queue_depth(),
+                latency: start.elapsed(),
+            }
+        };
+
+        // Fast path: cache probe, no pending/queue locks touched.
+        {
+            let mut store = inner.store.lock().expect("store poisoned");
+            if let Some((plan, source)) = store.get(fingerprint) {
+                drop(store);
+                return Ok(hit(plan, source));
+            }
+        }
+
+        // Slow path: coalesce onto an in-flight synthesis or admit a new
+        // one. Lock order: pending → store → queue.
+        let pending = {
+            let mut pending_map = inner.pending.lock().expect("pending poisoned");
+            if let Some(pending) = pending_map.get(&fingerprint.0) {
+                inner.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(pending)
+            } else {
+                // Re-probe under the pending lock: the synthesis may have
+                // completed (and left the pending map) between the two
+                // critical sections above.
+                let mut store = inner.store.lock().expect("store poisoned");
+                if let Some((plan, source)) = store.get(fingerprint) {
+                    drop(store);
+                    drop(pending_map);
+                    return Ok(hit(plan, source));
+                }
+                drop(store);
+                let mut queue = inner.queue.lock().expect("queue poisoned");
+                if queue.len() >= inner.config.queue_capacity {
+                    inner.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(ServiceError::Overloaded {
+                        queue_depth: queue.len(),
+                        capacity: inner.config.queue_capacity,
+                    });
+                }
+                let pending = Arc::new(PendingPlan::new());
+                pending_map.insert(fingerprint.0, Arc::clone(&pending));
+                queue.push(
+                    tenant,
+                    Queued {
+                        fingerprint,
+                        request,
+                        pending: Arc::clone(&pending),
+                    },
+                );
+                inner
+                    .stats
+                    .peak_queue_depth
+                    .fetch_max(queue.len() as u64, Ordering::Relaxed);
+                inner.queue_wake.notify_one();
+                drop(queue);
+                drop(pending_map);
+                let plan = pending.wait()?;
+                return Ok(PlanResponse {
+                    plan,
+                    source: PlanSource::Synthesized,
+                    fingerprint,
+                    queue_depth: self.queue_depth(),
+                    latency: start.elapsed(),
+                });
+            }
+        };
+        let plan = pending.wait()?;
+        Ok(PlanResponse {
+            plan,
+            source: PlanSource::Coalesced,
+            fingerprint,
+            queue_depth: self.queue_depth(),
+            latency: start.elapsed(),
+        })
+    }
+
+    /// Current admission-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queue.lock().expect("queue poisoned").len()
+    }
+
+    /// A snapshot of the telemetry counters.
+    pub fn stats(&self) -> PlannerStats {
+        let inner = &*self.inner;
+        let store = inner.store.lock().expect("store poisoned");
+        PlannerStats {
+            requests: inner.stats.requests.load(Ordering::Relaxed),
+            warm_hits: inner.stats.warm_hits.load(Ordering::Relaxed),
+            disk_hits: inner.stats.disk_hits.load(Ordering::Relaxed),
+            coalesced: inner.stats.coalesced.load(Ordering::Relaxed),
+            syntheses: inner.stats.syntheses.load(Ordering::Relaxed),
+            batches: inner.stats.batches.load(Ordering::Relaxed),
+            rejected: inner.stats.rejected.load(Ordering::Relaxed),
+            store_errors: inner.stats.store_errors.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth(),
+            peak_queue_depth: inner.stats.peak_queue_depth.load(Ordering::Relaxed),
+            lru_len: store.len(),
+            evictions: store.evictions(),
+            disk_misreads: store.disk_misreads(),
+        }
+    }
+
+    /// Stops accepting requests, fails everything still queued with
+    /// [`ServiceError::ShuttingDown`], and joins the worker after any
+    /// in-flight batch finishes (its waiters still get their plans).
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.queue_wake.notify_all();
+        if let Some(handle) = self.worker.lock().expect("worker poisoned").take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Planner {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(inner: &Arc<PlannerInner>) {
+    loop {
+        let batch = {
+            let mut queue = inner.queue.lock().expect("queue poisoned");
+            loop {
+                if inner.shutdown.load(Ordering::Acquire) {
+                    let abandoned = queue.drain_all();
+                    drop(queue);
+                    for queued in &abandoned {
+                        finish(inner, queued, Err(ServiceError::ShuttingDown));
+                    }
+                    return;
+                }
+                if queue.len() > 0 {
+                    break queue.drain(inner.config.max_batch);
+                }
+                queue = inner.queue_wake.wait(queue).expect("queue poisoned");
+            }
+        };
+
+        // Build sessions; a request that fails validation fails alone.
+        let mut jobs: Vec<(Queued, P2)> = Vec::with_capacity(batch.len());
+        for queued in batch {
+            match queued.request.session() {
+                Ok(session) => {
+                    let session = match &inner.tables {
+                        Some(tables) => session.with_shared_tables(Arc::clone(tables)),
+                        None => session,
+                    };
+                    jobs.push((queued, session));
+                }
+                Err(error) => finish(inner, &queued, Err(error.into())),
+            }
+        }
+        if jobs.is_empty() {
+            continue;
+        }
+
+        inner.stats.batches.fetch_add(1, Ordering::Relaxed);
+        let sessions: Vec<P2> = jobs.iter().map(|(_, session)| session.clone()).collect();
+        let options = BatchOptions {
+            steal_seed: inner.config.steal_seed,
+            ..BatchOptions::with_threads(inner.config.threads)
+        };
+        let observer: &dyn RunObserver = match &inner.observer {
+            Some(observer) => &**observer,
+            None => &(),
+        };
+        match run_batch(&sessions, &options, observer) {
+            Ok(outcome) => {
+                inner
+                    .stats
+                    .syntheses
+                    .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+                for ((queued, _), result) in jobs.iter().zip(outcome.results) {
+                    let plan = Arc::new(Plan::from_result(
+                        queued.fingerprint,
+                        &result,
+                        queued.request.top_k,
+                    ));
+                    finish(inner, queued, Ok(plan));
+                }
+            }
+            Err(error) => {
+                for (queued, _) in &jobs {
+                    finish(inner, queued, Err(error.clone().into()));
+                }
+            }
+        }
+    }
+}
+
+/// Publishes a finished request: successful plans go into the store, the
+/// fingerprint leaves the single-flight map, and every waiter wakes with
+/// the (cloned) outcome. A store write failure is counted but does not fail
+/// the request — the plan itself is valid.
+fn finish(inner: &PlannerInner, queued: &Queued, result: Result<Arc<Plan>, ServiceError>) {
+    {
+        // Lock order: pending → store.
+        let mut pending_map = inner.pending.lock().expect("pending poisoned");
+        if let Ok(plan) = &result {
+            let mut store = inner.store.lock().expect("store poisoned");
+            if store.insert(Arc::clone(plan)).is_err() {
+                inner.stats.store_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        pending_map.remove(&queued.fingerprint.0);
+    }
+    queued.pending.complete(result);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn queued(tag: &str) -> Queued {
+        Queued {
+            fingerprint: Fingerprint::of_bytes(tag.as_bytes()),
+            request: PlanRequest::new(p2_topology::presets::a100_system(2), vec![8, 4], vec![0]),
+            pending: Arc::new(PendingPlan::new()),
+        }
+    }
+
+    fn drain_tags(queue: &mut AdmissionQueue, max: usize) -> Vec<String> {
+        queue
+            .drain(max)
+            .iter()
+            .map(|q| q.fingerprint.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_interleaves_tenants() {
+        let mut queue = AdmissionQueue::new();
+        for tag in ["a1", "a2", "a3", "a4"] {
+            queue.push("alice", queued(tag));
+        }
+        queue.push("bob", queued("b1"));
+        queue.push("carol", queued("c1"));
+        let a1 = Fingerprint::of_bytes(b"a1").to_string();
+        let a2 = Fingerprint::of_bytes(b"a2").to_string();
+        let b1 = Fingerprint::of_bytes(b"b1").to_string();
+        let c1 = Fingerprint::of_bytes(b"c1").to_string();
+        // One per tenant per turn: alice cannot monopolize the batch.
+        assert_eq!(drain_tags(&mut queue, 4), vec![a1, b1, c1, a2]);
+        assert_eq!(queue.len(), 2);
+    }
+
+    #[test]
+    fn rotation_resumes_across_drains() {
+        let mut queue = AdmissionQueue::new();
+        queue.push("alice", queued("a1"));
+        queue.push("alice", queued("a2"));
+        queue.push("bob", queued("b1"));
+        let a1 = Fingerprint::of_bytes(b"a1").to_string();
+        let a2 = Fingerprint::of_bytes(b"a2").to_string();
+        let b1 = Fingerprint::of_bytes(b"b1").to_string();
+        assert_eq!(drain_tags(&mut queue, 1), vec![a1]);
+        // Bob's turn persists across the drain boundary.
+        assert_eq!(drain_tags(&mut queue, 2), vec![b1, a2]);
+        assert_eq!(queue.len(), 0);
+    }
+
+    #[test]
+    fn within_a_tenant_order_is_fifo() {
+        let mut queue = AdmissionQueue::new();
+        for tag in ["x1", "x2", "x3"] {
+            queue.push("solo", queued(tag));
+        }
+        let expected: Vec<String> = ["x1", "x2", "x3"]
+            .iter()
+            .map(|t| Fingerprint::of_bytes(t.as_bytes()).to_string())
+            .collect();
+        assert_eq!(drain_tags(&mut queue, 8), expected);
+    }
+}

@@ -1,0 +1,279 @@
+//! The content-addressed plan store: an in-memory LRU over the hot
+//! fingerprints backed by an optional persistent on-disk store, one
+//! versioned JSON record per fingerprint.
+//!
+//! Layout on disk is flat: `<dir>/<32-hex-fingerprint>.json`, written via a
+//! temp file + atomic rename so a crash mid-write can never leave a torn
+//! record under a valid address. Unreadable, corrupt, or
+//! schema-incompatible records are treated as misses (and counted), never
+//! as errors — a cache must degrade to "synthesize again", not fail the
+//! request.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use p2_hash::Fingerprint;
+
+use crate::error::ServiceError;
+use crate::json::Json;
+use crate::plan::Plan;
+
+/// Where a plan was found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanSource {
+    /// In-memory LRU hit.
+    Warm,
+    /// On-disk record (promoted into the LRU on read).
+    Disk,
+    /// A synthesis this very request triggered.
+    Synthesized,
+    /// Another in-flight request's synthesis this request coalesced onto.
+    Coalesced,
+}
+
+impl PlanSource {
+    /// The wire token (`"warm"`, `"disk"`, `"synthesized"`, `"coalesced"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PlanSource::Warm => "warm",
+            PlanSource::Disk => "disk",
+            PlanSource::Synthesized => "synthesized",
+            PlanSource::Coalesced => "coalesced",
+        }
+    }
+}
+
+/// LRU + disk store of plans keyed by request fingerprint. Not internally
+/// synchronized — the [`Planner`](crate::Planner) wraps it in its own lock.
+#[derive(Debug)]
+pub struct PlanStore {
+    capacity: usize,
+    dir: Option<PathBuf>,
+    entries: HashMap<u128, (Arc<Plan>, u64)>,
+    tick: u64,
+    evictions: u64,
+    disk_misreads: u64,
+}
+
+impl PlanStore {
+    /// A purely in-memory store holding at most `capacity` plans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn in_memory(capacity: usize) -> PlanStore {
+        assert!(capacity > 0, "plan store capacity must be positive");
+        PlanStore {
+            capacity,
+            dir: None,
+            entries: HashMap::new(),
+            tick: 0,
+            evictions: 0,
+            disk_misreads: 0,
+        }
+    }
+
+    /// A store backed by `dir` (created if absent): inserts write through to
+    /// disk, LRU misses fall back to disk, and evictions only drop the
+    /// in-memory copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Store`] if the directory cannot be created.
+    pub fn persistent(capacity: usize, dir: impl Into<PathBuf>) -> Result<PlanStore, ServiceError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| ServiceError::Store(format!("create {}: {e}", dir.display())))?;
+        let mut store = PlanStore::in_memory(capacity);
+        store.dir = Some(dir);
+        Ok(store)
+    }
+
+    /// The on-disk path of a fingerprint's record (`None` for in-memory
+    /// stores).
+    pub fn path_for(&self, fingerprint: Fingerprint) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|dir| dir.join(format!("{fingerprint}.json")))
+    }
+
+    /// Looks up a plan: LRU first, then disk. A disk hit is promoted into
+    /// the LRU.
+    pub fn get(&mut self, fingerprint: Fingerprint) -> Option<(Arc<Plan>, PlanSource)> {
+        self.tick += 1;
+        if let Some((plan, stamp)) = self.entries.get_mut(&fingerprint.0) {
+            *stamp = self.tick;
+            return Some((Arc::clone(plan), PlanSource::Warm));
+        }
+        let path = self.path_for(fingerprint)?;
+        let plan = match self.read_record(&path, fingerprint) {
+            Some(plan) => Arc::new(plan),
+            None => return None,
+        };
+        self.insert_memory(Arc::clone(&plan));
+        Some((plan, PlanSource::Disk))
+    }
+
+    /// Inserts a plan under its own fingerprint, writing through to disk
+    /// when persistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Store`] if the disk write fails; the
+    /// in-memory insert still happened.
+    pub fn insert(&mut self, plan: Arc<Plan>) -> Result<(), ServiceError> {
+        self.tick += 1;
+        let fingerprint = plan.fingerprint;
+        self.insert_memory(Arc::clone(&plan));
+        if let Some(path) = self.path_for(fingerprint) {
+            write_atomically(&path, &format!("{}\n", plan.to_json()))?;
+        }
+        Ok(())
+    }
+
+    fn insert_memory(&mut self, plan: Arc<Plan>) {
+        let key = plan.fingerprint.0;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            // Evict the least-recently-used entry. Linear scan: admission
+            // capacities are small (hundreds), and this is off the hit path.
+            if let Some(&lru) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k)
+            {
+                self.entries.remove(&lru);
+                self.evictions += 1;
+            }
+        }
+        self.entries.insert(key, (plan, self.tick));
+    }
+
+    fn read_record(&mut self, path: &Path, fingerprint: Fingerprint) -> Option<Plan> {
+        let text = std::fs::read_to_string(path).ok()?;
+        let decoded = Json::parse(text.trim_end())
+            .ok()
+            .and_then(|json| Plan::from_json(&json).ok())
+            .filter(|plan| plan.fingerprint == fingerprint);
+        if decoded.is_none() {
+            // Readable bytes that don't decode to this address: count the
+            // misread; the caller re-synthesizes and overwrites.
+            self.disk_misreads += 1;
+        }
+        decoded
+    }
+
+    /// Number of plans currently held in memory.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the in-memory layer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// LRU evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Disk records that existed but failed to decode (corrupt, wrong
+    /// schema, or wrong address).
+    pub fn disk_misreads(&self) -> u64 {
+        self.disk_misreads
+    }
+}
+
+fn write_atomically(path: &Path, contents: &str) -> Result<(), ServiceError> {
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    let fail = |what: &str, e: std::io::Error| {
+        ServiceError::Store(format!("{what} {}: {e}", path.display()))
+    };
+    std::fs::write(&tmp, contents).map_err(|e| fail("write", e))?;
+    std::fs::rename(&tmp, path).map_err(|e| fail("rename", e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanStats;
+
+    fn plan(tag: &str) -> Arc<Plan> {
+        Arc::new(Plan {
+            fingerprint: Fingerprint::of_bytes(tag.as_bytes()),
+            label: tag.to_string(),
+            entries: vec![],
+            stats: PlanStats {
+                placements: 1,
+                programs: 1,
+                programs_retained: 1,
+                states_explored: 1,
+                synthesis_micros: 1,
+            },
+        })
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "p2-store-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used() {
+        let mut store = PlanStore::in_memory(2);
+        let (a, b, c) = (plan("a"), plan("b"), plan("c"));
+        store.insert(Arc::clone(&a)).unwrap();
+        store.insert(Arc::clone(&b)).unwrap();
+        // Touch `a`, making `b` the LRU victim.
+        assert!(store.get(a.fingerprint).is_some());
+        store.insert(Arc::clone(&c)).unwrap();
+        assert_eq!(store.evictions(), 1);
+        assert!(store.get(a.fingerprint).is_some());
+        assert!(store.get(b.fingerprint).is_none());
+        assert!(store.get(c.fingerprint).is_some());
+    }
+
+    #[test]
+    fn persistent_store_survives_a_reopen_and_evictions() {
+        let dir = temp_dir("persist");
+        let a = plan("persisted");
+        {
+            let mut store = PlanStore::persistent(1, &dir).unwrap();
+            store.insert(Arc::clone(&a)).unwrap();
+            // Evict it from memory; the record stays on disk.
+            store.insert(plan("displacer")).unwrap();
+            assert_eq!(store.evictions(), 1);
+            let (_, source) = store.get(a.fingerprint).unwrap();
+            assert_eq!(source, PlanSource::Disk);
+        }
+        let mut reopened = PlanStore::persistent(4, &dir).unwrap();
+        let (loaded, source) = reopened.get(a.fingerprint).unwrap();
+        assert_eq!(source, PlanSource::Disk);
+        assert_eq!(*loaded, *a);
+        // Now warm.
+        let (_, source) = reopened.get(a.fingerprint).unwrap();
+        assert_eq!(source, PlanSource::Warm);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_records_read_as_misses() {
+        let dir = temp_dir("corrupt");
+        let a = plan("will-corrupt");
+        let mut store = PlanStore::persistent(2, &dir).unwrap();
+        store.insert(Arc::clone(&a)).unwrap();
+        let path = store.path_for(a.fingerprint).unwrap();
+        std::fs::write(&path, "{not json").unwrap();
+        let mut reopened = PlanStore::persistent(2, &dir).unwrap();
+        assert!(reopened.get(a.fingerprint).is_none());
+        assert_eq!(reopened.disk_misreads(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

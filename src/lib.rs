@@ -13,7 +13,11 @@
 //! * [`cost`] — the analytic cost model (the paper's simulator),
 //! * [`exec`] — the discrete-event execution substrate (the measurement
 //!   stand-in for the paper's GPU clusters),
-//! * [`core`] — the end-to-end [`P2`] pipeline.
+//! * [`core`] — the end-to-end [`P2`] pipeline,
+//! * [`hash`] — stable hashing and content-address digests,
+//! * [`service`] — the planner service: content-addressed plan cache,
+//!   single-flight dedup, fair admission, and the `plan_service` TCP front
+//!   end.
 //!
 //! # Quickstart
 //!
@@ -39,7 +43,9 @@ pub use p2_collectives as collectives;
 pub use p2_core as core;
 pub use p2_cost as cost;
 pub use p2_exec as exec;
+pub use p2_hash as hash;
 pub use p2_placement as placement;
+pub use p2_service as service;
 pub use p2_synthesis as synthesis;
 pub use p2_topology as topology;
 
@@ -56,8 +62,13 @@ pub use p2_cost::{
     StepCost,
 };
 pub use p2_exec::{ExecConfig, Executor};
+pub use p2_hash::{stable_digest128, stable_hash64, Fingerprint, FxHashMap, FxHasher};
 pub use p2_placement::{
     enumerate_matrices, for_each_matrix, MatrixControl, MatrixSink, ParallelismMatrix,
+};
+pub use p2_service::{
+    Plan, PlanEntry, PlanRequest, PlanResponse, PlanSource, PlanStats, PlanStore, Planner,
+    PlannerConfig, PlannerStats, ServiceError,
 };
 pub use p2_synthesis::{
     baseline_allreduce, Form, HierarchyKind, Instruction, LoweredProgram, Program, ProgramSink,

@@ -1,8 +1,9 @@
 //! Determinism of the parallel placement × synthesis sweep: for a fixed seed,
 //! [`p2::P2::run`] must produce bit-identical results serially and under any
-//! worker-thread count, and `run_with_shortlist` must agree with itself the
-//! same way. This pins down the `--seed` reproducibility contract: noise is a
-//! pure function of (seed, program content), never of evaluation order.
+//! worker-thread count, and every session entry point (builder,
+//! `P2::new(config).with_mode(...)`) must agree with the others the same way.
+//! This pins down the `--seed` reproducibility contract: noise is a pure
+//! function of (seed, program content), never of evaluation order.
 
 use p2::{
     presets, run_batch, BatchOptions, ExperimentResult, NcclAlgo, P2Config, RunMode,
@@ -68,11 +69,13 @@ fn shortlist_run_is_identical_across_thread_counts() {
     }
 }
 
-/// The api_redesign acceptance criterion: the builder + `RunMode::Shortlist`
-/// session is bit-identical to the deprecated `run_with_shortlist` entry
-/// point, pinned on the paper's presets (an A100 and a V100 system).
+/// The api_redesign acceptance criterion, migrated from the removed
+/// `run_with_shortlist` shim: the builder + `RunMode::Shortlist` session is
+/// bit-identical to assembling a `P2Config` by hand and selecting the mode
+/// with `with_mode`, pinned on the paper's presets (an A100 and a V100
+/// system) with the shim's historical cases and seed.
 #[test]
-fn builder_shortlist_is_bit_identical_to_deprecated_run_with_shortlist() {
+fn builder_shortlist_is_bit_identical_to_config_with_mode() {
     let cases: [(SystemTopology, Vec<usize>, Vec<usize>); 3] = [
         (presets::a100_system(2), vec![8, 4], vec![0]),
         (presets::v100_system(2), vec![4, 4], vec![1]),
@@ -89,14 +92,17 @@ fn builder_shortlist_is_bit_identical_to_deprecated_run_with_shortlist() {
             .mode(RunMode::Shortlist(10))
             .run()
             .unwrap();
-        let old_config = P2Config::new(system, axes, reduction)
+        let config = P2Config::new(system, axes, reduction)
             .with_algo(NcclAlgo::Ring)
             .with_bytes_per_device(1.0e9)
             .with_repeats(2)
             .with_seed(0x5eed);
-        #[allow(deprecated)]
-        let old_api = P2::new(old_config).unwrap().run_with_shortlist(10).unwrap();
-        assert_identical(&new_api, &old_api);
+        let via_config = P2::new(config)
+            .unwrap()
+            .with_mode(RunMode::Shortlist(10))
+            .run()
+            .unwrap();
+        assert_identical(&new_api, &via_config);
     }
 }
 
