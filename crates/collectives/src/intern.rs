@@ -108,6 +108,13 @@ impl StateInterner {
     pub fn is_empty(&self) -> bool {
         self.states.is_empty()
     }
+
+    /// The interned states in id order (state `i` has id `i`): ids *are*
+    /// positions in the arena, so this is the dense serialization order and
+    /// re-interning the list into an empty interner reassigns identical ids.
+    pub fn states_in_id_order(&self) -> &[Arc<State>] {
+        &self.states
+    }
 }
 
 /// A memoized application result: the members' interned post-state ids, or
@@ -334,6 +341,74 @@ impl SharedTables {
     pub fn apply_misses(&self) -> usize {
         self.apply_misses.load(Ordering::Relaxed)
     }
+
+    /// A consistent copy of both tables for serialization: the interned
+    /// states in id order plus every memoized `[collective tag, participant
+    /// ids...]` → post-state-ids-or-error entry. Both locks are held for the
+    /// copy, so the apply entries never reference a state the snapshot lacks.
+    #[allow(clippy::type_complexity)]
+    pub fn export(
+        &self,
+    ) -> (
+        Vec<Arc<State>>,
+        Vec<(Box<[u32]>, Result<Arc<[u32]>, SemanticsError>)>,
+    ) {
+        let interner = self.interner.read().expect("interner lock");
+        let apply = self.apply.read().expect("apply lock");
+        let states = interner.states_in_id_order().to_vec();
+        let entries = apply
+            .iter()
+            .map(|(key, value)| (key.clone(), value.clone()))
+            .collect();
+        (states, entries)
+    }
+
+    /// Seeds *empty* tables from an [`export`](SharedTables::export)-shaped
+    /// snapshot: states are interned in list order (reassigning the dense
+    /// ids the apply entries reference) and the apply entries installed
+    /// verbatim. Warm-seeding only changes which lookups hit — every entry a
+    /// cold run would derive is identical — so results stay bit-identical.
+    ///
+    /// Returns `false` without modifying anything when the tables are
+    /// non-empty or the snapshot is internally inconsistent (duplicate
+    /// states, or an apply entry referencing an id outside the state list);
+    /// the caller then proceeds cold.
+    #[allow(clippy::type_complexity)]
+    pub fn preload(
+        &self,
+        states: Vec<State>,
+        entries: Vec<(Box<[u32]>, Result<Arc<[u32]>, SemanticsError>)>,
+    ) -> bool {
+        let num_states = states.len();
+        let valid_id = |id: &u32| (*id as usize) < num_states;
+        let consistent = entries.iter().all(|(key, value)| {
+            // A key is the collective tag plus at least two participants.
+            key.len() >= 3
+                && key[1..].iter().all(valid_id)
+                && value.as_ref().map_or(true, |out| out.iter().all(valid_id))
+        });
+        if !consistent {
+            return false;
+        }
+        // Build outside the locks; installation is then a plain swap.
+        let mut interner = StateInterner::new();
+        for (position, state) in states.into_iter().enumerate() {
+            if interner.intern(state) as usize != position {
+                // A duplicate state collapsed — the snapshot's ids would be
+                // dangling. Reject rather than guess.
+                return false;
+            }
+        }
+        let map: SharedApplyMap = entries.into_iter().collect();
+        let mut locked_interner = self.interner.write().expect("interner lock");
+        let mut locked_apply = self.apply.write().expect("apply lock");
+        if !locked_interner.is_empty() || !locked_apply.is_empty() {
+            return false;
+        }
+        *locked_interner = interner;
+        *locked_apply = map;
+        true
+    }
 }
 
 #[cfg(test)]
@@ -480,6 +555,54 @@ mod tests {
         // 4 initial states + 1 shared post-AllReduce state.
         assert_eq!(shared.num_states(), 5);
         assert_eq!(shared.num_apply_entries(), 1);
+    }
+
+    #[test]
+    fn export_preload_round_trips_and_warm_tables_only_hit() {
+        let source = SharedTables::new();
+        let ids: Vec<u32> = (0..4)
+            .map(|d| source.intern(State::initial(4, d)).0)
+            .collect();
+        source.apply(Collective::AllReduce, &ids).0.unwrap();
+        source
+            .apply(Collective::AllReduce, &[ids[0], ids[0]])
+            .0
+            .unwrap_err();
+        let (states, entries) = source.export();
+        assert_eq!(states.len(), source.num_states());
+        assert_eq!(entries.len(), 2);
+
+        let warm = SharedTables::new();
+        assert!(warm.preload(
+            states.iter().map(|s| (**s).clone()).collect(),
+            entries.clone()
+        ));
+        assert_eq!(warm.num_states(), source.num_states());
+        assert_eq!(warm.num_apply_entries(), source.num_apply_entries());
+        // Every re-derivation is now a hit producing identical results, and
+        // re-interning reports presence with the original ids.
+        for (d, &id) in ids.iter().enumerate() {
+            let (warm_id, present) = warm.intern(State::initial(4, d));
+            assert!(present);
+            assert_eq!(warm_id, id);
+        }
+        let (cold_out, _) = source.apply(Collective::AllReduce, &ids);
+        let (warm_out, hit) = warm.apply(Collective::AllReduce, &ids);
+        assert!(hit);
+        assert_eq!(cold_out.unwrap(), warm_out.unwrap());
+        let (_, hit) = warm.apply(Collective::AllReduce, &[ids[0], ids[0]]);
+        assert!(hit);
+
+        // Non-empty tables refuse a preload.
+        assert!(!warm.preload(vec![], vec![]));
+        // Dangling apply ids and duplicate states are rejected.
+        let fresh = SharedTables::new();
+        assert!(!fresh.preload(
+            vec![State::initial(2, 0)],
+            vec![(vec![0, 0, 7].into_boxed_slice(), Ok(vec![0].into()))],
+        ));
+        assert!(!fresh.preload(vec![State::initial(2, 0), State::initial(2, 0)], vec![]));
+        assert_eq!(fresh.num_states(), 0);
     }
 
     #[test]

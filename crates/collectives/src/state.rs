@@ -109,6 +109,41 @@ impl State {
         self.k
     }
 
+    /// The raw row-major word buffer (`k * k.div_ceil(64)` words, each row
+    /// padded to a word boundary with clear slack bits). Together with
+    /// [`dim`](State::dim) this is the state's entire identity — the table
+    /// store serializes exactly these words.
+    pub fn raw_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a state from [`dim`](State::dim) and the
+    /// [`raw_words`](State::raw_words) buffer, the inverse of serialization.
+    /// Slack bits above `k` are cleared and the non-empty-rows mask is
+    /// recomputed, so a round-tripped state is bit-identical to the original
+    /// even if the input words carried junk slack.
+    ///
+    /// Returns `None` when `words` is not exactly `k * k.div_ceil(64)` long.
+    pub fn from_raw_words(k: usize, words: Vec<u64>) -> Option<State> {
+        let words_per_row = k.div_ceil(64);
+        if words.len() != k * words_per_row {
+            return None;
+        }
+        let mut state = State {
+            k,
+            words_per_row,
+            words: words.into_boxed_slice(),
+            mask: vec![0; words_per_row].into_boxed_slice(),
+        };
+        state.clear_row_slack();
+        for r in 0..k {
+            if !state.row_words(r).iter().all(|&w| w == 0) {
+                state.mask[r / 64] |= 1 << (r % 64);
+            }
+        }
+        Some(state)
+    }
+
     /// A read-only view of row `r`.
     ///
     /// # Panics
@@ -431,6 +466,25 @@ mod tests {
         assert!(r.is_disjoint(State::initial(4, 1).row(0)));
         assert!(r.is_subset(State::goal(4).row(0)));
         assert!(State::empty(4).row(3).is_empty());
+    }
+
+    #[test]
+    fn raw_words_round_trip_bit_identically() {
+        for k in [1, 3, 4, 63, 64, 70] {
+            for state in [State::empty(k), State::initial(k, k - 1), State::goal(k)] {
+                let back = State::from_raw_words(k, state.raw_words().to_vec()).unwrap();
+                assert_eq!(back, state, "k={k}");
+                assert_eq!(back.nonempty_rows(), state.nonempty_rows(), "k={k}");
+            }
+        }
+        // Junk slack bits are scrubbed, restoring canonical equality/hashing.
+        let original = State::initial(3, 1);
+        let mut words = original.raw_words().to_vec();
+        words[0] |= 1u64 << 63;
+        let scrubbed = State::from_raw_words(3, words).unwrap();
+        assert_eq!(scrubbed, original);
+        // Wrong buffer length is rejected.
+        assert!(State::from_raw_words(3, vec![0; 2]).is_none());
     }
 
     #[test]

@@ -57,6 +57,10 @@ pub struct PlacementEvaluation {
     pub suffix_memo_hits: usize,
     /// Suffix-memo entries computed for the first time during emission.
     pub suffix_memo_misses: usize,
+    /// Suffix-memo entries this placement's search started with, seeded from
+    /// a shared [`p2_synthesis::MemoBank`] (0 without a bank or on a bank
+    /// miss — every cold run).
+    pub suffix_memo_preloaded: usize,
     /// Device states this placement found already interned in the sweep's
     /// shared tables (0 when the sweep runs with private tables; under a
     /// parallel sweep the value depends on worker interleaving).
@@ -133,6 +137,10 @@ pub struct ExperimentResult {
     /// Deterministic for any worker count: it is the size of the set union of
     /// the per-placement universes.
     pub shared_unique_device_states: Option<usize>,
+    /// Telemetry of the session's cross-run table-store interaction (`None`
+    /// when the session ran without a [`TableStore`](crate::TableStore) of
+    /// its own — including batch members whose sharing group owns the store).
+    pub table_store: Option<crate::TableStoreStats>,
 }
 
 impl ExperimentResult {
@@ -304,6 +312,7 @@ mod tests {
             unique_device_states: 4,
             suffix_memo_hits: 0,
             suffix_memo_misses: 0,
+            suffix_memo_preloaded: 0,
             shared_states_reused: 0,
             allreduce_predicted: allreduce,
             allreduce_measured: allreduce,
@@ -337,6 +346,7 @@ mod tests {
             placements: vec![placement(10.0, vec![eval(3.0, 5.0)])],
             synthesis_time: Duration::from_millis(2),
             shared_unique_device_states: None,
+            table_store: None,
         };
         // Private interners: the per-placement maximum.
         assert_eq!(exp.peak_unique_device_states(), 4);
@@ -359,6 +369,7 @@ mod tests {
             ],
             synthesis_time: Duration::from_millis(2),
             shared_unique_device_states: None,
+            table_store: None,
         };
         assert_eq!(exp.total_programs(), 3);
         assert_eq!(exp.total_programs_retained(), 3);

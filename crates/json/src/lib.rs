@@ -1,13 +1,17 @@
-//! A miniature JSON value type: enough of RFC 8259 for the plan store's
-//! versioned records and the wire protocol's one-line requests/responses.
+//! A miniature JSON value type: enough of RFC 8259 for the plan store's and
+//! table store's versioned records and the wire protocol's one-line
+//! requests/responses.
 //!
 //! The workspace builds fully offline, so this replaces `serde_json` the way
 //! `crates/proptest-shim` replaces proptest: a small, std-only subset with
-//! the exact surface the service needs. Objects preserve insertion order
-//! (stable output for tests and humans); duplicate keys keep the last value
-//! on lookup, like `serde_json`'s map behavior.
+//! the exact surface the persistence layers need. Objects preserve insertion
+//! order (stable output for tests and humans); duplicate keys keep the last
+//! value on lookup, like `serde_json`'s map behavior. The crate also hosts
+//! [`write_atomically`], the tmp + rename idiom every on-disk record in the
+//! workspace is written with.
 
 use std::fmt;
+use std::path::Path;
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -116,6 +120,20 @@ impl JsonObject {
     pub fn build(self) -> Json {
         Json::Obj(self.fields)
     }
+}
+
+/// Writes `contents` to `path` via a temp file + atomic rename, so a crash
+/// mid-write can never leave a torn record under a valid address. The temp
+/// file lives next to `path` (same filesystem, so the rename is atomic) and
+/// is suffixed with the writer's pid.
+///
+/// # Errors
+///
+/// Propagates the I/O error of the write or the rename.
+pub fn write_atomically(path: &Path, contents: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
 }
 
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
@@ -232,12 +250,16 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 *pos += 1;
             }
             Some(_) => {
-                // Consume one UTF-8 scalar. The input is a &str so the bytes
-                // are valid UTF-8; find the char boundary.
-                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
-                let ch = rest.chars().next().expect("non-empty rest");
-                out.push(ch);
-                *pos += ch.len_utf8();
+                // Consume the whole run up to the next quote or escape in
+                // one step. Both delimiters are ASCII, so they can never
+                // fall inside a multibyte scalar and the run is valid UTF-8
+                // on its own (the input arrived as a &str).
+                let start = *pos;
+                while *pos < bytes.len() && !matches!(bytes[*pos], b'"' | b'\\') {
+                    *pos += 1;
+                }
+                let run = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+                out.push_str(run);
             }
         }
     }
@@ -361,6 +383,27 @@ mod tests {
     fn last_duplicate_key_wins() {
         let parsed = Json::parse(r#"{"a":1,"a":2}"#).unwrap();
         assert_eq!(parsed.get("a").and_then(Json::as_f64), Some(2.0));
+    }
+
+    #[test]
+    fn write_atomically_replaces_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join(format!(
+            "p2-json-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("record.json");
+        write_atomically(&path, "first\n").unwrap();
+        write_atomically(&path, "second\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second\n");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name() != "record.json")
+            .collect();
+        assert!(leftovers.is_empty(), "tmp files left behind: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -42,7 +42,12 @@
 #![deny(missing_docs)]
 
 mod error;
-pub mod json;
+/// The JSON value type this crate serializes through — now hosted by
+/// [`p2_json`] so the core table store shares it; re-exported here to keep
+/// the long-standing `p2_service::json` paths working.
+pub mod json {
+    pub use p2_json::{Json, JsonObject};
+}
 mod plan;
 mod planner;
 mod request;

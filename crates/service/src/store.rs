@@ -12,6 +12,7 @@
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use p2_hash::Fingerprint;
 
@@ -44,15 +45,37 @@ impl PlanSource {
     }
 }
 
-/// LRU + disk store of plans keyed by request fingerprint. Not internally
-/// synchronized — the [`Planner`](crate::Planner) wraps it in its own lock.
+/// One resident plan plus the bookkeeping the eviction policies need.
+#[derive(Debug)]
+struct StoreEntry {
+    plan: Arc<Plan>,
+    /// Last-touch tick (LRU ordering).
+    stamp: u64,
+    /// Serialized record size, charged against the byte cap.
+    bytes: u64,
+    /// Insertion time (TTL expiry). Refreshed on re-insert, not on read.
+    inserted: Instant,
+}
+
+/// LRU + disk store of plans keyed by request fingerprint, with optional
+/// byte-size-cap and TTL eviction layered on top of the count-bounded LRU.
+/// Not internally synchronized — the [`Planner`](crate::Planner) wraps it in
+/// its own lock.
 #[derive(Debug)]
 pub struct PlanStore {
     capacity: usize,
+    /// Optional cap on the summed serialized size of resident plans.
+    max_bytes: Option<u64>,
+    /// Optional maximum residency: entries older than this read as misses
+    /// and are dropped (disk records are untouched).
+    ttl: Option<Duration>,
     dir: Option<PathBuf>,
-    entries: HashMap<u128, (Arc<Plan>, u64)>,
+    entries: HashMap<u128, StoreEntry>,
+    resident_bytes: u64,
     tick: u64,
     evictions: u64,
+    size_evictions: u64,
+    ttl_evictions: u64,
     disk_misreads: u64,
 }
 
@@ -66,12 +89,35 @@ impl PlanStore {
         assert!(capacity > 0, "plan store capacity must be positive");
         PlanStore {
             capacity,
+            max_bytes: None,
+            ttl: None,
             dir: None,
             entries: HashMap::new(),
+            resident_bytes: 0,
             tick: 0,
             evictions: 0,
+            size_evictions: 0,
+            ttl_evictions: 0,
             disk_misreads: 0,
         }
+    }
+
+    /// Caps the summed serialized size of in-memory plans: inserts evict the
+    /// least-recently-used entries until the new total fits. `None` (the
+    /// default) disables the cap. Disk records are never size-evicted.
+    pub fn with_max_bytes(mut self, max_bytes: Option<u64>) -> PlanStore {
+        self.max_bytes = max_bytes;
+        self
+    }
+
+    /// Sets a time-to-live for in-memory entries: a lookup older than `ttl`
+    /// after insertion reads as a miss and drops the entry (a persistent
+    /// store then falls through to disk, where the record remains — TTL
+    /// bounds *staleness of the hot layer*, e.g. for calibrated-model plans
+    /// a caller wants re-checked periodically). `None` disables expiry.
+    pub fn with_ttl(mut self, ttl: Option<Duration>) -> PlanStore {
+        self.ttl = ttl;
+        self
     }
 
     /// A store backed by `dir` (created if absent): inserts write through to
@@ -98,13 +144,14 @@ impl PlanStore {
             .map(|dir| dir.join(format!("{fingerprint}.json")))
     }
 
-    /// Looks up a plan: LRU first, then disk. A disk hit is promoted into
-    /// the LRU.
+    /// Looks up a plan: LRU first (expired entries read as misses), then
+    /// disk. A disk hit is promoted into the LRU.
     pub fn get(&mut self, fingerprint: Fingerprint) -> Option<(Arc<Plan>, PlanSource)> {
         self.tick += 1;
-        if let Some((plan, stamp)) = self.entries.get_mut(&fingerprint.0) {
-            *stamp = self.tick;
-            return Some((Arc::clone(plan), PlanSource::Warm));
+        self.expire_one(fingerprint.0);
+        if let Some(entry) = self.entries.get_mut(&fingerprint.0) {
+            entry.stamp = self.tick;
+            return Some((Arc::clone(&entry.plan), PlanSource::Warm));
         }
         let path = self.path_for(fingerprint)?;
         let plan = match self.read_record(&path, fingerprint) {
@@ -134,20 +181,81 @@ impl PlanStore {
 
     fn insert_memory(&mut self, plan: Arc<Plan>) {
         let key = plan.fingerprint.0;
-        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+        self.sweep_expired();
+        let bytes = plan.to_json().to_string().len() as u64;
+        if let Some(old) = self.entries.remove(&key) {
+            self.resident_bytes -= old.bytes;
+        }
+        if self.entries.len() >= self.capacity {
             // Evict the least-recently-used entry. Linear scan: admission
             // capacities are small (hundreds), and this is off the hit path.
-            if let Some(&lru) = self
-                .entries
-                .iter()
-                .min_by_key(|(_, (_, stamp))| *stamp)
-                .map(|(k, _)| k)
-            {
-                self.entries.remove(&lru);
+            if self.evict_lru() {
                 self.evictions += 1;
             }
         }
-        self.entries.insert(key, (plan, self.tick));
+        // The byte cap evicts LRU-first too; an oversized plan still gets
+        // resident (dropping the plan just synthesized would defeat the
+        // single-flight path), so the cap can be exceeded by one entry.
+        if let Some(cap) = self.max_bytes {
+            while self.resident_bytes + bytes > cap && self.evict_lru() {
+                self.size_evictions += 1;
+            }
+        }
+        self.resident_bytes += bytes;
+        self.entries.insert(
+            key,
+            StoreEntry {
+                plan,
+                stamp: self.tick,
+                bytes,
+                inserted: Instant::now(),
+            },
+        );
+    }
+
+    /// Drops the least-recently-used entry; false when the store is empty.
+    fn evict_lru(&mut self) -> bool {
+        let Some(&lru) = self
+            .entries
+            .iter()
+            .min_by_key(|(_, entry)| entry.stamp)
+            .map(|(k, _)| k)
+        else {
+            return false;
+        };
+        let entry = self.entries.remove(&lru).expect("lru key just found");
+        self.resident_bytes -= entry.bytes;
+        true
+    }
+
+    /// Drops one entry if it has outlived the TTL.
+    fn expire_one(&mut self, key: u128) {
+        let Some(ttl) = self.ttl else { return };
+        if self
+            .entries
+            .get(&key)
+            .is_some_and(|entry| entry.inserted.elapsed() > ttl)
+        {
+            let entry = self.entries.remove(&key).expect("entry just probed");
+            self.resident_bytes -= entry.bytes;
+            self.ttl_evictions += 1;
+        }
+    }
+
+    /// Drops every entry that has outlived the TTL (run off the hit path).
+    fn sweep_expired(&mut self) {
+        let Some(ttl) = self.ttl else { return };
+        let expired: Vec<u128> = self
+            .entries
+            .iter()
+            .filter(|(_, entry)| entry.inserted.elapsed() > ttl)
+            .map(|(&k, _)| k)
+            .collect();
+        for key in expired {
+            let entry = self.entries.remove(&key).expect("expired key just found");
+            self.resident_bytes -= entry.bytes;
+            self.ttl_evictions += 1;
+        }
     }
 
     fn read_record(&mut self, path: &Path, fingerprint: Fingerprint) -> Option<Plan> {
@@ -174,9 +282,24 @@ impl PlanStore {
         self.entries.is_empty()
     }
 
-    /// LRU evictions so far.
+    /// Summed serialized size of the in-memory entries.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_bytes
+    }
+
+    /// Count-capacity (LRU) evictions so far.
     pub fn evictions(&self) -> u64 {
         self.evictions
+    }
+
+    /// Byte-cap evictions so far.
+    pub fn size_evictions(&self) -> u64 {
+        self.size_evictions
+    }
+
+    /// TTL expiries so far.
+    pub fn ttl_evictions(&self) -> u64 {
+        self.ttl_evictions
     }
 
     /// Disk records that existed but failed to decode (corrupt, wrong
@@ -187,12 +310,8 @@ impl PlanStore {
 }
 
 fn write_atomically(path: &Path, contents: &str) -> Result<(), ServiceError> {
-    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-    let fail = |what: &str, e: std::io::Error| {
-        ServiceError::Store(format!("{what} {}: {e}", path.display()))
-    };
-    std::fs::write(&tmp, contents).map_err(|e| fail("write", e))?;
-    std::fs::rename(&tmp, path).map_err(|e| fail("rename", e))
+    p2_json::write_atomically(path, contents)
+        .map_err(|e| ServiceError::Store(format!("write {}: {e}", path.display())))
 }
 
 #[cfg(test)]
@@ -259,6 +378,57 @@ mod tests {
         assert_eq!(*loaded, *a);
         // Now warm.
         let (_, source) = reopened.get(a.fingerprint).unwrap();
+        assert_eq!(source, PlanSource::Warm);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn byte_cap_evicts_lru_until_the_new_plan_fits() {
+        let (a, b, c) = (plan("a"), plan("b"), plan("c"));
+        let one = a.to_json().to_string().len() as u64;
+        // Room for two serialized plans but not three (labels are all one
+        // byte, so every record has the same size).
+        let mut store = PlanStore::in_memory(16).with_max_bytes(Some(2 * one));
+        store.insert(Arc::clone(&a)).unwrap();
+        store.insert(Arc::clone(&b)).unwrap();
+        assert_eq!(store.resident_bytes(), 2 * one);
+        // Touch `a`, making `b` the victim of the byte cap.
+        assert!(store.get(a.fingerprint).is_some());
+        store.insert(Arc::clone(&c)).unwrap();
+        assert_eq!(store.size_evictions(), 1);
+        assert_eq!(store.evictions(), 0);
+        assert!(store.get(b.fingerprint).is_none());
+        assert!(store.get(a.fingerprint).is_some());
+        assert!(store.get(c.fingerprint).is_some());
+        assert_eq!(store.resident_bytes(), 2 * one);
+        // An oversized plan is still admitted (cap exceeded by one entry).
+        let mut tiny = PlanStore::in_memory(16).with_max_bytes(Some(1));
+        tiny.insert(Arc::clone(&a)).unwrap();
+        assert!(tiny.get(a.fingerprint).is_some());
+    }
+
+    #[test]
+    fn ttl_expires_hot_entries_but_not_disk_records() {
+        let dir = temp_dir("ttl");
+        let a = plan("short-lived");
+        let mut store = PlanStore::persistent(4, &dir)
+            .unwrap()
+            .with_ttl(Some(Duration::ZERO));
+        store.insert(Arc::clone(&a)).unwrap();
+        // The hot entry has already outlived a zero TTL; the lookup falls
+        // through to disk and counts the expiry.
+        let (_, source) = store.get(a.fingerprint).unwrap();
+        assert_eq!(source, PlanSource::Disk);
+        assert!(store.ttl_evictions() >= 1);
+        // Purely in-memory, the same lookup is a clean miss.
+        let mut memory = PlanStore::in_memory(4).with_ttl(Some(Duration::ZERO));
+        memory.insert(Arc::clone(&a)).unwrap();
+        assert!(memory.get(a.fingerprint).is_none());
+        assert_eq!(memory.resident_bytes(), 0);
+        // A generous TTL keeps entries warm.
+        let mut lasting = PlanStore::in_memory(4).with_ttl(Some(Duration::from_secs(3600)));
+        lasting.insert(Arc::clone(&a)).unwrap();
+        let (_, source) = lasting.get(a.fingerprint).unwrap();
         assert_eq!(source, PlanSource::Warm);
         let _ = std::fs::remove_dir_all(&dir);
     }

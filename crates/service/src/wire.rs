@@ -250,7 +250,21 @@ pub fn encode_stats(stats: &PlannerStats) -> String {
         .push("peak_queue_depth", Json::Num(stats.peak_queue_depth as f64))
         .push("lru_len", Json::Num(stats.lru_len as f64))
         .push("evictions", Json::Num(stats.evictions as f64))
+        .push("size_evictions", Json::Num(stats.size_evictions as f64))
+        .push("ttl_evictions", Json::Num(stats.ttl_evictions as f64))
+        .push("resident_bytes", Json::Num(stats.resident_bytes as f64))
         .push("disk_misreads", Json::Num(stats.disk_misreads as f64))
+        .push("snapshot_loads", Json::Num(stats.snapshot_loads as f64))
+        .push("snapshot_saves", Json::Num(stats.snapshot_saves as f64))
+        .push(
+            "snapshot_load_micros",
+            Json::Num(stats.snapshot_load_micros as f64),
+        )
+        .push(
+            "snapshot_save_micros",
+            Json::Num(stats.snapshot_save_micros as f64),
+        )
+        .push("warm_states", Json::Num(stats.warm_states as f64))
         .build()
         .to_string()
 }

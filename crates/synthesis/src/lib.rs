@@ -42,6 +42,7 @@ mod dsl;
 mod error;
 mod hierarchy;
 mod lowered;
+mod memo;
 mod synthesizer;
 
 pub use context::SynthesisContext;
@@ -49,6 +50,7 @@ pub use dsl::{Form, Instruction, Program};
 pub use error::SynthesisError;
 pub use hierarchy::{HierarchyKind, SynthLevel, SynthesisHierarchy};
 pub use lowered::{baseline_allreduce, GroupExec, LoweredProgram, LoweredStep};
+pub use memo::{MemoBank, MemoSlab, MEMO_UNKNOWN};
 pub use synthesizer::{
     BestCostProgram, ProgramCount, ProgramSink, SinkControl, SynthesisResult, SynthesisStats,
     Synthesizer,

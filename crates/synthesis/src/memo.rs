@@ -1,0 +1,261 @@
+//! Cross-search persistence of the suffix-completion memo.
+//!
+//! The emission engine's suffix memo (`[synthesis state][remaining budget]` →
+//! number of goal-reaching completions) is a pure function of the search
+//! graph, and the graph itself is built deterministically: states get ids in
+//! BFS discovery order over candidates sorted by display form, so the memo
+//! table of one `(matrix, reduction axes, hierarchy, max size)` context is
+//! identical across processes, thread counts, and interner modes. That makes
+//! it persistable — a [`MemoBank`] holds one slab per context key, the table
+//! store serializes banks alongside the interner tables, and a warm-started
+//! search turns its counting DP into pure lookups without any observable
+//! result changing.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
+use p2_collectives::FxHashMap;
+
+use crate::context::SynthesisContext;
+use crate::hierarchy::HierarchyKind;
+
+/// The sentinel marking a `(state, budget)` pair whose completion count has
+/// not been computed. Mirrors the emission engine's internal sentinel; part
+/// of the persisted format (slabs store unknown entries as this value).
+pub const MEMO_UNKNOWN: u64 = u64::MAX;
+
+/// One context's completed (or partially completed) suffix-memo table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoSlab {
+    /// Number of synthesis states in the context's search graph.
+    pub num_states: usize,
+    /// Budget axis length (`max_size + 1`).
+    pub width: usize,
+    /// Row-major `[state][budget]` counts; [`MEMO_UNKNOWN`] marks entries the
+    /// publishing search never touched.
+    pub counts: Arc<[u64]>,
+}
+
+impl MemoSlab {
+    /// Number of known (non-sentinel) entries.
+    pub fn known_entries(&self) -> usize {
+        self.counts.iter().filter(|&&c| c != MEMO_UNKNOWN).count()
+    }
+
+    /// Whether the slab's dimensions are mutually consistent.
+    pub fn is_well_formed(&self) -> bool {
+        self.width > 0 && self.counts.len() == self.num_states * self.width
+    }
+}
+
+/// A shared, growable map from context keys to [`MemoSlab`]s — the
+/// suffix-memo counterpart of `SharedTables`, held by a sweep (or the
+/// planner) and threaded into every `Synthesizer` so searches over contexts
+/// already solved (this run or a previous one, via the table store) start
+/// from a filled memo.
+///
+/// Slabs for the same key are merged entry-wise: the counts are deterministic
+/// per context, so two publishers can only ever fill in each other's unknown
+/// entries, never disagree.
+#[derive(Debug, Default)]
+pub struct MemoBank {
+    slabs: RwLock<FxHashMap<String, MemoSlab>>,
+    seeded_searches: AtomicUsize,
+    seeded_entries: AtomicUsize,
+}
+
+impl MemoBank {
+    /// An empty bank.
+    pub fn new() -> Self {
+        MemoBank::default()
+    }
+
+    /// The canonical key of one search context at one size limit: every
+    /// input the search graph (and therefore the memo) is a function of,
+    /// rendered stably. Two equal keys mean bit-identical memo tables.
+    pub fn key_for(ctx: &SynthesisContext, max_size: usize) -> String {
+        use std::fmt::Write as _;
+        let matrix = ctx.matrix();
+        let mut key = String::from("memo-v1|rows=");
+        for axis in 0..matrix.num_axes() {
+            let _ = write!(key, "{:?};", matrix.row(axis));
+        }
+        let _ = write!(
+            key,
+            "|arities={:?}|red={:?}|hier={}|size={max_size}",
+            matrix.arities(),
+            ctx.reduction_axes(),
+            hierarchy_token(ctx.hierarchy().kind()),
+        );
+        key
+    }
+
+    /// The slab stored for `key`, if any.
+    pub fn lookup(&self, key: &str) -> Option<MemoSlab> {
+        self.slabs.read().expect("memo bank lock").get(key).cloned()
+    }
+
+    /// Records a (possibly partial) memo table for `key`, merging entry-wise
+    /// with any slab already present. Malformed slabs and dimension
+    /// mismatches are ignored — the bank only ever grows consistent data.
+    pub fn publish(&self, key: &str, slab: MemoSlab) {
+        if !slab.is_well_formed() {
+            return;
+        }
+        let mut slabs = self.slabs.write().expect("memo bank lock");
+        match slabs.get_mut(key) {
+            None => {
+                slabs.insert(key.to_string(), slab);
+            }
+            Some(existing) => {
+                if existing.num_states != slab.num_states || existing.width != slab.width {
+                    return;
+                }
+                if slab
+                    .counts
+                    .iter()
+                    .zip(existing.counts.iter())
+                    .any(|(&new, &old)| old == MEMO_UNKNOWN && new != MEMO_UNKNOWN)
+                {
+                    let merged: Arc<[u64]> = existing
+                        .counts
+                        .iter()
+                        .zip(slab.counts.iter())
+                        .map(|(&old, &new)| if old == MEMO_UNKNOWN { new } else { old })
+                        .collect();
+                    existing.counts = merged;
+                }
+            }
+        }
+    }
+
+    /// Every slab in key order — the serialization order of the table store.
+    pub fn export(&self) -> Vec<(String, MemoSlab)> {
+        let slabs = self.slabs.read().expect("memo bank lock");
+        let mut out: Vec<(String, MemoSlab)> =
+            slabs.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        out.sort_by(|(a, _), (b, _)| a.cmp(b));
+        out
+    }
+
+    /// Number of contexts with a stored slab.
+    pub fn len(&self) -> usize {
+        self.slabs.read().expect("memo bank lock").len()
+    }
+
+    /// Whether no slab is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Searches that started from a warm slab (see
+    /// [`note_seeded`](MemoBank::note_seeded)).
+    pub fn seeded_searches(&self) -> usize {
+        self.seeded_searches.load(Ordering::Relaxed)
+    }
+
+    /// Known memo entries handed to warm-started searches, summed.
+    pub fn seeded_entries(&self) -> usize {
+        self.seeded_entries.load(Ordering::Relaxed)
+    }
+
+    /// Counts one warm-started search that was seeded `entries` known
+    /// entries (called by the synthesizer when a lookup hits).
+    pub fn note_seeded(&self, entries: usize) {
+        self.seeded_searches.fetch_add(1, Ordering::Relaxed);
+        self.seeded_entries.fetch_add(entries, Ordering::Relaxed);
+    }
+}
+
+/// Stable one-word token per hierarchy kind, part of the memo key format.
+fn hierarchy_token(kind: HierarchyKind) -> &'static str {
+    match kind {
+        HierarchyKind::System => "system",
+        HierarchyKind::ColumnMajor => "column-major",
+        HierarchyKind::RowMajor => "row-major",
+        HierarchyKind::ReductionAxes => "reduction-axes",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2_placement::ParallelismMatrix;
+
+    fn ctx() -> SynthesisContext {
+        let matrix = ParallelismMatrix::new(
+            vec![vec![1, 1, 2, 2], vec![1, 2, 1, 2]],
+            vec![1, 2, 2, 4],
+            vec![4, 4],
+        )
+        .unwrap();
+        SynthesisContext::new(matrix, vec![1], HierarchyKind::ReductionAxes).unwrap()
+    }
+
+    fn slab(counts: &[u64], width: usize) -> MemoSlab {
+        MemoSlab {
+            num_states: counts.len() / width,
+            width,
+            counts: counts.into(),
+        }
+    }
+
+    #[test]
+    fn keys_distinguish_every_input() {
+        let base = MemoBank::key_for(&ctx(), 5);
+        assert_eq!(MemoBank::key_for(&ctx(), 5), base);
+        assert_ne!(MemoBank::key_for(&ctx(), 6), base);
+        let other_kind =
+            SynthesisContext::new(ctx().matrix().clone(), vec![1], HierarchyKind::System).unwrap();
+        assert_ne!(MemoBank::key_for(&other_kind, 5), base);
+        let other_axes = SynthesisContext::new(
+            ctx().matrix().clone(),
+            vec![0],
+            HierarchyKind::ReductionAxes,
+        )
+        .unwrap();
+        assert_ne!(MemoBank::key_for(&other_axes, 5), base);
+    }
+
+    #[test]
+    fn publish_merges_unknown_entries_and_rejects_mismatches() {
+        let bank = MemoBank::new();
+        assert!(bank.is_empty());
+        bank.publish("k", slab(&[1, MEMO_UNKNOWN, 3, MEMO_UNKNOWN], 2));
+        bank.publish("k", slab(&[1, 2, MEMO_UNKNOWN, MEMO_UNKNOWN], 2));
+        let merged = bank.lookup("k").unwrap();
+        assert_eq!(&merged.counts[..], &[1, 2, 3, MEMO_UNKNOWN]);
+        assert_eq!(merged.known_entries(), 3);
+        // Wrong dimensions never clobber a stored slab.
+        bank.publish("k", slab(&[9, 9], 2));
+        assert_eq!(
+            &bank.lookup("k").unwrap().counts[..],
+            &[1, 2, 3, MEMO_UNKNOWN]
+        );
+        // Malformed slabs are dropped.
+        bank.publish(
+            "bad",
+            MemoSlab {
+                num_states: 3,
+                width: 2,
+                counts: vec![0; 5].into(),
+            },
+        );
+        assert!(bank.lookup("bad").is_none());
+        assert_eq!(bank.len(), 1);
+        // Export is key-ordered.
+        bank.publish("a", slab(&[7], 1));
+        let exported = bank.export();
+        assert_eq!(exported[0].0, "a");
+        assert_eq!(exported[1].0, "k");
+    }
+
+    #[test]
+    fn seed_counters_accumulate() {
+        let bank = MemoBank::new();
+        bank.note_seeded(10);
+        bank.note_seeded(5);
+        assert_eq!(bank.seeded_searches(), 2);
+        assert_eq!(bank.seeded_entries(), 15);
+    }
+}
