@@ -9,11 +9,18 @@
 //! stops at 5), the suffix-memoized counting fast path makes size 7
 //! tractable: `--size 7 --count-only` aggregates program counts straight
 //! from the memo without materializing a single path, and CI pins that
-//! count too.
+//! count too. With the parallel level-synchronous DAG build (`--threads 0`
+//! for all cores) size 8 joins the pinned set: the rack case's size-8 graph
+//! is built across cores and counted from the memo.
 //!
 //! Usage: `cargo run --release -p p2_bench --bin synthesis_smoke --`
-//! `[--size N] [--count-only] [--case LABEL] [--json PATH]`
+//! `[--size N] [--count-only] [--threads N] [--profile] [--case LABEL]`
+//! `[--json PATH]`
 //!
+//! `--threads N` runs the DAG build on an `N`-thread pool (`0` = all cores,
+//! default `1` = serial); every printed statistic and pinned count is
+//! bit-identical for any value. `--profile` prints a per-phase wall-time
+//! breakdown (candidate generation / DAG build / emission or counting).
 //! `--json PATH` writes one machine-readable record per case (timings, hit
 //! rates, peak interner size) for archiving as a CI artifact.
 
@@ -57,20 +64,24 @@ fn cases() -> Vec<Case> {
 }
 
 /// The figure-2d search space saturates below size 7: no valid program needs
-/// more than 6 steps, so the size-7 count equals the size-6 count.
+/// more than 6 steps, so the size-7 and size-8 counts equal the size-6 count.
 const PIN_FIGURE2D_7: u64 = 93;
 const PIN_RACK_7: u64 = 8749;
+const PIN_FIGURE2D_8: u64 = 93;
+const PIN_RACK_8: u64 = 12014;
 
 /// Pinned program counts per `(case label, max_program_size)`. Full
 /// enumeration and count-only must agree, so one table serves both modes;
-/// size 7 is only ever exercised count-only in CI (full emission would walk
-/// every path).
+/// sizes 7 and 8 are only ever exercised count-only in CI (full emission
+/// would walk every path).
 fn pinned_count(label: &str, size: usize) -> Option<u64> {
     match (label, size) {
         ("figure2d_reduce1", 6) => Some(93),
         ("rack_node_gpu_reduce0", 6) => Some(4576),
         ("figure2d_reduce1", 7) => Some(PIN_FIGURE2D_7),
         ("rack_node_gpu_reduce0", 7) => Some(PIN_RACK_7),
+        ("figure2d_reduce1", 8) => Some(PIN_FIGURE2D_8),
+        ("rack_node_gpu_reduce0", 8) => Some(PIN_RACK_8),
         _ => None,
     }
 }
@@ -83,7 +94,7 @@ struct Record {
 }
 
 impl Record {
-    fn json(&self, size: usize, count_only: bool) -> String {
+    fn json(&self, size: usize, count_only: bool, threads: usize) -> String {
         let s = &self.stats;
         let apply_lookups = s.apply_cache_hits + s.apply_cache_misses;
         let memo_lookups = s.suffix_memo_hits + s.suffix_memo_misses;
@@ -93,8 +104,10 @@ impl Record {
                 "      \"case\": \"{}\",\n",
                 "      \"max_program_size\": {},\n",
                 "      \"count_only\": {},\n",
+                "      \"build_threads\": {},\n",
                 "      \"programs\": {},\n",
                 "      \"total_ms\": {:.3},\n",
+                "      \"candidate_ms\": {:.3},\n",
                 "      \"build_ms\": {:.3},\n",
                 "      \"emit_ms\": {:.3},\n",
                 "      \"states_explored\": {},\n",
@@ -109,8 +122,10 @@ impl Record {
             self.label,
             size,
             count_only,
+            threads,
             self.programs,
             self.elapsed_ms,
+            s.candidate_duration.as_secs_f64() * 1e3,
             s.build_duration.as_secs_f64() * 1e3,
             s.emit_duration.as_secs_f64() * 1e3,
             s.states_explored,
@@ -124,35 +139,67 @@ impl Record {
     }
 }
 
-fn parse_args() -> (usize, bool, Option<String>, Option<String>) {
-    let mut size = 6usize;
-    let mut count_only = false;
-    let mut case_filter = None;
-    let mut json_path = None;
+struct Args {
+    size: usize,
+    count_only: bool,
+    threads: usize,
+    profile: bool,
+    case_filter: Option<String>,
+    json_path: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        size: 6,
+        count_only: false,
+        threads: 1,
+        profile: false,
+        case_filter: None,
+        json_path: None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--size" => {
                 let value = args.next().expect("--size takes a value");
-                size = value.parse().expect("--size takes an integer");
+                parsed.size = value.parse().expect("--size takes an integer");
             }
-            "--count-only" => count_only = true,
-            "--case" => case_filter = Some(args.next().expect("--case takes a label")),
-            "--json" => json_path = Some(args.next().expect("--json takes a path")),
+            "--count-only" => parsed.count_only = true,
+            "--threads" => {
+                let value = args.next().expect("--threads takes a value");
+                parsed.threads = value.parse().expect("--threads takes an integer");
+            }
+            "--profile" => parsed.profile = true,
+            "--case" => parsed.case_filter = Some(args.next().expect("--case takes a label")),
+            "--json" => parsed.json_path = Some(args.next().expect("--json takes a path")),
             other => panic!("unknown argument: {other} (see the doc comment for usage)"),
         }
     }
-    (size, count_only, case_filter, json_path)
+    parsed
 }
 
 fn main() {
-    let (size, count_only, case_filter, json_path) = parse_args();
+    let Args {
+        size,
+        count_only,
+        threads,
+        profile,
+        case_filter,
+        json_path,
+    } = parse_args();
     let mode = if count_only {
         "count-only"
     } else {
         "full enumeration"
     };
-    println!("Synthesis smoke run at max_program_size = {size} ({mode})\n");
+    let build = if threads == 1 {
+        "serial build".to_string()
+    } else if threads == 0 {
+        "parallel build, all cores".to_string()
+    } else {
+        format!("parallel build, {threads} threads")
+    };
+    println!("Synthesis smoke run at max_program_size = {size} ({mode}, {build})\n");
 
     let mut records = Vec::new();
     for case in cases() {
@@ -160,7 +207,8 @@ fn main() {
             continue;
         }
         let synth = Synthesizer::new(case.matrix, case.reduction, HierarchyKind::ReductionAxes)
-            .expect("valid synthesizer");
+            .expect("valid synthesizer")
+            .with_build_threads(threads);
         let start = Instant::now();
         let (programs, stats) = if count_only {
             let count = synth.count_programs(size);
@@ -188,6 +236,20 @@ fn main() {
             stats.suffix_memo_hits,
             stats.suffix_memo_misses,
         );
+        if profile {
+            let candidate_ms = stats.candidate_duration.as_secs_f64() * 1e3;
+            let build_ms = stats.build_duration.as_secs_f64() * 1e3;
+            let emit_ms = stats.emit_duration.as_secs_f64() * 1e3;
+            let emit_phase = if count_only { "count" } else { "emit" };
+            println!(
+                "  profile: candidates {candidate_ms:.1} ms ({:.1}%), \
+                 DAG build {build_ms:.1} ms ({:.1}%), \
+                 {emit_phase} {emit_ms:.1} ms ({:.1}%)",
+                candidate_ms / elapsed_ms.max(1e-9) * 100.0,
+                build_ms / elapsed_ms.max(1e-9) * 100.0,
+                emit_ms / elapsed_ms.max(1e-9) * 100.0,
+            );
+        }
         match pinned_count(label, size) {
             Some(expected) => assert_eq!(
                 programs, expected,
@@ -207,7 +269,7 @@ fn main() {
     if let Some(path) = json_path {
         let body = records
             .iter()
-            .map(|r| r.json(size, count_only))
+            .map(|r| r.json(size, count_only, threads))
             .collect::<Vec<_>>()
             .join(",\n");
         let json = format!(

@@ -212,33 +212,170 @@ impl ApplyCache {
     }
 }
 
-/// Sweep-wide hash-consing tables: one [`StateInterner`] and one collective
-/// transposition table shared by every placement of a sweep, behind
-/// reader/writer locks (concurrent-read, locked-grow).
+/// Number of shards in each [`SharedTables`] map (state → id and apply). A
+/// power of two so the shard index is the hash's top bits; 64 is comfortably
+/// above any worker count this workspace runs, so two workers rarely contend
+/// on one shard lock.
+const SHARD_BITS: u32 = 6;
+/// `1 << SHARD_BITS`.
+const SHARDS: usize = 1 << SHARD_BITS;
+/// Capacity of the first [`StateArena`] chunk; chunk `c` holds
+/// `ARENA_CHUNK0 << c` slots, so 32 doubling chunks cover the entire `u32`
+/// id space.
+const ARENA_CHUNK0: usize = 1024;
+/// Number of doubling chunks in a [`StateArena`].
+const ARENA_CHUNKS: usize = 32;
+
+/// Lock-free append-only id → state storage: a sequence of doubling chunks,
+/// each allocated at most once, with every slot written at most once.
+///
+/// Chunks never move once allocated, so `get` takes no lock: readers walk
+/// `chunks[c][offset]` through two [`OnceLock`]s (acquire loads) while
+/// writers fill slots they own exclusively (each id is handed out by one
+/// `fetch_add`). This is what keeps [`SharedTables::apply`]'s participant
+/// fetch off the interner locks entirely — the hottest read path of the
+/// parallel DAG build.
+///
+/// [`OnceLock`]: std::sync::OnceLock
+#[derive(Debug)]
+struct StateArena {
+    #[allow(clippy::type_complexity)]
+    chunks: [std::sync::OnceLock<Box<[std::sync::OnceLock<Arc<State>>]>>; ARENA_CHUNKS],
+    /// The next unassigned id; slots below this are set or about to be set by
+    /// the worker that claimed them.
+    len: AtomicUsize,
+}
+
+impl Default for StateArena {
+    fn default() -> Self {
+        StateArena {
+            chunks: std::array::from_fn(|_| std::sync::OnceLock::new()),
+            len: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl StateArena {
+    /// `(chunk, offset)` of an id: chunk `c` covers ids
+    /// `[ARENA_CHUNK0 * (2^c - 1), ARENA_CHUNK0 * (2^(c+1) - 1))`.
+    fn locate(id: u32) -> (usize, usize) {
+        let n = id as usize / ARENA_CHUNK0 + 1;
+        let chunk = (usize::BITS - 1 - n.leading_zeros()) as usize;
+        let base = ARENA_CHUNK0 * ((1usize << chunk) - 1);
+        (chunk, id as usize - base)
+    }
+
+    /// Claims the next id. The caller must follow up with `set`.
+    fn claim_id(&self) -> u32 {
+        let id = self.len.fetch_add(1, Ordering::Relaxed);
+        u32::try_from(id).expect("more than u32::MAX distinct states")
+    }
+
+    /// Publishes the state for an id claimed by this thread.
+    fn set(&self, id: u32, state: Arc<State>) {
+        let (chunk, offset) = Self::locate(id);
+        let slots = self.chunks[chunk].get_or_init(|| {
+            (0..ARENA_CHUNK0 << chunk)
+                .map(|_| std::sync::OnceLock::new())
+                .collect()
+        });
+        slots[offset]
+            .set(state)
+            .expect("arena slot published twice");
+    }
+
+    /// The state an id was assigned to, without taking any lock.
+    ///
+    /// Ids only reach other threads *after* their slot is published (the
+    /// publishing thread sets the slot before releasing the shard lock that
+    /// makes the id visible), so the spin below only covers the sliver where
+    /// an id raced here through a relaxed counter read; it cannot spin on an
+    /// id that was never claimed — that panics instead.
+    fn get(&self, id: u32) -> Arc<State> {
+        assert!(
+            (id as usize) < self.len.load(Ordering::Acquire),
+            "unknown state id {id}"
+        );
+        let (chunk, offset) = Self::locate(id);
+        loop {
+            if let Some(slots) = self.chunks[chunk].get() {
+                if let Some(state) = slots[offset].get() {
+                    return Arc::clone(state);
+                }
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+}
+
+/// Sweep-wide hash-consing tables: one device-state interner and one
+/// collective transposition table shared by every concurrent worker — across
+/// placements of a sweep *and* across the intra-placement expanders of a
+/// parallel DAG build.
 ///
 /// Every placement of one sweep reduces over the same k×k device-state
 /// universe, so sharing the tables means the second placement onward mostly
 /// *reads*: states and `(collective, participants)` entries discovered by one
-/// worker are reused by all. Ids are assigned in thread-arrival order and are
-/// therefore nondeterministic under parallelism — which is sound, because
-/// every consumer uses ids only for equality and memoization, never for
-/// ordering. The final table *sizes* are deterministic: they are set unions
-/// over the (deterministic) per-placement universes.
-#[derive(Debug, Default)]
+/// worker are reused by all. Both maps are split into 64 independent
+/// `RwLock`ed shards keyed by the hash's top bits, and the id → state arena
+/// is lock-free (an append-only chunked `OnceLock` arena), so concurrent
+/// expanders don't serialize on
+/// a single lock. Ids are assigned in thread-arrival order and are therefore
+/// nondeterministic under parallelism — which is sound, because every
+/// consumer uses ids only for equality and memoization, never for ordering.
+/// The final table *sizes* are deterministic: they are set unions over the
+/// (deterministic) per-placement universes.
+#[derive(Debug)]
 pub struct SharedTables {
-    interner: RwLock<StateInterner>,
+    /// state → id, sharded by state hash. Each distinct state lives in
+    /// exactly one shard, so that shard's write lock serializes its id
+    /// assignment.
+    state_shards: Vec<RwLock<FxHashMap<Arc<State>, u32>>>,
+    arena: StateArena,
     /// `[collective tag, participant ids...]` → interned post-state ids
     /// (`Arc`ed so a hit clones a pointer, not the slice) or the memoized
-    /// semantic error.
-    apply: RwLock<SharedApplyMap>,
+    /// semantic error; sharded by key hash.
+    apply_shards: Vec<RwLock<SharedApplyMap>>,
     apply_hits: AtomicUsize,
     apply_misses: AtomicUsize,
+}
+
+impl Default for SharedTables {
+    fn default() -> Self {
+        SharedTables {
+            state_shards: (0..SHARDS).map(|_| RwLock::default()).collect(),
+            arena: StateArena::default(),
+            apply_shards: (0..SHARDS).map(|_| RwLock::default()).collect(),
+            apply_hits: AtomicUsize::new(0),
+            apply_misses: AtomicUsize::new(0),
+        }
+    }
 }
 
 impl SharedTables {
     /// Creates empty shared tables.
     pub fn new() -> Self {
         SharedTables::default()
+    }
+
+    /// The shard a state's map entry lives in (top hash bits).
+    fn state_shard(state: &State) -> usize {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = FxHasher::default();
+        state.hash(&mut hasher);
+        (hasher.finish() >> (64 - SHARD_BITS)) as usize
+    }
+
+    /// The shard an apply key's entry lives in (top hash bits).
+    fn apply_shard(key: &[u32]) -> usize {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = FxHasher::default();
+        key.hash(&mut hasher);
+        (hasher.finish() >> (64 - SHARD_BITS)) as usize
     }
 
     /// Interns a state, returning `(id, was_present)`: `was_present` is true
@@ -249,24 +386,31 @@ impl SharedTables {
     ///
     /// Panics if a lock is poisoned or the interner overflows `u32` ids.
     pub fn intern(&self, state: State) -> (u32, bool) {
-        if let Some(id) = self.interner.read().expect("interner lock").lookup(&state) {
+        let shard = &self.state_shards[Self::state_shard(&state)];
+        if let Some(&id) = shard.read().expect("interner shard lock").get(&state) {
             return (id, true);
         }
-        let mut interner = self.interner.write().expect("interner lock");
+        let mut map = shard.write().expect("interner shard lock");
         // Double-checked: another worker may have interned it since the read.
-        if let Some(id) = interner.lookup(&state) {
+        if let Some(&id) = map.get(&state) {
             return (id, true);
         }
-        (interner.intern(state), false)
+        let id = self.arena.claim_id();
+        let state = Arc::new(state);
+        // Publish the arena slot *before* the map insert makes the id
+        // visible to other workers.
+        self.arena.set(id, Arc::clone(&state));
+        map.insert(state, id);
+        (id, false)
     }
 
-    /// A shared handle to the state an id was assigned to.
+    /// A shared handle to the state an id was assigned to. Lock-free.
     ///
     /// # Panics
     ///
-    /// Panics if the lock is poisoned or `id` was not produced by this table.
+    /// Panics if `id` was not produced by this table.
     pub fn get(&self, id: u32) -> Arc<State> {
-        self.interner.read().expect("interner lock").get_arc(id)
+        self.arena.get(id)
     }
 
     /// Applies `collective` to the devices holding the interned states
@@ -292,29 +436,24 @@ impl SharedTables {
         let mut key = Vec::with_capacity(members.len() + 1);
         key.push(collective as u32);
         key.extend_from_slice(members);
-        if let Some(entry) = self.apply.read().expect("apply lock").get(key.as_slice()) {
+        let shard = &self.apply_shards[Self::apply_shard(&key)];
+        if let Some(entry) = shard.read().expect("apply shard lock").get(key.as_slice()) {
             self.apply_hits.fetch_add(1, Ordering::Relaxed);
             return (entry.clone(), true);
         }
         self.apply_misses.fetch_add(1, Ordering::Relaxed);
-        // Run the semantics outside any write lock; participants are cloned
-        // out so the read lock is dropped before the write below.
-        let states: Vec<Arc<State>> = {
-            let interner = self.interner.read().expect("interner lock");
-            members.iter().map(|&id| interner.get_arc(id)).collect()
-        };
+        // Run the semantics outside every lock; the participant fetch is
+        // lock-free through the arena.
+        let states: Vec<Arc<State>> = members.iter().map(|&id| self.arena.get(id)).collect();
         let refs: Vec<&State> = states.iter().map(Arc::as_ref).collect();
         let result = apply_collective_refs(collective, &refs);
-        let entry: Result<Arc<[u32]>, SemanticsError> = result.map(|after| {
-            let mut interner = self.interner.write().expect("interner lock");
-            after.into_iter().map(|s| interner.intern(s)).collect()
-        });
+        let entry: Result<Arc<[u32]>, SemanticsError> =
+            result.map(|after| after.into_iter().map(|s| self.intern(s).0).collect());
         // Racing workers compute identical entries (same interner), so
         // keeping the first insert is purely cosmetic.
-        let out = self
-            .apply
+        let out = shard
             .write()
-            .expect("apply lock")
+            .expect("apply shard lock")
             .entry(key.into_boxed_slice())
             .or_insert(entry)
             .clone();
@@ -324,12 +463,15 @@ impl SharedTables {
     /// Number of distinct device states interned so far. Deterministic once a
     /// sweep has drained, for any worker count.
     pub fn num_states(&self) -> usize {
-        self.interner.read().expect("interner lock").len()
+        self.arena.len()
     }
 
     /// Number of distinct `(collective, participants)` entries memoized.
     pub fn num_apply_entries(&self) -> usize {
-        self.apply.read().expect("apply lock").len()
+        self.apply_shards
+            .iter()
+            .map(|shard| shard.read().expect("apply shard lock").len())
+            .sum()
     }
 
     /// Total applications answered from the shared cache, across all workers.
@@ -344,8 +486,10 @@ impl SharedTables {
 
     /// A consistent copy of both tables for serialization: the interned
     /// states in id order plus every memoized `[collective tag, participant
-    /// ids...]` → post-state-ids-or-error entry. Both locks are held for the
-    /// copy, so the apply entries never reference a state the snapshot lacks.
+    /// ids...]` → post-state-ids-or-error entry. The apply entries are copied
+    /// *before* the state count is read, so every id an entry references is
+    /// inside the exported state list — concurrent interning can only add
+    /// states the entries don't mention.
     #[allow(clippy::type_complexity)]
     pub fn export(
         &self,
@@ -353,12 +497,14 @@ impl SharedTables {
         Vec<Arc<State>>,
         Vec<(Box<[u32]>, Result<Arc<[u32]>, SemanticsError>)>,
     ) {
-        let interner = self.interner.read().expect("interner lock");
-        let apply = self.apply.read().expect("apply lock");
-        let states = interner.states_in_id_order().to_vec();
-        let entries = apply
-            .iter()
-            .map(|(key, value)| (key.clone(), value.clone()))
+        let mut entries = Vec::new();
+        for shard in &self.apply_shards {
+            let map = shard.read().expect("apply shard lock");
+            entries.extend(map.iter().map(|(key, value)| (key.clone(), value.clone())));
+        }
+        let num_states = self.arena.len();
+        let states = (0..num_states as u32)
+            .map(|id| self.arena.get(id))
             .collect();
         (states, entries)
     }
@@ -390,23 +536,57 @@ impl SharedTables {
         if !consistent {
             return false;
         }
-        // Build outside the locks; installation is then a plain swap.
-        let mut interner = StateInterner::new();
+        // Build the sharded maps outside the locks; installation is then a
+        // plain swap per shard.
+        let mut shard_maps: Vec<FxHashMap<Arc<State>, u32>> =
+            (0..SHARDS).map(|_| FxHashMap::default()).collect();
+        let mut arcs: Vec<Arc<State>> = Vec::with_capacity(num_states);
         for (position, state) in states.into_iter().enumerate() {
-            if interner.intern(state) as usize != position {
+            let state = Arc::new(state);
+            let shard = Self::state_shard(&state);
+            if shard_maps[shard]
+                .insert(Arc::clone(&state), position as u32)
+                .is_some()
+            {
                 // A duplicate state collapsed — the snapshot's ids would be
                 // dangling. Reject rather than guess.
                 return false;
             }
+            arcs.push(state);
         }
-        let map: SharedApplyMap = entries.into_iter().collect();
-        let mut locked_interner = self.interner.write().expect("interner lock");
-        let mut locked_apply = self.apply.write().expect("apply lock");
-        if !locked_interner.is_empty() || !locked_apply.is_empty() {
+        let mut apply_maps: Vec<SharedApplyMap> =
+            (0..SHARDS).map(|_| SharedApplyMap::default()).collect();
+        for (key, value) in entries {
+            apply_maps[Self::apply_shard(&key)].insert(key, value);
+        }
+        // Take every write lock in shard order, verify emptiness, then swap
+        // the prebuilt maps in — all-or-nothing, as before the sharding.
+        let mut state_guards: Vec<_> = self
+            .state_shards
+            .iter()
+            .map(|shard| shard.write().expect("interner shard lock"))
+            .collect();
+        let mut apply_guards: Vec<_> = self
+            .apply_shards
+            .iter()
+            .map(|shard| shard.write().expect("apply shard lock"))
+            .collect();
+        if self.arena.len() != 0
+            || state_guards.iter().any(|guard| !guard.is_empty())
+            || apply_guards.iter().any(|guard| !guard.is_empty())
+        {
             return false;
         }
-        *locked_interner = interner;
-        *locked_apply = map;
+        for (position, state) in arcs.iter().enumerate() {
+            self.arena.set(position as u32, Arc::clone(state));
+        }
+        self.arena.len.store(num_states, Ordering::Release);
+        for (guard, map) in state_guards.iter_mut().zip(shard_maps) {
+            **guard = map;
+        }
+        for (guard, map) in apply_guards.iter_mut().zip(apply_maps) {
+            **guard = map;
+        }
         true
     }
 }

@@ -90,6 +90,16 @@ pub struct P2Config {
     /// deterministic statistic are bit-identical for any worker-thread count,
     /// with shared or private tables; defaults to `true`.
     pub shared_intern: bool,
+    /// Whether each placement's search-DAG construction runs the
+    /// level-synchronous *parallel* build
+    /// ([`Synthesizer::with_build_threads`](p2_synthesis::Synthesizer::with_build_threads)),
+    /// recruiting the sweep pool's idle workers for intra-placement
+    /// expansion. The parallel build is bit-identical to the serial one for
+    /// any thread count, so this only affects wall-clock time; it matters
+    /// most on sweeps whose cost is dominated by one heavy placement.
+    /// Defaults to `true`; `false` forces the serial build. With
+    /// [`P2Config::threads`] of 1 the builds are serial either way.
+    pub parallel_build: bool,
     /// Externally-supplied interning tables, extending
     /// [`P2Config::shared_intern`]'s sweep-wide sharing across every session
     /// holding the same tables (the batch scheduler's cross-spec sharing).
@@ -162,6 +172,7 @@ impl P2Config {
             cost_model: None,
             cost_cache: true,
             shared_intern: true,
+            parallel_build: true,
             shared_tables: None,
             shared_memo: None,
             table_store_dir: None,
@@ -289,6 +300,13 @@ impl P2Config {
     /// [`P2Config::shared_intern`]).
     pub fn with_shared_intern(mut self, shared_intern: bool) -> Self {
         self.shared_intern = shared_intern;
+        self
+    }
+
+    /// Enables or disables the parallel level-synchronous DAG build inside
+    /// each placement (see [`P2Config::parallel_build`]).
+    pub fn with_parallel_build(mut self, parallel_build: bool) -> Self {
+        self.parallel_build = parallel_build;
         self
     }
 

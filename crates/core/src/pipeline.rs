@@ -545,6 +545,11 @@ impl P2 {
         if let Some(bank) = memo {
             synthesizer = synthesizer.with_memo_bank(Arc::clone(bank));
         }
+        if self.config.parallel_build {
+            // Placement jobs already run on the sweep pool, so the build
+            // recruits the pool's idle workers rather than spawning its own.
+            synthesizer = synthesizer.with_build_threads(self.config.threads);
+        }
         let baseline = baseline_allreduce(matrix, &self.config.reduction_axes)?;
         let allreduce_predicted = cost.program_time(&baseline);
         let allreduce_measured = executor.measure(&baseline);

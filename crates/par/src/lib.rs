@@ -191,6 +191,179 @@ where
 // Work-stealing scheduler
 // ---------------------------------------------------------------------------
 
+std::thread_local! {
+    /// The scheduler whose worker loop is running on this thread, if any,
+    /// lifetime-erased to a thin pointer. Set for exactly the duration of
+    /// [`SchedulerState::worker`], which is strictly inside the scope that
+    /// owns the state, so the pointer never dangles while non-null.
+    static CURRENT_POOL: std::cell::Cell<*const ()> = const { std::cell::Cell::new(std::ptr::null()) };
+}
+
+/// Clears the thread-local pool registration on drop, so a worker that dies
+/// of a job panic does not leave a dangling registration behind.
+struct PoolRegistration;
+
+impl PoolRegistration {
+    fn new(state: *const ()) -> Self {
+        CURRENT_POOL.with(|c| c.set(state));
+        PoolRegistration
+    }
+}
+
+impl Drop for PoolRegistration {
+    fn drop(&mut self) {
+        CURRENT_POOL.with(|c| c.set(std::ptr::null()));
+    }
+}
+
+/// Whether the current thread is a worker of an active [`scope`] pool.
+///
+/// When this returns `true`, [`nested_for_each`] will recruit the pool's idle
+/// workers; otherwise it runs its items serially on the calling thread.
+pub fn on_pool_worker() -> bool {
+    CURRENT_POOL.with(|c| !c.get().is_null())
+}
+
+/// Shared control block for one [`nested_for_each`] region: an atomic cursor
+/// over the item range, a finished counter the caller waits on, and the
+/// lifetime-erased task.
+///
+/// # Safety of the erased task reference
+///
+/// `task` is transmuted to `'static` but really borrows the caller's stack.
+/// The caller does not return until `finished == n`, and `finished` only
+/// counts items whose `task(i)` call has completed, so any thread that
+/// successfully claims an index `i < n` runs the task while the caller's
+/// frame is provably alive. Threads that claim `i >= n` never touch `task` —
+/// they drop their `Arc<NestedBag>` (plain counters, safe to drop late) and
+/// exit.
+struct NestedBag {
+    cursor: AtomicUsize,
+    n: usize,
+    finished: Mutex<usize>,
+    done: std::sync::Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    task: &'static (dyn Fn(usize) + Sync),
+}
+
+impl NestedBag {
+    /// Claims and runs items until the bag is empty, then returns. Never
+    /// blocks — helpers that find the bag already drained exit immediately,
+    /// which is what makes recruiting extra helpers always safe.
+    fn run_items(&self) {
+        loop {
+            let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n {
+                return;
+            }
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                (self.task)(i);
+            }));
+            if let Err(payload) = outcome {
+                let mut slot = self.panic.lock().expect("nested panic slot poisoned");
+                slot.get_or_insert(payload);
+            }
+            let mut finished = self.finished.lock().expect("nested bag poisoned");
+            *finished += 1;
+            if *finished == self.n {
+                self.done.notify_all();
+            }
+        }
+    }
+}
+
+/// Runs `task(0..n)` with the items distributed over the current pool's
+/// workers, blocking until all `n` calls have completed.
+///
+/// On a pool worker thread (see [`on_pool_worker`]) this recruits up to
+/// `threads - 1` idle workers as helpers: each helper claims items from a
+/// shared atomic cursor until the bag is empty and then *exits* rather than
+/// blocking, so — unlike a nested join — recruitment can never deadlock the
+/// pool, and a pool whose workers are all busy simply leaves the caller to
+/// drain the bag itself. Off-pool (or with `n <= 1`) the items run serially
+/// on the calling thread.
+///
+/// Item execution order is unspecified; callers needing determinism should
+/// write results into per-index slots and combine them in index order after
+/// this returns. If any `task(i)` panics, the first panic is resumed on the
+/// calling thread after all claimed items finish.
+pub fn nested_for_each(n: usize, task: &(dyn Fn(usize) + Sync)) {
+    let pool = CURRENT_POOL.with(|c| c.get());
+    if n == 0 {
+        return;
+    }
+    if pool.is_null() || n == 1 {
+        for i in 0..n {
+            task(i);
+        }
+        return;
+    }
+    // Safety: non-null only while the owning scope (and thus the state) is
+    // alive, and this worker thread's lifetime is contained in that scope.
+    let state: &SchedulerState<'static> = unsafe { &*(pool as *const SchedulerState<'static>) };
+    let helpers = (state.threads - 1).min(n - 1);
+    if helpers == 0 {
+        for i in 0..n {
+            task(i);
+        }
+        return;
+    }
+    // Safety: see `NestedBag` — the caller outlives every dereference.
+    let task: &'static (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(task) };
+    let bag = Arc::new(NestedBag {
+        cursor: AtomicUsize::new(0),
+        n,
+        finished: Mutex::new(0),
+        done: std::sync::Condvar::new(),
+        panic: Mutex::new(None),
+        task,
+    });
+    for _ in 0..helpers {
+        let bag = Arc::clone(&bag);
+        // A fully `'static` job (the bag is Arc-owned), so it outlives any
+        // `'env` and can sit in a deque past this call without dangling.
+        let job: Job<'static> = Box::new(move || bag.run_items());
+        state.push_job(job);
+    }
+    // The caller drains the bag too; once it runs dry, every remaining
+    // unfinished item is actively executing on another worker, so the wait
+    // below is on running code, not queued code — progress is guaranteed.
+    bag.run_items();
+    let mut finished = bag.finished.lock().expect("nested bag poisoned");
+    while *finished < n {
+        finished = bag.done.wait(finished).expect("nested bag poisoned");
+    }
+    drop(finished);
+    let payload = bag.panic.lock().expect("nested panic slot poisoned").take();
+    if let Some(payload) = payload {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+/// Runs `f` as a job on a fresh `threads`-worker pool and returns its result.
+///
+/// This is the entry point for *intra*-task parallelism when the caller is
+/// not already on a pool: `f` executes on a worker thread, so
+/// [`nested_for_each`] calls inside it can recruit the remaining
+/// `threads - 1` workers. `threads` follows the usual convention (`0` = all
+/// cores); `<= 1` just calls `f` inline.
+pub fn with_pool<T, F>(threads: usize, f: F) -> T
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let threads = if threads == 0 {
+        default_threads()
+    } else {
+        threads
+    };
+    if threads <= 1 {
+        return f();
+    }
+    scope(threads, |sched| sched.spawn(f).join())
+}
+
 /// Options for [`scope_with`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SchedulerOptions {
@@ -270,7 +443,37 @@ impl<'env> SchedulerState<'env> {
         None
     }
 
+    /// Queues `job` on the deque picked from the next spawn index and wakes a
+    /// worker. Shared by [`Scheduler::spawn`] and [`nested_for_each`]'s
+    /// helper recruitment.
+    fn push_job(&self, job: Job<'env>) {
+        let index = self.spawned.fetch_add(1, Ordering::Relaxed);
+        let target = self.pick_deque(index);
+        {
+            let mut queues = self.queues.lock().expect("scheduler queues poisoned");
+            queues.deques[target].push_back(job);
+        }
+        self.work.notify_one();
+    }
+
+    fn pick_deque(&self, index: usize) -> usize {
+        if self.seed == 0 {
+            return index % self.threads;
+        }
+        // SplitMix64 of seed ^ index: a deterministic pseudo-random
+        // assignment, still ascending-in-spawn-order within each deque.
+        let mut z = self
+            .seed
+            .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(index as u64 + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        ((z ^ (z >> 31)) % self.threads as u64) as usize
+    }
+
     fn worker(&self, id: usize) {
+        // Register this thread so jobs can recruit the pool via
+        // `nested_for_each`; the guard clears the slot even on panic.
+        let _registration = PoolRegistration::new(self as *const SchedulerState<'env> as *const ());
         let mut queues = self.queues.lock().expect("scheduler queues poisoned");
         loop {
             if let Some(job) = self.take(&mut queues, id) {
@@ -346,7 +549,9 @@ impl<R> JobHandle<R> {
 /// synthesize orders of magnitude more programs than another) keeps every
 /// core busy without any static partitioning. Jobs must not [`join`] other
 /// jobs from *inside* a job body — a worker blocked in a nested join would
-/// shrink the pool; join from the scope body instead.
+/// shrink the pool; join from the scope body instead. For parallelism *inside*
+/// a job, use [`nested_for_each`], whose helpers never block and therefore
+/// cannot deadlock the pool.
 ///
 /// [`join`]: JobHandle::join
 pub struct Scheduler<'scope, 'env> {
@@ -375,13 +580,7 @@ impl<'scope, 'env> Scheduler<'scope, 'env> {
             *publish.result.lock().expect("job slot poisoned") = Some(outcome);
             publish.done.notify_all();
         });
-        let index = self.state.spawned.fetch_add(1, Ordering::Relaxed);
-        let target = self.pick_deque(index);
-        {
-            let mut queues = self.state.queues.lock().expect("scheduler queues poisoned");
-            queues.deques[target].push_back(job);
-        }
-        self.state.work.notify_one();
+        self.state.push_job(job);
         JobHandle { slot }
     }
 
@@ -420,21 +619,6 @@ impl<'scope, 'env> Scheduler<'scope, 'env> {
     /// Never exceeds [`Scheduler::threads`] — the oversubscription guard.
     pub fn peak_in_flight(&self) -> usize {
         self.state.peak_in_flight.load(Ordering::Relaxed)
-    }
-
-    fn pick_deque(&self, index: usize) -> usize {
-        if self.state.seed == 0 {
-            return index % self.state.threads;
-        }
-        // SplitMix64 of seed ^ index: a deterministic pseudo-random
-        // assignment, still ascending-in-spawn-order within each deque.
-        let mut z = self
-            .state
-            .seed
-            .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(index as u64 + 1));
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        ((z ^ (z >> 31)) % self.state.threads as u64) as usize
     }
 }
 
@@ -653,6 +837,95 @@ mod tests {
             sched.steals()
         });
         assert!(steals > 0, "idle worker should have stolen queued jobs");
+    }
+
+    #[test]
+    fn nested_for_each_off_pool_runs_serially_in_order() {
+        let order = Mutex::new(Vec::new());
+        nested_for_each(10, &|i| order.lock().unwrap().push(i));
+        assert_eq!(*order.lock().unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn with_pool_runs_the_closure_and_recruits_workers() {
+        let input: Vec<u64> = (0..500).collect();
+        let expected: Vec<u64> = input.iter().map(|x| x * 3 + 1).collect();
+        for threads in [1usize, 2, 8] {
+            let out = with_pool(threads, || {
+                let slots: Vec<Mutex<u64>> = input.iter().map(|_| Mutex::new(0)).collect();
+                nested_for_each(input.len(), &|i| {
+                    *slots[i].lock().unwrap() = input[i] * 3 + 1;
+                });
+                slots
+                    .into_iter()
+                    .map(|s| s.into_inner().unwrap())
+                    .collect::<Vec<_>>()
+            });
+            assert_eq!(out, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn nested_for_each_inside_concurrent_jobs_does_not_deadlock() {
+        // Several pool jobs each recruit helpers at once: the bag drain must
+        // make progress even when every worker is itself inside a region.
+        for seed in [0u64, 0x5eed] {
+            let totals = scope_with(SchedulerOptions { threads: 4, seed }, |sched| {
+                let handles: Vec<JobHandle<usize>> = (0..8)
+                    .map(|job| {
+                        sched.spawn(move || {
+                            let total = AtomicUsize::new(0);
+                            nested_for_each(100, &|i| {
+                                total.fetch_add(i + job, Ordering::Relaxed);
+                            });
+                            total.into_inner()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(JobHandle::join).collect::<Vec<_>>()
+            });
+            let expected: Vec<usize> = (0..8)
+                .map(|job| (0..100).sum::<usize>() + 100 * job)
+                .collect();
+            assert_eq!(totals, expected);
+        }
+    }
+
+    #[test]
+    fn nested_for_each_propagates_task_panics() {
+        let outcome = std::panic::catch_unwind(|| {
+            with_pool(4, || {
+                nested_for_each(64, &|i| {
+                    if i == 33 {
+                        panic!("boom in nested task");
+                    }
+                });
+            })
+        });
+        assert!(outcome.is_err(), "nested task panic must surface");
+        // The pool must still be usable afterwards from a fresh scope.
+        assert_eq!(with_pool(2, || 7u32), 7);
+    }
+
+    #[test]
+    fn nested_for_each_with_empty_and_tiny_bags() {
+        with_pool(4, || {
+            nested_for_each(0, &|_| panic!("no items, no calls"));
+            let hits = AtomicUsize::new(0);
+            nested_for_each(1, &|i| {
+                assert_eq!(i, 0);
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(hits.into_inner(), 1);
+        });
+    }
+
+    #[test]
+    fn on_pool_worker_reflects_registration() {
+        assert!(!on_pool_worker());
+        let inside = with_pool(2, on_pool_worker);
+        assert!(inside, "with_pool body runs on a registered worker");
+        assert!(!on_pool_worker());
     }
 
     #[test]

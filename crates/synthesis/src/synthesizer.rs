@@ -68,6 +68,14 @@ pub struct SynthesisStats {
     /// a parallel sweep the split between "reused" and "added" depends on
     /// worker interleaving, though their sum (`unique_device_states`) does not.
     pub shared_states_reused: usize,
+    /// Distinct device states whose goal-compatibility row was computed by
+    /// the build's lazy `respects` table. Deterministic for any thread count,
+    /// and bounded by the states *this* search touches — never by the size of
+    /// a shared or warm-started interner.
+    pub goal_respects_entries: usize,
+    /// Wall-clock time of candidate-instruction generation (derivation,
+    /// deduplication and the display-order sort).
+    pub candidate_duration: Duration,
     /// Wall-clock time of the state-graph construction (exploration) phase.
     pub build_duration: Duration,
     /// Wall-clock time of the emission (or counting) phase.
@@ -436,6 +444,10 @@ pub struct Synthesizer {
     /// slabs published by earlier searches over the same context (this run,
     /// or a previous one through the table store).
     memo_bank: Option<Arc<MemoBank>>,
+    /// Worker budget for the level-synchronous parallel DAG build: `1`
+    /// (default) runs the serial build, `0` means all cores, `n > 1` a pool
+    /// of `n`. See [`Synthesizer::with_build_threads`].
+    build_threads: usize,
 }
 
 impl Synthesizer {
@@ -453,6 +465,7 @@ impl Synthesizer {
             ctx: SynthesisContext::new(matrix, reduction_axes, kind)?,
             shared: None,
             memo_bank: None,
+            build_threads: 1,
         })
     }
 
@@ -462,7 +475,31 @@ impl Synthesizer {
             ctx,
             shared: None,
             memo_bank: None,
+            build_threads: 1,
         }
+    }
+
+    /// Sets the worker budget for the level-synchronous parallel DAG build.
+    ///
+    /// `1` (the default) keeps the serial breadth-first build; `0` resolves
+    /// to all cores; `n > 1` expands each BFS level's states concurrently on
+    /// `n` workers. When the calling thread is already a [`p2_par::scope`]
+    /// pool worker (a placement job inside a sweep), the *ambient* pool's
+    /// idle workers are recruited instead of creating a nested pool, so
+    /// inter- and intra-placement work share one thread budget.
+    ///
+    /// Results are **bit-identical** for any value: each level's expansions
+    /// are merged in (parent index, candidate index) order, reproducing the
+    /// serial build's state numbering, edges, counts and programs exactly.
+    pub fn with_build_threads(mut self, threads: usize) -> Self {
+        self.build_threads = threads;
+        self
+    }
+
+    /// The configured parallel-build worker budget (see
+    /// [`Synthesizer::with_build_threads`]).
+    pub fn build_threads(&self) -> usize {
+        self.build_threads
     }
 
     /// Runs this synthesizer's searches against sweep-shared hash-consing
@@ -612,15 +649,17 @@ impl Synthesizer {
         candidates.sort_by_cached_key(|(instr, _)| instr.to_string());
         let mut stats = SynthesisStats {
             candidate_instructions: candidates.len(),
+            candidate_duration: start.elapsed(),
             ..SynthesisStats::default()
         };
+        let build_start = Instant::now();
         let (graph, init_id) = if interned {
             let built = self.build_graph(&candidates, max_size, &mut stats, false);
             (built.graph, built.init_id)
         } else {
             self.build_graph_reference(&candidates, max_size, &mut stats)
         };
-        stats.build_duration = start.elapsed();
+        stats.build_duration = build_start.elapsed();
         let emit_start = Instant::now();
         let mut stack: Vec<Instruction> = Vec::with_capacity(max_size);
         let mut scratch = Program::empty();
@@ -723,10 +762,12 @@ impl Synthesizer {
         candidates.sort_by_cached_key(|(instr, _)| instr.to_string());
         let mut stats = SynthesisStats {
             candidate_instructions: candidates.len(),
+            candidate_duration: start.elapsed(),
             ..SynthesisStats::default()
         };
+        let build_start = Instant::now();
         let built = self.build_graph(&candidates, max_size, &mut stats, false);
-        stats.build_duration = start.elapsed();
+        stats.build_duration = build_start.elapsed();
         let emit_start = Instant::now();
         let mut memo = self.seeded_memo(built.graph.len(), max_size, &mut stats);
         let by_length: Vec<u64> = (0..=max_size)
@@ -775,10 +816,12 @@ impl Synthesizer {
         candidates.sort_by_cached_key(|(instr, _)| instr.to_string());
         let mut stats = SynthesisStats {
             candidate_instructions: candidates.len(),
+            candidate_duration: start.elapsed(),
             ..SynthesisStats::default()
         };
+        let build_start = Instant::now();
         let built = self.build_graph(&candidates, max_size, &mut stats, true);
-        stats.build_duration = start.elapsed();
+        stats.build_duration = build_start.elapsed();
         let emit_start = Instant::now();
         let graph = &built.graph;
         let tuples = built.tuples.as_deref().expect("tuples kept for best-cost");
@@ -897,7 +940,40 @@ impl Synthesizer {
     }
 
     /// Explores the state space once (breadth-first, each state expanded a
-    /// single time) and computes per-state distances to the goal.
+    /// single time) and computes per-state distances to the goal — serially
+    /// or level-synchronously in parallel, per
+    /// [`Synthesizer::with_build_threads`]. Both paths produce bit-identical
+    /// graphs (state numbering, edges, counts) and deterministic stats.
+    fn build_graph(
+        &self,
+        candidates: &[(Instruction, Vec<Vec<usize>>)],
+        max_size: usize,
+        stats: &mut SynthesisStats,
+        keep_tuples: bool,
+    ) -> BuiltGraph {
+        if self.build_threads == 1 {
+            return self.build_graph_serial(candidates, max_size, stats, keep_tuples);
+        }
+        if p2_par::on_pool_worker() {
+            // Inside a sweep's placement job: recruit the ambient pool's idle
+            // workers instead of spawning a nested pool, so inter- and
+            // intra-placement work share one thread budget.
+            return self.build_graph_parallel(candidates, max_size, stats, keep_tuples);
+        }
+        let threads = if self.build_threads == 0 {
+            p2_par::default_threads()
+        } else {
+            self.build_threads
+        };
+        if threads <= 1 {
+            return self.build_graph_serial(candidates, max_size, stats, keep_tuples);
+        }
+        p2_par::with_pool(threads, || {
+            self.build_graph_parallel(candidates, max_size, stats, keep_tuples)
+        })
+    }
+
+    /// The serial breadth-first build.
     ///
     /// Device states are hash-consed to dense `u32` ids by a
     /// [`StateInterner`], so a synthesis-space state is a flat id slice:
@@ -911,7 +987,7 @@ impl Synthesizer {
     /// semantics entirely, and goal reachability (Lemma B.3) is a per-id
     /// table lookup. The expansion loop reuses its scratch buffers across
     /// candidates: a cache-hit application allocates nothing.
-    fn build_graph(
+    fn build_graph_serial(
         &self,
         candidates: &[(Instruction, Vec<Vec<usize>>)],
         max_size: usize,
@@ -933,22 +1009,11 @@ impl Synthesizer {
         };
         let (distinct_goals, goal_index) = self.ctx.distinct_goal_states();
         // respects[id][g]: whether interned state `id` is ≤ distinct goal `g`,
-        // computed lazily per id — a shared interner also holds other
-        // placements' states, which this search must never scan.
-        let mut respects: Vec<Option<Box<[bool]>>> = Vec::new();
-        let respects_entry =
-            |tables: &Tables, respects: &mut Vec<Option<Box<[bool]>>>, sid: u32| -> usize {
-                let i = sid as usize;
-                if i >= respects.len() {
-                    respects.resize_with(i + 1, || None);
-                }
-                if respects[i].is_none() {
-                    respects[i] = Some(tables.with_state(sid, |state| {
-                        distinct_goals.iter().map(|g| state.le(g)).collect()
-                    }));
-                }
-                i
-            };
+        // computed lazily per id and stored in a map keyed by id — a shared
+        // or warm-started interner also holds other placements' states, which
+        // this search must never scan *or allocate slots for* (an id-indexed
+        // dense table would grow with the global interner, not this search).
+        let mut respects: FxHashMap<u32, Box<[bool]>> = FxHashMap::default();
 
         let init_ids: Box<[u32]> = self
             .ctx
@@ -1009,8 +1074,12 @@ impl Synthesizer {
                 // Prune states that can no longer reach the goal (Lemma B.3).
                 let respects_all = (0..next_ids.len()).all(|d| {
                     let sid = next_ids[d];
-                    let i = respects_entry(&tables, &mut respects, sid);
-                    respects[i].as_ref().expect("entry just filled")[goal_index[d]]
+                    let row = respects.entry(sid).or_insert_with(|| {
+                        tables.with_state(sid, |state| {
+                            distinct_goals.iter().map(|g| state.le(g)).collect()
+                        })
+                    });
+                    row[goal_index[d]]
                 });
                 if !respects_all {
                     continue;
@@ -1049,10 +1118,265 @@ impl Synthesizer {
             }
             fractions
         });
+        stats.goal_respects_entries = respects.len();
         tables.finish(stats);
         BuiltGraph {
             graph: Self::finish_graph(is_goal, edges),
             init_id,
+            tuples: keep_tuples.then_some(tuples),
+            fractions,
+        }
+    }
+
+    /// The level-synchronous parallel build: all states of one BFS level are
+    /// expanded concurrently (each expansion job produces its candidate-
+    /// ordered list of surviving successor tuples), then merged *serially* in
+    /// (parent index, candidate index) order — exactly the order the serial
+    /// FIFO build discovers states in, so state numbering, edges, `is_goal`,
+    /// and every downstream artifact are bit-identical to
+    /// [`Synthesizer::build_graph_serial`] for any worker count and steal
+    /// seed.
+    ///
+    /// Expansions run against [`SharedTables`] (the sweep's, or private fresh
+    /// ones): its sharded maps and lock-free id → state arena are what let
+    /// concurrent expanders interleave without serializing on one lock.
+    /// Device-state ids are assigned in thread-arrival order — observable
+    /// results never depend on them (they are used for equality and
+    /// memoization only), but the `apply_cache_hits`/`misses` *split* becomes
+    /// interleaving-dependent (two workers can race to the same miss); the
+    /// sum stays deterministic, as do all other stats.
+    fn build_graph_parallel(
+        &self,
+        candidates: &[(Instruction, Vec<Vec<usize>>)],
+        max_size: usize,
+        stats: &mut SynthesisStats,
+        keep_tuples: bool,
+    ) -> BuiltGraph {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::{Mutex, RwLock};
+
+        /// Shard count for the per-build tracking maps (`seen`, `respects`):
+        /// small enough to sum cheaply, large enough that expanders rarely
+        /// collide on a shard lock.
+        const TRACK_SHARDS: usize = 64;
+
+        let private;
+        let (tables, sweep_shared): (&SharedTables, bool) = match &self.shared {
+            Some(shared) => (shared.as_ref(), true),
+            None => {
+                private = SharedTables::new();
+                (&private, false)
+            }
+        };
+        let (distinct_goals, goal_index) = self.ctx.distinct_goal_states();
+
+        // Ids observed by *this* search, tracked only in sweep-shared mode —
+        // private tables start empty, so there `num_states()` is the same
+        // universe. The set's *size* is deterministic (it is the search's
+        // device-state universe); the reused/hit split is not.
+        let seen: Option<Vec<Mutex<FxHashSet<u32>>>> = sweep_shared.then(|| {
+            (0..TRACK_SHARDS)
+                .map(|_| Mutex::new(FxHashSet::default()))
+                .collect()
+        });
+        let reused = AtomicUsize::new(0);
+        let apply_hits = AtomicUsize::new(0);
+        let apply_misses = AtomicUsize::new(0);
+        let note_seen = |id: u32, already_present: bool| {
+            if let Some(seen) = &seen {
+                let mut shard = seen[id as usize % TRACK_SHARDS]
+                    .lock()
+                    .expect("seen shard poisoned");
+                if shard.insert(id) && already_present {
+                    reused.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        };
+
+        // Lazy goal-compatibility rows (Lemma B.3), sharded by id. Racing
+        // workers may compute the same row twice — the row is a pure function
+        // of the state, so whichever insert wins is identical and the table
+        // stays deterministic in content and size.
+        let respects: Vec<RwLock<FxHashMap<u32, Box<[bool]>>>> = (0..TRACK_SHARDS)
+            .map(|_| RwLock::new(FxHashMap::default()))
+            .collect();
+        let respects_row = |sid: u32, g: usize| -> bool {
+            let shard = &respects[sid as usize % TRACK_SHARDS];
+            if let Some(row) = shard.read().expect("respects shard poisoned").get(&sid) {
+                return row[g];
+            }
+            let state = tables.get(sid);
+            let row: Box<[bool]> = distinct_goals.iter().map(|goal| state.le(goal)).collect();
+            let mut shard = shard.write().expect("respects shard poisoned");
+            shard.entry(sid).or_insert(row)[g]
+        };
+
+        let init_ids: Box<[u32]> = self
+            .ctx
+            .initial_states()
+            .into_iter()
+            .map(|s| {
+                let (id, present) = tables.intern(s);
+                note_seen(id, present);
+                id
+            })
+            .collect();
+        let goal_ids: Box<[u32]> = self
+            .ctx
+            .goal_states()
+            .into_iter()
+            .map(|s| {
+                let (id, present) = tables.intern(s);
+                note_seen(id, present);
+                id
+            })
+            .collect();
+
+        let mut ids: FxHashMap<Box<[u32]>, usize> = FxHashMap::default();
+        let mut is_goal: Vec<bool> = vec![init_ids == goal_ids];
+        let mut edges: Vec<Option<Vec<(usize, usize)>>> = vec![None];
+        let mut tuples: Vec<Box<[u32]>> = Vec::new();
+        if keep_tuples {
+            tuples.push(init_ids.clone());
+        }
+        ids.insert(init_ids.clone(), 0);
+
+        // The current BFS level's unexpanded states, in discovery order.
+        let mut frontier: Vec<(usize, Box<[u32]>)> = Vec::new();
+        if !is_goal[0] && max_size > 0 {
+            frontier.push((0, init_ids));
+        }
+        let mut depth = 0usize;
+        while !frontier.is_empty() {
+            // Expand every frontier state concurrently; each job writes its
+            // surviving `(candidate index, successor tuple)` list — already
+            // in candidate order — into its own slot.
+            type Successors = Vec<(usize, Box<[u32]>)>;
+            let slots: Vec<Mutex<Option<Successors>>> =
+                frontier.iter().map(|_| Mutex::new(None)).collect();
+            {
+                let frontier = &frontier;
+                let slots = &slots;
+                p2_par::nested_for_each(frontier.len(), &|fi| {
+                    let (_, state_ids) = &frontier[fi];
+                    let mut out: Vec<(usize, Box<[u32]>)> = Vec::new();
+                    let mut next_ids: Vec<u32> = Vec::new();
+                    let mut member_ids: Vec<u32> = Vec::new();
+                    'candidate: for (ci, (instr, groups)) in candidates.iter().enumerate() {
+                        next_ids.clear();
+                        next_ids.extend_from_slice(state_ids);
+                        for group in groups {
+                            member_ids.clear();
+                            member_ids.extend(group.iter().map(|&d| state_ids[d]));
+                            let base = next_ids.len();
+                            let (result, hit) = tables.apply(instr.collective, &member_ids);
+                            if hit {
+                                apply_hits.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                apply_misses.fetch_add(1, Ordering::Relaxed);
+                            }
+                            match result {
+                                Ok(after) => {
+                                    for &id in after.iter() {
+                                        // A cache hit's outputs were already
+                                        // interned by whoever filled the entry.
+                                        note_seen(id, hit);
+                                    }
+                                    next_ids.extend_from_slice(&after);
+                                }
+                                Err(_) => continue 'candidate,
+                            }
+                            for (i, &d) in group.iter().enumerate() {
+                                next_ids[d] = next_ids[base + i];
+                            }
+                            next_ids.truncate(base);
+                        }
+                        let respects_all =
+                            (0..next_ids.len()).all(|d| respects_row(next_ids[d], goal_index[d]));
+                        if !respects_all {
+                            continue;
+                        }
+                        if next_ids[..] == state_ids[..] {
+                            continue;
+                        }
+                        out.push((ci, next_ids.as_slice().into()));
+                    }
+                    *slots[fi].lock().expect("expansion slot poisoned") = Some(out);
+                });
+            }
+
+            // Serial merge in (parent index, candidate index) order — the
+            // exact discovery order of the serial FIFO build, so new ids come
+            // out identical.
+            let mut next_frontier: Vec<(usize, Box<[u32]>)> = Vec::new();
+            for (fi, (id, _)) in frontier.iter().enumerate() {
+                let surviving = slots[fi]
+                    .lock()
+                    .expect("expansion slot poisoned")
+                    .take()
+                    .expect("every expansion slot is filled");
+                stats.states_explored += 1;
+                stats.instructions_tried += candidates.len();
+                let mut out = Vec::with_capacity(surviving.len());
+                for (ci, key) in surviving {
+                    let next_id = match ids.get(&key) {
+                        Some(&existing) => existing,
+                        None => {
+                            let new_id = is_goal.len();
+                            let goal = key == goal_ids;
+                            is_goal.push(goal);
+                            edges.push(None);
+                            if keep_tuples {
+                                tuples.push(key.clone());
+                            }
+                            ids.insert(key.clone(), new_id);
+                            // The goal is absorbing, and states first reached
+                            // at the size limit can never be extended —
+                            // neither joins the next frontier.
+                            if !goal && depth + 1 < max_size {
+                                next_frontier.push((new_id, key));
+                            }
+                            new_id
+                        }
+                    };
+                    out.push((ci, next_id));
+                }
+                edges[*id] = Some(out);
+            }
+            frontier = next_frontier;
+            depth += 1;
+        }
+
+        let fractions = keep_tuples.then(|| {
+            let mut fractions: FxHashMap<u32, f64> = FxHashMap::default();
+            for tuple in &tuples {
+                for &sid in tuple.iter() {
+                    fractions
+                        .entry(sid)
+                        .or_insert_with(|| tables.get(sid).data_fraction());
+                }
+            }
+            fractions
+        });
+        stats.goal_respects_entries = respects
+            .iter()
+            .map(|shard| shard.read().expect("respects shard poisoned").len())
+            .sum();
+        stats.apply_cache_hits = apply_hits.load(Ordering::Relaxed);
+        stats.apply_cache_misses = apply_misses.load(Ordering::Relaxed);
+        match &seen {
+            Some(shards) => {
+                stats.unique_device_states = shards
+                    .iter()
+                    .map(|shard| shard.lock().expect("seen shard poisoned").len())
+                    .sum();
+                stats.shared_states_reused = reused.load(Ordering::Relaxed);
+            }
+            None => stats.unique_device_states = tables.num_states(),
+        }
+        BuiltGraph {
+            graph: Self::finish_graph(is_goal, edges),
+            init_id: 0,
             tuples: keep_tuples.then_some(tuples),
             fractions,
         }
@@ -1640,6 +1964,143 @@ mod tests {
         let count = rewarmed.count_programs(5);
         assert_eq!(count.total, bankless.count_programs(5).total);
         assert_eq!(count.stats.states_explored, 0);
+    }
+
+    /// The deterministic subset of build stats: everything except timings,
+    /// the interleaving-dependent `apply_cache_*` split and
+    /// `shared_states_reused`.
+    fn deterministic_stats(
+        s: &SynthesisStats,
+    ) -> (usize, usize, usize, usize, usize, usize, usize) {
+        (
+            s.states_explored,
+            s.instructions_tried,
+            s.candidate_instructions,
+            s.programs_emitted,
+            s.unique_device_states,
+            s.goal_respects_entries,
+            s.apply_cache_hits + s.apply_cache_misses,
+        )
+    }
+
+    #[test]
+    fn parallel_build_matches_serial_bit_for_bit() {
+        let serial = synth_d();
+        assert_eq!(serial.build_threads(), 1);
+        for threads in [0usize, 2, 8] {
+            let parallel = synth_d().with_build_threads(threads);
+            for max_size in 1..=5 {
+                let a = serial.synthesize(max_size);
+                let b = parallel.synthesize(max_size);
+                assert_eq!(
+                    a.programs, b.programs,
+                    "programs diverged at threads={threads} size={max_size}"
+                );
+                assert_eq!(
+                    deterministic_stats(&a.stats),
+                    deterministic_stats(&b.stats),
+                    "stats diverged at threads={threads} size={max_size}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_count_and_best_cost_agree_with_serial() {
+        let serial = synth_d();
+        let parallel = synth_d().with_build_threads(8);
+        let mut cost = |step: &LoweredStep| {
+            step.groups
+                .iter()
+                .map(|g| g.input_fraction * g.devices.len() as f64)
+                .sum::<f64>()
+        };
+        for max_size in 0..=6 {
+            let a = serial.count_programs(max_size);
+            let b = parallel.count_programs(max_size);
+            assert_eq!(a.total, b.total, "count diverged at size {max_size}");
+            assert_eq!(a.by_length, b.by_length);
+            assert_eq!(a.stats.states_explored, b.stats.states_explored);
+        }
+        for max_size in 1..=5 {
+            let a = serial.best_cost_program(max_size, &mut cost).unwrap();
+            let b = parallel.best_cost_program(max_size, &mut cost).unwrap();
+            match (a, b) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.program, b.program, "best program diverged at {max_size}");
+                    assert_eq!(a.cost, b.cost);
+                }
+                (None, None) => {}
+                (a, b) => panic!("best-cost presence diverged: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_over_shared_tables_matches_serial() {
+        use p2_collectives::SharedTables;
+        let serial = synth_d();
+        let tables = Arc::new(SharedTables::new());
+        let parallel = synth_d()
+            .with_shared_tables(Arc::clone(&tables))
+            .with_build_threads(4);
+        for max_size in 1..=5 {
+            let a = serial.synthesize(max_size);
+            let b = parallel.synthesize(max_size);
+            assert_eq!(a.programs, b.programs, "size {max_size}");
+            assert_eq!(
+                deterministic_stats(&a.stats),
+                deterministic_stats(&b.stats),
+                "size {max_size}"
+            );
+        }
+        // A rerun over the now-warm tables still matches and reuses the
+        // whole universe (sum of reused + fresh is deterministic even though
+        // the split per state is not: everything is present, so every seen
+        // insert is a reuse).
+        let rerun = synth_d()
+            .with_shared_tables(Arc::clone(&tables))
+            .with_build_threads(4)
+            .synthesize(5);
+        assert_eq!(rerun.programs, serial.synthesize(5).programs);
+        assert_eq!(
+            rerun.stats.shared_states_reused,
+            rerun.stats.unique_device_states
+        );
+    }
+
+    #[test]
+    fn respects_table_stays_small_under_a_bloated_shared_interner() {
+        use p2_collectives::SharedTables;
+        // Pre-intern a large population of foreign device states, then run a
+        // small search over the same tables: the lazy respects table (and the
+        // search results) must be invariant to the foreign states.
+        let baseline = synth_d().synthesize(4);
+        assert!(baseline.stats.goal_respects_entries > 0);
+        assert!(
+            baseline.stats.goal_respects_entries <= baseline.stats.unique_device_states,
+            "respects rows are only computed for states this search touches"
+        );
+        let tables = Arc::new(SharedTables::new());
+        for devices in 2..=40usize {
+            for device in 0..devices {
+                tables.intern(State::initial(devices, device));
+            }
+        }
+        let foreign = tables.num_states();
+        assert!(foreign > 500);
+        let bloated = synth_d()
+            .with_shared_tables(Arc::clone(&tables))
+            .synthesize(4);
+        assert_eq!(baseline.programs, bloated.programs);
+        assert_eq!(
+            baseline.stats.goal_respects_entries, bloated.stats.goal_respects_entries,
+            "foreign interner states must not grow the respects table"
+        );
+        assert_eq!(
+            baseline.stats.unique_device_states,
+            bloated.stats.unique_device_states
+        );
     }
 
     #[test]
